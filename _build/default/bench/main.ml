@@ -1,0 +1,205 @@
+(* Benchmark executable.
+
+   Two parts:
+   1. Regenerates every evaluation table of the paper (Figures 1-4) from the
+      virtual-time harness — these are the rows EXPERIMENTS.md quotes.
+   2. Bechamel wall-clock microbenchmarks of the real data structures and
+      detectors (one Test.make group per figure plus the substrate ops), so
+      the actual OCaml implementation cost of each component is measured,
+      not simulated. *)
+
+open Bechamel
+open Toolkit
+
+let small = 48 (* small workload size so each bechamel sample is a full run *)
+
+let run_detector_once name workers detector () =
+  let w = Registry.find name in
+  let inst = w.Workload.make ~size:small ~base:8 in
+  match detector with
+  | `Baseline ->
+      let d = Nodetect.make () in
+      let config = { Sim_exec.default_config with n_workers = workers } in
+      ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run)
+  | `Stint ->
+      let d = Stint.make () in
+      ignore (Seq_exec.run ~driver:d.Detector.driver inst.Workload.run)
+  | `Cracer ->
+      let d = Cracer.make () in
+      let config = { Sim_exec.default_config with n_workers = workers } in
+      ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run)
+  | `Pint ->
+      let p = Pint_detector.make () in
+      let d = Pint_detector.detector p in
+      let config =
+        { Sim_exec.default_config with n_workers = workers; actors = Pint_detector.sim_actors p }
+      in
+      ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run)
+
+(* Figure 1 group: full detector runs on a small heat instance. *)
+let fig1_tests =
+  Test.make_grouped ~name:"fig1:heat48"
+    [
+      Test.make ~name:"baseline" (Staged.stage (run_detector_once "heat" 4 `Baseline));
+      Test.make ~name:"stint" (Staged.stage (run_detector_once "heat" 4 `Stint));
+      Test.make ~name:"pint" (Staged.stage (run_detector_once "heat" 4 `Pint));
+      Test.make ~name:"cracer" (Staged.stage (run_detector_once "heat" 4 `Cracer));
+    ]
+
+(* Figure 2 group: the PINT pipeline at two base-case granularities (the
+   strand/interval density is what the work breakdown depends on). *)
+let fig2_tests =
+  let go base () =
+    let w = Registry.find "sort" in
+    let inst = w.Workload.make ~size:4096 ~base in
+    let p = Pint_detector.make () in
+    let d = Pint_detector.detector p in
+    let config =
+      { Sim_exec.default_config with n_workers = 4; actors = Pint_detector.sim_actors p }
+    in
+    ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run)
+  in
+  Test.make_grouped ~name:"fig2:pint-pipeline"
+    [
+      Test.make ~name:"sort4096/b64" (Staged.stage (go 64));
+      Test.make ~name:"sort4096/b256" (Staged.stage (go 256));
+    ]
+
+(* Figure 3 group: same computation at increasing simulated worker counts. *)
+let fig3_tests =
+  Test.make_grouped ~name:"fig3:strong-scaling"
+    [
+      Test.make ~name:"mmul/p1" (Staged.stage (run_detector_once "mmul" 1 `Pint));
+      Test.make ~name:"mmul/p8" (Staged.stage (run_detector_once "mmul" 8 `Pint));
+      Test.make ~name:"mmul/p32" (Staged.stage (run_detector_once "mmul" 32 `Pint));
+    ]
+
+(* Figure 4 group: weak-scaling step (size grows with workers). *)
+let fig4_tests =
+  let go size p () =
+    let w = Registry.find "heat" in
+    let inst = w.Workload.make ~size ~base:8 in
+    let pd = Pint_detector.make () in
+    let d = Pint_detector.detector pd in
+    let config =
+      { Sim_exec.default_config with n_workers = p; actors = Pint_detector.sim_actors pd }
+    in
+    ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run)
+  in
+  Test.make_grouped ~name:"fig4:weak-scaling"
+    [
+      Test.make ~name:"heat32/p1" (Staged.stage (go 32 1));
+      Test.make ~name:"heat64/p4" (Staged.stage (go 64 4));
+      Test.make ~name:"heat128/p16" (Staged.stage (go 128 16));
+    ]
+
+(* Substrate microbenchmarks: the individual data structures. *)
+let substrate_tests =
+  let treap_insert () =
+    let t = Itreap.create ~seed:1 ~owner_eq:Int.equal () in
+    for i = 0 to 999 do
+      Itreap.insert_replace t (Interval.make (i * 7 mod 4096) ((i * 7 mod 4096) + 3)) i
+    done
+  in
+  let treap_query () =
+    let t = Itreap.create ~seed:1 ~owner_eq:Int.equal () in
+    for i = 0 to 255 do
+      Itreap.insert_replace t (Interval.make (i * 16) ((i * 16) + 7)) i
+    done;
+    let hits = ref 0 in
+    for i = 0 to 999 do
+      Itreap.query t (Interval.make (i mod 4096) ((i mod 4096) + 31)) ~f:(fun _ _ -> incr hits)
+    done
+  in
+  let om_insert () =
+    let om = Om.create () in
+    let r = ref (Om.base om) in
+    for _ = 1 to 1000 do
+      r := Om.insert_after om !r
+    done
+  in
+  let sp_query () =
+    let sp, root = Sp_order.create () in
+    let a, b, _ = Sp_order.spawn sp ~sync_pre:None root in
+    let sink = ref false in
+    for _ = 1 to 1000 do
+      sink := Sp_order.parallel sp a b
+    done
+  in
+  let coalescer () =
+    let c = Coalescer.create () in
+    for i = 0 to 999 do
+      Coalescer.add_read c ~addr:(i * 2) ~len:1
+    done;
+    ignore (Coalescer.finish c)
+  in
+  let trace_pipe () =
+    let _, root = Sp_order.create () in
+    let tr = Trace.create ~id:0 ~owner:0 in
+    for i = 0 to 999 do
+      Trace.push tr (Srec.make ~uid:i root)
+    done;
+    for _ = 0 to 999 do
+      ignore (Trace.peek tr);
+      Trace.pop tr
+    done
+  in
+  let ahq_pipe () =
+    let _, root = Sp_order.create () in
+    let q = Ahq.create ~capacity:2048 () in
+    for i = 0 to 999 do
+      ignore (Ahq.try_enqueue q (Srec.make ~uid:i root))
+    done;
+    for _ = 0 to 999 do
+      ignore (Ahq.peek q Ahq.l);
+      Ahq.advance q Ahq.l;
+      ignore (Ahq.peek q Ahq.r);
+      Ahq.advance q Ahq.r
+    done
+  in
+  Test.make_grouped ~name:"substrate"
+    [
+      Test.make ~name:"treap-1k-inserts" (Staged.stage treap_insert);
+      Test.make ~name:"treap-1k-queries" (Staged.stage treap_query);
+      Test.make ~name:"om-1k-inserts" (Staged.stage om_insert);
+      Test.make ~name:"sporder-1k-queries" (Staged.stage sp_query);
+      Test.make ~name:"coalescer-1k" (Staged.stage coalescer);
+      Test.make ~name:"trace-1k-pipe" (Staged.stage trace_pipe);
+      Test.make ~name:"ahq-1k-pipe" (Staged.stage ahq_pipe);
+    ]
+
+(* Minimal reporting: name + ns/run from the OLS estimate. *)
+let report tests =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) ols [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> Printf.printf "  %-40s %14.0f ns/run\n%!" name est
+      | _ -> Printf.printf "  %-40s (no estimate)\n%!" name)
+    (List.sort compare rows)
+
+let () =
+  print_endline "=== PINT evaluation tables (virtual-time harness) ===";
+  print_newline ();
+  let _, f1 = Figures.fig1 () in
+  print_string f1;
+  print_newline ();
+  let _, f2 = Figures.fig2 () in
+  print_string f2;
+  print_newline ();
+  let _, f3 = Figures.fig3 () in
+  print_string f3;
+  print_newline ();
+  let _, f4 = Figures.fig4 () in
+  print_string f4;
+  print_newline ();
+  print_endline "=== Bechamel wall-clock benchmarks (real implementation) ===";
+  List.iter report [ fig1_tests; fig2_tests; fig3_tests; fig4_tests; substrate_tests ]

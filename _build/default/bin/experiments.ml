@@ -1,0 +1,113 @@
+(* Regenerate the paper's evaluation tables (Figures 1-4) and auxiliary
+   statistics.  `experiments all` prints everything, which is what
+   EXPERIMENTS.md and bench_output.txt are built from. *)
+
+open Cmdliner
+
+let print_fig1 cores =
+  let _, txt = Figures.fig1 ~cores () in
+  print_string txt
+
+let print_fig2 cores =
+  let _, txt = Figures.fig2 ~cores () in
+  print_string txt
+
+let print_fig3 () =
+  let _, txt = Figures.fig3 () in
+  print_string txt
+
+let print_fig4 () =
+  let _, txt = Figures.fig4 () in
+  print_string txt
+
+let print_stats () =
+  let header = [ "bench"; "size"; "base"; "work"; "events"; "intervals"; "strands"; "coalesce" ] in
+  let rows =
+    List.map
+      (fun (w : Workload.t) ->
+        let size = w.default_size and base = w.default_base in
+        let m = Systems.run ~workload:w ~size ~base ~workers:1 Systems.Stint_sys in
+        let diag k = match List.assoc_opt k m.Systems.diags with Some v -> v | None -> 0. in
+        [
+          w.name;
+          string_of_int size;
+          string_of_int base;
+          Printf.sprintf "%.0f" (diag "work");
+          Printf.sprintf "%.0f" (diag "raw_events");
+          Printf.sprintf "%.0f" (diag "intervals");
+          string_of_int m.Systems.n_strands;
+          Printf.sprintf "%.1f" (diag "work" /. Float.max 1. (diag "intervals"));
+        ])
+      (Registry.all ())
+  in
+  print_string
+    (Table.render
+       ~title:
+         "Workload statistics at default sizes (words touched, instrumentation events, coalesced \
+          intervals, strands, words per interval)."
+       ~header rows)
+
+let print_shards () =
+  (* the §VI extension: sharded reader treap workers relieve the treap
+     bottleneck on the treap-bound configurations *)
+  let header = [ "bench"; "shards=1"; "shards=2"; "shards=4"; "core-only" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let w = Registry.find name in
+        let cell shards =
+          Systems.run ~shards ~workload:w ~size:w.Workload.default_size
+            ~base:w.Workload.default_base ~workers:17 Systems.Pint_sys
+        in
+        let m1 = cell 1 and m2 = cell 2 and m4 = cell 4 in
+        [
+          name;
+          Table.t2 (Systems.vsec m1.Systems.time);
+          Table.t2 (Systems.vsec m2.Systems.time);
+          Table.t2 (Systems.vsec m4.Systems.time);
+          Table.t2 (Systems.vsec m4.Systems.core_time);
+        ])
+      [ "chol"; "mmul"; "sort"; "stra"; "fft" ]
+  in
+  print_string
+    (Table.render
+       ~title:
+         "Extension (paper SVI future work): PINT total time at 17 core workers with sharded \
+          reader treap workers (virtual seconds; last column = core component, the floor)."
+       ~header rows)
+
+let print_all cores =
+  print_stats ();
+  print_newline ();
+  print_fig1 cores;
+  print_newline ();
+  print_fig2 cores;
+  print_newline ();
+  print_fig3 ();
+  print_newline ();
+  print_fig4 ();
+  print_newline ();
+  print_shards ()
+
+let cores_arg =
+  let doc = "Total simulated cores for the Figure 1/2 parallel columns." in
+  Arg.(value & opt int 20 & info [ "cores" ] ~doc)
+
+let cmd name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+let cmd_cores name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ cores_arg)
+
+let () =
+  let default = Term.(const print_all $ cores_arg) in
+  let info = Cmd.info "experiments" ~doc:"Reproduce the PINT paper's evaluation figures" in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            cmd_cores "fig1" "Figure 1: one-core and multi-core running times" print_fig1;
+            cmd_cores "fig2" "Figure 2: parallelization overhead and work breakdown" print_fig2;
+            cmd "fig3" "Figure 3: strong scaling" print_fig3;
+            cmd "fig4" "Figure 4: weak scaling" print_fig4;
+            cmd "stats" "Workload event statistics" print_stats;
+            cmd "shards" "Extension: sharded reader treap workers" print_shards;
+            cmd_cores "all" "Everything" print_all;
+          ]))

@@ -1,0 +1,100 @@
+(* pint_run — run one benchmark under a chosen executor and race detector.
+
+   Examples:
+     pint_run --workload sort --detector pint --exec sim --workers 8
+     pint_run --workload heat --detector stint --exec seq --racy
+     pint_run --workload mmul --detector cracer --exec par --workers 4 *)
+
+open Cmdliner
+
+type exec_kind = Seq | Sim | Par
+
+let pint_aux p =
+  [
+    ("writer", fun () -> (Pint_detector.writer_step p :> [ `Worked of int | `Idle | `Done ]));
+    ("lreader", fun () -> (Pint_detector.lreader_step p :> [ `Worked of int | `Idle | `Done ]));
+    ("rreader", fun () -> (Pint_detector.rreader_step p :> [ `Worked of int | `Idle | `Done ]));
+  ]
+
+let run_one workload detector exec workers size base racy seed max_report =
+  let w =
+    try Registry.find workload
+    with Not_found ->
+      Printf.eprintf "unknown workload %S; available: %s\n" workload
+        (String.concat ", " (List.map (fun w -> w.Workload.name) (Registry.all ())));
+      exit 2
+  in
+  let size = Option.value size ~default:w.Workload.default_size in
+  let base = Option.value base ~default:w.Workload.default_base in
+  let inst =
+    if racy then
+      match w.Workload.racy with
+      | Some f -> f ~size ~base
+      | None ->
+          Printf.eprintf "workload %s has no racy variant\n" workload;
+          exit 2
+    else w.Workload.make ~size ~base
+  in
+  let pint = if detector = "pint" then Some (Pint_detector.make ()) else None in
+  let det =
+    match detector with
+    | "none" -> Nodetect.make ()
+    | "stint" -> Stint.make ()
+    | "cracer" -> Cracer.make ()
+    | "pint" -> Pint_detector.detector (Option.get pint)
+    | other ->
+        Printf.eprintf "unknown detector %S (none|stint|cracer|pint)\n" other;
+        exit 2
+  in
+  Printf.printf "workload=%s size=%d base=%d detector=%s racy=%b\n%!" workload size base detector
+    racy;
+  (match exec with
+  | Seq ->
+      let r = Seq_exec.run ~driver:det.Detector.driver inst.Workload.run in
+      Printf.printf "executor=seq strands=%d spawns=%d syncs=%d\n" r.Seq_exec.n_strands
+        r.Seq_exec.n_spawns r.Seq_exec.n_syncs
+  | Sim ->
+      let actors = match pint with Some p -> Pint_detector.sim_actors p | None -> [] in
+      let config = { Sim_exec.default_config with n_workers = workers; seed; actors } in
+      let r = Sim_exec.run ~config ~driver:det.Detector.driver inst.Workload.run in
+      Printf.printf "executor=sim workers=%d strands=%d steals=%d makespan=%d total=%d\n" workers
+        r.Sim_exec.n_strands r.Sim_exec.n_steals r.Sim_exec.makespan r.Sim_exec.total
+  | Par ->
+      let aux = match pint with Some p -> pint_aux p | None -> [] in
+      let config = { Par_exec.n_workers = workers; seed; aux } in
+      let r = Par_exec.run ~config ~driver:det.Detector.driver inst.Workload.run in
+      Printf.printf "executor=par workers=%d strands=%d steals=%d elapsed=%.3fs\n" workers
+        r.Par_exec.n_strands r.Par_exec.n_steals r.Par_exec.elapsed_s);
+  let races = Detector.races det in
+  Printf.printf "result check: %s\n" (if inst.Workload.check () then "PASS" else "FAIL (racy run?)");
+  Printf.printf "races: %d distinct pair(s)\n" (List.length races);
+  List.iteri
+    (fun i r ->
+      if i < max_report then Format.printf "  %a@." Report.pp_race r
+      else if i = max_report then
+        Printf.printf "  ... (%d more)\n" (List.length races - max_report))
+    races;
+  if racy && races = [] then exit 1
+
+let workload_arg =
+  Arg.(value & opt string "sort" & info [ "w"; "workload" ] ~doc:"Benchmark to run.")
+
+let detector_arg =
+  Arg.(value & opt string "pint" & info [ "d"; "detector" ] ~doc:"none|stint|cracer|pint.")
+
+let exec_conv = Arg.enum [ ("seq", Seq); ("sim", Sim); ("par", Par) ]
+let exec_arg = Arg.(value & opt exec_conv Sim & info [ "e"; "exec" ] ~doc:"Executor: seq, sim or par.")
+let workers_arg = Arg.(value & opt int 4 & info [ "p"; "workers" ] ~doc:"Core workers.")
+let size_arg = Arg.(value & opt (some int) None & info [ "n"; "size" ] ~doc:"Problem size.")
+let base_arg = Arg.(value & opt (some int) None & info [ "b"; "base" ] ~doc:"Base-case size.")
+let racy_arg = Arg.(value & flag & info [ "racy" ] ~doc:"Run the race-injected variant.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.")
+let max_report_arg = Arg.(value & opt int 10 & info [ "max-report" ] ~doc:"Races to print.")
+
+let () =
+  let term =
+    Term.(
+      const run_one $ workload_arg $ detector_arg $ exec_arg $ workers_arg $ size_arg $ base_arg
+      $ racy_arg $ seed_arg $ max_report_arg)
+  in
+  exit (Cmd.eval (Cmd.v (Cmd.info "pint_run" ~doc:"Run a benchmark under a race detector") term))

@@ -1,0 +1,1 @@
+examples/find_a_race.ml: Detector Fj Format List Membuf Pint_detector Printf Report Rng Sim_exec

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Detector Fj Format List Membuf Pint_detector Printf Report Sim_exec

@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Array List Printf Registry Sys Systems Workload

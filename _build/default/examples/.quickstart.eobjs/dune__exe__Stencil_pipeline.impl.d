@@ -1,0 +1,1 @@
+examples/stencil_pipeline.ml: Access Cracer Detector Fj List Membuf Pint_detector Printf Seq_exec Sim_exec Stint

@@ -1,0 +1,73 @@
+(* A realistic debugging session: a parallel histogram + normalization
+   pipeline with a subtle missing [scope].  The helper function spawns into
+   its caller's sync block, so the normalization pass starts while bucket
+   counting is still in flight — a classic fork-join bug.  PINT pinpoints
+   the racing strand pairs; the fixed version comes back clean.
+
+     dune exec examples/find_a_race.exe *)
+
+let n_values = 2048
+let n_buckets = 16
+let shard_count = 8
+
+(* Count values into per-shard bucket arrays, in parallel. *)
+let count_shards ~values ~shards () =
+  let per = n_values / shard_count in
+  for s = 0 to shard_count - 1 do
+    Fj.spawn (fun () ->
+        for i = s * per to ((s + 1) * per) - 1 do
+          let v = Membuf.get_f values i in
+          let b = min (n_buckets - 1) (int_of_float (v *. float_of_int n_buckets)) in
+          let idx = (s * n_buckets) + b in
+          Membuf.set_f shards idx (Membuf.get_f shards idx +. 1.0)
+        done)
+  done
+(* NOTE: no sync here — the caller must scope or sync. *)
+
+let reduce_and_normalize ~shards ~hist () =
+  for b = 0 to n_buckets - 1 do
+    let acc = ref 0.0 in
+    for s = 0 to shard_count - 1 do
+      acc := !acc +. Membuf.get_f shards ((s * n_buckets) + b)
+    done;
+    Membuf.set_f hist b (!acc /. float_of_int n_values)
+  done
+
+let pipeline ~fixed () =
+  let values = Fj.alloc_f n_values in
+  let rng = Rng.create 42 in
+  for i = 0 to n_values - 1 do
+    Membuf.poke_f values i (Rng.float rng)
+  done;
+  let shards = Fj.alloc_f (shard_count * n_buckets) in
+  let hist = Fj.alloc_f n_buckets in
+  if fixed then
+    (* the fix: give the counting phase its own sync scope *)
+    Fj.scope (fun () ->
+        count_shards ~values ~shards ();
+        Fj.sync ())
+  else count_shards ~values ~shards ();
+  (* BUG (when not fixed): shards are still being written here *)
+  reduce_and_normalize ~shards ~hist ();
+  Fj.sync ()
+
+let diagnose name ~fixed =
+  let p = Pint_detector.make () in
+  let det = Pint_detector.detector p in
+  let config =
+    { Sim_exec.default_config with n_workers = 6; actors = Pint_detector.sim_actors p }
+  in
+  let _ = Sim_exec.run ~config ~driver:det.Detector.driver (pipeline ~fixed) in
+  let races = Detector.races det in
+  Printf.printf "%s: %d racing pair(s)\n" name (List.length races);
+  List.iteri (fun i r -> if i < 5 then Format.printf "  %a@." Report.pp_race r) races;
+  races <> []
+
+let () =
+  let buggy_found = diagnose "histogram pipeline (buggy)" ~fixed:false in
+  let fixed_found = diagnose "histogram pipeline (fixed)" ~fixed:true in
+  if buggy_found && not fixed_found then print_endline "diagnosis complete: bug found and fixed."
+  else begin
+    print_endline "unexpected detector behaviour!";
+    exit 1
+  end

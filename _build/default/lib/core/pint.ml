@@ -1,0 +1,38 @@
+(* Facade — re-exports; subsystems are unwrapped libraries so their modules
+   are also directly accessible.  This module groups them for documentation
+   and for qualified access from client code. *)
+module Rng = Rng
+module Vec = Vec
+module Stats = Stats
+module Om = Om
+module Sp_order = Sp_order
+module Interval = Interval
+module Coalescer = Coalescer
+module Itreap = Itreap
+module Access = Access
+module Aspace = Aspace
+module Membuf = Membuf
+module Srec = Srec
+module Events = Events
+module Hooks = Hooks
+module Book = Book
+module Fj = Fj
+module Seq_exec = Seq_exec
+module Trace = Trace
+module Ahq = Ahq
+module Report = Report
+module Detector = Detector
+module Policies = Policies
+module Nodetect = Nodetect
+module Stint = Stint
+module Cracer = Cracer
+module Pint_detector = Pint_detector
+module Sim_exec = Sim_exec
+module Par_exec = Par_exec
+module Workload = Workload
+module Registry = Registry
+module Matview = Matview
+module Cost_model = Cost_model
+module Systems = Systems
+module Table = Table
+module Figures = Figures

@@ -1,0 +1,1 @@
+lib/detect/cracer.ml: Access Array Aspace Atomic Detector Hashtbl Hooks Interval List Mutex Policies Report Sp_order Srec

@@ -1,0 +1,1 @@
+lib/detect/cracer.mli: Detector

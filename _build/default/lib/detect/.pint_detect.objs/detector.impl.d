@@ -1,0 +1,1 @@
+lib/detect/detector.ml: Hooks List Report

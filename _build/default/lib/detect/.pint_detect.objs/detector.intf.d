@@ -1,0 +1,1 @@
+lib/detect/detector.mli: Hooks Report

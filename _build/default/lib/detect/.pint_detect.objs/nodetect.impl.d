@@ -1,0 +1,1 @@
+lib/detect/nodetect.ml: Access Aspace Detector Hooks Report

@@ -1,0 +1,1 @@
+lib/detect/nodetect.mli: Detector

@@ -1,0 +1,1 @@
+lib/detect/pint_detector.ml: Access Ahq Array Aspace Atomic Coalescer Detector Domain Events Hooks Interval Itreap List Mutex Policies Printf Report Sim_exec Sp_order Srec Trace Vec

@@ -1,0 +1,1 @@
+lib/detect/pint_detector.mli: Detector Interval Sim_exec

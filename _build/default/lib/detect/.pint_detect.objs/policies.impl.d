@@ -1,0 +1,1 @@
+lib/detect/policies.ml: Sp_order

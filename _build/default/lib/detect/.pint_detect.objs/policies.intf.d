@@ -1,0 +1,1 @@
+lib/detect/policies.mli: Sp_order

@@ -1,0 +1,1 @@
+lib/detect/report.ml: Format Hashtbl Interval List Mutex

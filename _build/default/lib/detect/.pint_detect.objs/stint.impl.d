@@ -1,0 +1,1 @@
+lib/detect/stint.ml: Access Array Aspace Coalescer Detector Hooks Interval Itreap List Policies Report Sp_order Srec

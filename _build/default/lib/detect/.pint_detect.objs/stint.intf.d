@@ -1,0 +1,1 @@
+lib/detect/stint.mli: Detector

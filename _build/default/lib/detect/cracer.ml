@@ -1,0 +1,120 @@
+type cell = {
+  mutable w : Sp_order.strand option;
+  mutable lr : Sp_order.strand option;
+  mutable rr : Sp_order.strand option;
+}
+
+type shard = { lock : Mutex.t; tbl : (int, cell) Hashtbl.t }
+
+let make ?(shards = 64) () =
+  let report = Report.create () in
+  let diags = ref [] in
+  let driver (ctx : Hooks.ctx) =
+    let sp = ctx.sp in
+    let map = Array.init shards (fun _ -> { lock = Mutex.create (); tbl = Hashtbl.create 1024 }) in
+    let accesses = Atomic.make 0 in
+    let shard_of addr = map.(addr land (shards - 1)) in
+    let with_cell addr f =
+      let sh = shard_of addr in
+      Mutex.lock sh.lock;
+      let cell =
+        match Hashtbl.find_opt sh.tbl addr with
+        | Some c -> c
+        | None ->
+            let c = { w = None; lr = None; rr = None } in
+            Hashtbl.add sh.tbl addr c;
+            c
+      in
+      f cell;
+      Mutex.unlock sh.lock
+    in
+    let racy prior current = Policies.race sp ~prior ~current in
+    let point a = Interval.point a in
+    let read1 s a =
+      with_cell a (fun c ->
+          (match c.w with
+          | Some w when racy w s ->
+              Report.add report Report.Write_read ~prior:(Sp_order.id w) ~current:(Sp_order.id s)
+                (point a)
+          | _ -> ());
+          (match c.lr with
+          | None -> c.lr <- Some s
+          | Some r -> (
+              match Policies.keep_leftmost sp ~s ~incumbent:r with
+              | `Replace -> c.lr <- Some s
+              | `Keep -> ()));
+          match c.rr with
+          | None -> c.rr <- Some s
+          | Some r -> (
+              match Policies.keep_rightmost sp ~s ~incumbent:r with
+              | `Replace -> c.rr <- Some s
+              | `Keep -> ()))
+    in
+    let write1 s a =
+      with_cell a (fun c ->
+          (match c.w with
+          | Some w when racy w s ->
+              Report.add report Report.Write_write ~prior:(Sp_order.id w) ~current:(Sp_order.id s)
+                (point a)
+          | _ -> ());
+          (match c.lr with
+          | Some r when racy r s ->
+              Report.add report Report.Read_write ~prior:(Sp_order.id r) ~current:(Sp_order.id s)
+                (point a)
+          | _ -> ());
+          (match c.rr with
+          | Some r when racy r s ->
+              Report.add report Report.Read_write ~prior:(Sp_order.id r) ~current:(Sp_order.id s)
+                (point a)
+          | _ -> ());
+          c.w <- Some s)
+    in
+    let clear_range base len =
+      for a = base to base + len - 1 do
+        let sh = shard_of a in
+        Mutex.lock sh.lock;
+        Hashtbl.remove sh.tbl a;
+        Mutex.unlock sh.lock
+      done
+    in
+    let sink ~wid =
+      {
+        Access.on_read =
+          (fun ~addr ~len ->
+            let s = (ctx.current ~wid).Srec.sp in
+            ignore (Atomic.fetch_and_add accesses len);
+            for a = addr to addr + len - 1 do
+              read1 s a
+            done);
+        on_write =
+          (fun ~addr ~len ->
+            let s = (ctx.current ~wid).Srec.sp in
+            ignore (Atomic.fetch_and_add accesses len);
+            for a = addr to addr + len - 1 do
+              write1 s a
+            done);
+        on_free =
+          (fun ~base ~len ->
+            clear_range base len;
+            Aspace.heap_free ctx.aspace ~base ~len);
+        on_compute = (fun ~amount:_ -> ());
+      }
+    in
+    {
+      Hooks.sink;
+      on_start = (fun ~wid:_ _ _ -> ());
+      on_finish =
+        (fun ~wid:_ (u : Srec.t) _kind ->
+          (* stack-frame ranges popped during this strand die now *)
+          List.iter (fun (b, l) -> clear_range b l) u.clears;
+          u.clears <- []);
+      on_done = (fun () -> diags := [ ("accesses", float_of_int (Atomic.get accesses)) ]);
+    }
+  in
+  {
+    Detector.name = "cracer";
+    driver;
+    report;
+    drain = (fun () -> ());
+    diagnostics = (fun () -> !diags);
+  }

@@ -1,0 +1,17 @@
+type t = {
+  name : string;
+  driver : Hooks.driver;
+  report : Report.t;
+  drain : unit -> unit;
+  diagnostics : unit -> (string * float) list;
+}
+
+let races t =
+  t.drain ();
+  Report.races t.report
+
+let race_count t =
+  t.drain ();
+  Report.count t.report
+
+let diag t key = match List.assoc_opt key (t.diagnostics ()) with Some v -> v | None -> 0.

@@ -1,0 +1,23 @@
+(** Uniform handle over a race detector instance.
+
+    A detector is created per run, handed to an executor via [driver], and
+    queried afterwards.  [drain] completes any asynchronous pipeline work
+    (PINT's treap workers when the executor did not drive them itself) and
+    must be called before reading [report] — it is a no-op for synchronous
+    detectors. *)
+
+type t = {
+  name : string;
+  driver : Hooks.driver;
+  report : Report.t;
+  drain : unit -> unit;
+  diagnostics : unit -> (string * float) list;
+      (** implementation counters (treap sizes, node visits, strand counts…)
+          consumed by the benchmark harness's cost model *)
+}
+
+val races : t -> Report.race list
+val race_count : t -> int
+
+(** [diag t key] — a diagnostic counter, 0. when absent. *)
+val diag : t -> string -> float

@@ -1,0 +1,22 @@
+let make () =
+  let report = Report.create () in
+  let driver (ctx : Hooks.ctx) =
+    {
+      Hooks.sink =
+        (fun ~wid:_ ->
+          {
+            Access.noop with
+            on_free = (fun ~base ~len -> Aspace.heap_free ctx.aspace ~base ~len);
+          });
+      on_start = (fun ~wid:_ _ _ -> ());
+      on_finish = (fun ~wid:_ _ _ -> ());
+      on_done = (fun () -> ());
+    }
+  in
+  {
+    Detector.name = "baseline";
+    driver;
+    report;
+    drain = (fun () -> ());
+    diagnostics = (fun () -> []);
+  }

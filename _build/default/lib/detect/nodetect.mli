@@ -1,0 +1,4 @@
+(** The no-detection baseline: memory accesses are ignored, heap frees are
+    honoured immediately.  Used for the paper's "baseline" rows. *)
+
+val make : unit -> Detector.t

@@ -1,0 +1,361 @@
+type step = [ `Worked of int | `Idle | `Done ]
+
+(* Address-range sharding for the §VI extension: reader-treap work can be
+   split across [shards] workers per role because race checks are
+   per-address — worker k owns the 4096-word blocks whose index is ≡ k
+   (mod shards), each with its own sequential treap, so no concurrent treap
+   is ever needed.  [shards = 1] is the paper's configuration. *)
+let shard_block = 4096
+
+let iter_shard_subranges ~shards ~shard (iv : Interval.t) f =
+  if shards = 1 then f iv
+  else begin
+    let rec go lo =
+      if lo <= iv.Interval.hi then begin
+        let bstart = lo / shard_block * shard_block in
+        let hi = min iv.Interval.hi (bstart + shard_block - 1) in
+        if lo / shard_block mod shards = shard then f (Interval.make lo hi);
+        go (hi + 1)
+      end
+    in
+    go iv.Interval.lo
+  end
+
+(* State that exists only while a run is active. *)
+type run = {
+  ctx : Hooks.ctx;
+  coals : Coalescer.t array; (* per core worker *)
+  cur_traces : Trace.t array; (* per core worker *)
+  registry : Trace.t Vec.t; (* active traces, writer-side scanned *)
+  reg_lock : Mutex.t;
+  ahq : Ahq.t;
+  writer : Sp_order.strand Itreap.t;
+  lreaders : Sp_order.strand Itreap.t array; (* one per shard *)
+  rreaders : Sp_order.strand Itreap.t array;
+  core_done : bool Atomic.t;
+  writer_done : bool Atomic.t;
+  mutable scan_cursor : int;
+  mutable n_collected : int;
+  mutable writer_strands : int;
+  reader_strands : int array; (* per queue-reader index *)
+  mutable next_trace_id : int;
+  mutable agg_intervals : int;
+  mutable agg_work : int;
+  mutable agg_raw_events : int;
+}
+
+type t = {
+  seed : int;
+  queue_capacity : int;
+  shards : int;
+  report : Report.t;
+  mutable run : run option;
+  mutable last_diags : (string * float) list;
+}
+
+let dummy_trace = Trace.create ~id:(-1) ~owner:(-1)
+
+let make ?(seed = 4242) ?(queue_capacity = 4096) ?(reader_shards = 1) () =
+  if reader_shards < 1 then invalid_arg "Pint_detector.make: reader_shards must be >= 1";
+  {
+    seed;
+    queue_capacity;
+    shards = reader_shards;
+    report = Report.create ();
+    run = None;
+    last_diags = [];
+  }
+
+let active t = match t.run with Some r -> r | None -> failwith "Pint: no active run"
+
+(* ------------------------------------------------------- core-worker side *)
+
+let new_trace r ~wid =
+  Mutex.lock r.reg_lock;
+  let id = r.next_trace_id in
+  r.next_trace_id <- id + 1;
+  let tr = Trace.create ~id ~owner:wid in
+  Vec.push r.registry tr;
+  Mutex.unlock r.reg_lock;
+  r.cur_traces.(wid) <- tr;
+  tr
+
+let driver t (ctx : Hooks.ctx) =
+  let owner_eq = ( == ) in
+  let s = t.shards in
+  let r =
+    {
+      ctx;
+      coals = Array.init ctx.n_workers (fun _ -> Coalescer.create ());
+      cur_traces = Array.make ctx.n_workers dummy_trace;
+      registry = Vec.create ~capacity:64 dummy_trace;
+      reg_lock = Mutex.create ();
+      ahq = Ahq.create ~capacity:t.queue_capacity ~readers:(2 * s) ();
+      writer = Itreap.create ~seed:t.seed ~owner_eq ();
+      lreaders = Array.init s (fun k -> Itreap.create ~seed:(t.seed + 1 + k) ~owner_eq ());
+      rreaders = Array.init s (fun k -> Itreap.create ~seed:(t.seed + 101 + k) ~owner_eq ());
+      core_done = Atomic.make false;
+      writer_done = Atomic.make false;
+      scan_cursor = 0;
+      n_collected = 0;
+      writer_strands = 0;
+      reader_strands = Array.make (2 * s) 0;
+      next_trace_id = 0;
+      agg_intervals = 0;
+      agg_work = 0;
+      agg_raw_events = 0;
+    }
+  in
+  for wid = 0 to ctx.n_workers - 1 do
+    ignore (new_trace r ~wid)
+  done;
+  t.run <- Some r;
+  {
+    Hooks.sink =
+      (fun ~wid ->
+        let coal = r.coals.(wid) in
+        {
+          Access.on_read = (fun ~addr ~len -> Coalescer.add_read coal ~addr ~len);
+          on_write = (fun ~addr ~len -> Coalescer.add_write coal ~addr ~len);
+          on_free =
+            (fun ~base ~len ->
+              let u = ctx.current ~wid in
+              u.frees <- (base, len) :: u.frees);
+          on_compute = (fun ~amount:_ -> ());
+        });
+    on_start =
+      (fun ~wid _rec kind ->
+        match kind with
+        | Events.S_cont { stolen = true } | Events.S_after_sync { trivial = false } ->
+            Trace.close r.cur_traces.(wid);
+            ignore (new_trace r ~wid)
+        | Events.S_root | Events.S_child | Events.S_cont { stolen = false }
+        | Events.S_after_sync { trivial = true } ->
+            ());
+    on_finish =
+      (fun ~wid u _kind ->
+        let reads, writes = Coalescer.finish r.coals.(wid) in
+        u.Srec.reads <- reads;
+        u.Srec.writes <- writes;
+        r.agg_intervals <- r.agg_intervals + Array.length reads + Array.length writes;
+        r.agg_work <- r.agg_work + u.Srec.work;
+        r.agg_raw_events <- r.agg_raw_events + u.Srec.raw_reads + u.Srec.raw_writes;
+        Trace.push r.cur_traces.(wid) u);
+    on_done =
+      (fun () ->
+        Array.iter Trace.close r.cur_traces;
+        Atomic.set r.core_done true);
+  }
+
+(* ------------------------------------------------------ treap-worker side *)
+
+let process_clears ?(shards = 1) ?(shard = 0) treap (u : Srec.t) =
+  let clear (b, l) =
+    iter_shard_subranges ~shards ~shard (Interval.make b (b + l - 1)) (fun sub ->
+        Itreap.clear_range treap sub)
+  in
+  List.iter clear u.clears;
+  List.iter clear u.frees
+
+let process_writer t r (u : Srec.t) =
+  let v0 = Itreap.visits r.writer in
+  let s = u.Srec.sp in
+  let check kind iv =
+    Itreap.query r.writer iv ~f:(fun seg prior ->
+        if Policies.race r.ctx.sp ~prior ~current:s then
+          Report.add t.report kind ~prior:(Sp_order.id prior) ~current:(Sp_order.id s)
+            (Interval.inter seg iv))
+  in
+  Array.iter (fun iv -> check Report.Write_read iv) u.reads;
+  Array.iter
+    (fun iv ->
+      check Report.Write_write iv;
+      Itreap.insert_replace r.writer iv s)
+    u.writes;
+  process_clears r.writer u;
+  (* the delayed frees become real here: the writer treap worker owns
+     recycling (§III-D, §III-F) *)
+  List.iter (fun (b, l) -> Aspace.heap_free r.ctx.aspace ~base:b ~len:l) u.frees;
+  r.writer_strands <- r.writer_strands + 1;
+  Itreap.visits r.writer - v0
+
+(* Queue-reader index [idx] maps to role L for idx < shards (shard = idx)
+   and role R otherwise (shard = idx - shards). *)
+let process_reader t r idx (u : Srec.t) =
+  let shards = t.shards in
+  let treap, keep, shard =
+    if idx < shards then (r.lreaders.(idx), Policies.keep_leftmost, idx)
+    else (r.rreaders.(idx - shards), Policies.keep_rightmost, idx - shards)
+  in
+  let v0 = Itreap.visits treap in
+  let s = u.Srec.sp in
+  Array.iter
+    (fun iv ->
+      iter_shard_subranges ~shards ~shard iv (fun sub ->
+          Itreap.query treap sub ~f:(fun seg prior ->
+              if Policies.race r.ctx.sp ~prior ~current:s then
+                Report.add t.report Report.Read_write ~prior:(Sp_order.id prior)
+                  ~current:(Sp_order.id s) (Interval.inter seg sub))))
+    u.writes;
+  Array.iter
+    (fun iv ->
+      iter_shard_subranges ~shards ~shard iv (fun sub ->
+          Itreap.insert_merge treap sub s ~keep:(fun ~incumbent -> keep r.ctx.sp ~s ~incumbent)))
+    u.reads;
+  process_clears ~shards ~shard treap u;
+  r.reader_strands.(idx) <- r.reader_strands.(idx) + 1;
+  Itreap.visits treap - v0
+
+(* Algorithm 2: Collect. *)
+let collect t r (u : Srec.t) =
+  if not (Ahq.try_enqueue r.ahq u) then false
+  else begin
+    (match u.Srec.child with
+    | Some c when u.Srec.is_spawn || u.Srec.child_is_sync -> Atomic.decr c.Srec.pred
+    | _ -> ());
+    r.n_collected <- r.n_collected + 1;
+    ignore (Atomic.fetch_and_add u.Srec.done_count 1);
+    ignore (process_writer t r u : int);
+    true
+  end
+
+let writer_step t : step =
+  let r = active t in
+  let n = Vec.length r.registry in
+  if n = 0 then
+    if Atomic.get r.core_done then begin
+      Atomic.set r.writer_done true;
+      `Done
+    end
+    else `Idle
+  else begin
+    (* scan active traces round-robin from the cursor *)
+    let rec scan i tried =
+      let len = Vec.length r.registry in
+      if len = 0 || tried >= len then `Idle
+      else begin
+        let idx = i mod len in
+        let tr = Vec.get r.registry idx in
+        if Trace.drained tr then begin
+          (* retire: swap-remove under the registry lock *)
+          Mutex.lock r.reg_lock;
+          let last = Vec.length r.registry - 1 in
+          Vec.set r.registry idx (Vec.get r.registry last);
+          ignore (Vec.pop r.registry);
+          Mutex.unlock r.reg_lock;
+          scan idx tried
+        end
+        else if Trace.unlocked tr then begin
+          match Trace.peek tr with
+          | Some u ->
+              let v0 = Itreap.visits r.writer in
+              if collect t r u then begin
+                Trace.pop tr;
+                r.scan_cursor <- idx;
+                `Worked (Itreap.visits r.writer - v0)
+              end
+              else `Idle (* queue full: stall until readers catch up *)
+          | None -> scan (idx + 1) (tried + 1)
+        end
+        else scan (idx + 1) (tried + 1)
+      end
+    in
+    match scan r.scan_cursor 0 with
+    | `Idle when Vec.length r.registry = 0 && Atomic.get r.core_done ->
+        Atomic.set r.writer_done true;
+        `Done
+    | other -> other
+  end
+
+let reader_step_idx t idx : step =
+  let r = active t in
+  match Ahq.peek r.ahq idx with
+  | Some u ->
+      let cost = process_reader t r idx u in
+      Ahq.advance r.ahq idx;
+      ignore (Atomic.fetch_and_add u.Srec.done_count 1);
+      `Worked cost
+  | None -> if Atomic.get r.writer_done then `Done else `Idle
+
+let lreader_step t = reader_step_idx t 0
+let rreader_step t = reader_step_idx t t.shards
+
+let reader_steps t =
+  List.init (2 * t.shards) (fun idx ->
+      let name =
+        if idx < t.shards then
+          Printf.sprintf "lreader%s" (if t.shards = 1 then "" else string_of_int idx)
+        else
+          Printf.sprintf "rreader%s"
+            (if t.shards = 1 then "" else string_of_int (idx - t.shards))
+      in
+      (name, fun () -> reader_step_idx t idx))
+
+let drain t =
+  let readers = reader_steps t in
+  let rec go () =
+    let a = writer_step t in
+    let others = List.map (fun (_, step) -> step ()) readers in
+    let is_done s = match s with `Done -> true | `Worked _ | `Idle -> false in
+    let worked s = match s with `Worked _ -> true | `Done | `Idle -> false in
+    if is_done a && List.for_all is_done others then ()
+    else begin
+      if (not (worked a)) && not (List.exists worked others) then Domain.cpu_relax ();
+      go ()
+    end
+  in
+  go ()
+
+let collected t = match t.run with Some r -> r.n_collected | None -> 0
+
+let diagnostics t () =
+  match t.run with
+  | None -> t.last_diags
+  | Some r ->
+      let sum f arr = Array.fold_left (fun acc x -> acc +. f x) 0. arr in
+      [
+        ("collected", float_of_int r.n_collected);
+        ("writer_strands", float_of_int r.writer_strands);
+        ( "l_strands",
+          float_of_int (Array.fold_left ( + ) 0 (Array.sub r.reader_strands 0 t.shards))
+          /. float_of_int t.shards );
+        ( "r_strands",
+          float_of_int (Array.fold_left ( + ) 0 (Array.sub r.reader_strands t.shards t.shards))
+          /. float_of_int t.shards );
+        ("writer_visits", float_of_int (Itreap.visits r.writer));
+        ("lreader_visits", sum (fun tr -> float_of_int (Itreap.visits tr)) r.lreaders);
+        ("rreader_visits", sum (fun tr -> float_of_int (Itreap.visits tr)) r.rreaders);
+        ("writer_size", float_of_int (Itreap.size r.writer));
+        ("lreader_size", sum (fun tr -> float_of_int (Itreap.size tr)) r.lreaders);
+        ("rreader_size", sum (fun tr -> float_of_int (Itreap.size tr)) r.rreaders);
+        ("queue_enqueued", float_of_int (Ahq.enqueued r.ahq));
+        ("traces", float_of_int r.next_trace_id);
+        ("intervals", float_of_int r.agg_intervals);
+        ("work", float_of_int r.agg_work);
+        ("raw_events", float_of_int r.agg_raw_events);
+        ("shards", float_of_int t.shards);
+      ]
+
+let detector t =
+  {
+    Detector.name = "pint";
+    driver = driver t;
+    report = t.report;
+    drain = (fun () -> match t.run with Some _ -> drain t | None -> ());
+    diagnostics = diagnostics t;
+  }
+
+let sim_actors ?(cost = fun visits -> 100 + (5 * visits)) t =
+  {
+    Sim_exec.a_name = "writer";
+    a_step = (fun () -> (writer_step t :> [ `Worked of int | `Idle | `Done ]));
+    a_cost = cost;
+  }
+  :: List.map
+       (fun (name, step) ->
+         {
+           Sim_exec.a_name = name;
+           a_step = (fun () -> (step () :> [ `Worked of int | `Idle | `Done ]));
+           a_cost = cost;
+         })
+       (reader_steps t)

@@ -1,0 +1,75 @@
+(** PINT — the paper's parallel interval-based race detector.
+
+    Core-side (driven through the detector hooks by whichever executor is
+    running the computation):
+    - per-worker coalescers turn each strand's accesses into intervals;
+    - finished strands are pushed onto the worker's current {!Trace}
+      (Algorithm 1 — the [pred]/[child] bookkeeping itself is applied by the
+      executors via {!Book});
+    - a worker switches to a fresh trace when it starts a stolen
+      continuation or passes a non-trivial sync.
+
+    Access-history side: three logical treap workers, exposed as explicit
+    {e step} functions so that every execution mode can drive them —
+    - the {b writer} treap worker collects ready strands from traces in a
+      DAG-conforming order (Algorithm 2), moves them into the shared
+      access-history queue, checks read/write intervals against the
+      last-writer treap, performs delayed heap frees;
+    - the {b left-most} / {b right-most} reader treap workers follow the
+      queue, check write intervals against their reader treap and insert
+      read intervals under their respective keep policies.
+
+    The sequential executor calls {!drain} once at the end (the paper's
+    one-core PINT configuration: all core work first, then the access
+    history).  The simulator calls the step functions from virtual-time
+    actors; the multi-domain executor calls them from three dedicated
+    domains.  Each step returns the number of treap-node visits it caused,
+    which is the cost its caller charges in virtual time. *)
+
+type t
+
+(** [make ?seed ?queue_capacity ?reader_shards ()].
+
+    [reader_shards] implements the paper's §VI future-work direction —
+    parallelizing the treap component: each reader role (left-most /
+    right-most) is split across that many workers, worker [k] owning the
+    4096-word address blocks congruent to [k]; every shard has its own
+    sequential treap, so correctness needs no concurrent treap.  The default
+    [1] is the paper's three-treap-worker configuration. *)
+val make : ?seed:int -> ?queue_capacity:int -> ?reader_shards:int -> unit -> t
+
+(** The generic handle (driver/report/drain) for this instance. *)
+val detector : t -> Detector.t
+
+type step =
+  [ `Worked of int  (** progressed; payload = treap-node visits *)
+  | `Idle  (** nothing to do right now *)
+  | `Done  (** this worker's work is complete for the whole run *) ]
+
+val writer_step : t -> step
+
+(** Shard 0 of each role (the only shard in the default configuration). *)
+val lreader_step : t -> step
+
+val rreader_step : t -> step
+
+(** All reader workers, named ("lreader", "rreader" for one shard;
+    "lreader0", "rreader1", … when sharded). *)
+val reader_steps : t -> (string * (unit -> step)) list
+
+(** Run all three treap workers round-robin to completion. *)
+val drain : t -> unit
+
+(** Number of strands the writer worker has collected so far. *)
+val collected : t -> int
+
+(** [iter_shard_subranges ~shards ~shard iv f] — the block-aligned subranges
+    of [iv] owned by [shard]; the shards partition every interval exactly.
+    Exposed for tests and for building custom shard workers. *)
+val iter_shard_subranges : shards:int -> shard:int -> Interval.t -> (Interval.t -> unit) -> unit
+
+(** The three treap workers packaged as simulator actors.  [cost] converts a
+    step's treap-node visit count into virtual cycles (the harness supplies
+    the calibrated model; the default charges a small constant plus a
+    per-visit cost). *)
+val sim_actors : ?cost:(int -> int) -> t -> Sim_exec.actor list

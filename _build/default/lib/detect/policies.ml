@@ -1,0 +1,11 @@
+let race sp ~prior ~current = Sp_order.parallel sp prior current
+
+let keep_leftmost sp ~s ~incumbent =
+  if Sp_order.series sp incumbent s then `Replace
+  else if Sp_order.left_of sp s incumbent then `Replace
+  else `Keep
+
+let keep_rightmost sp ~s ~incumbent =
+  if Sp_order.series sp incumbent s then `Replace
+  else if Sp_order.left_of sp incumbent s then `Replace
+  else `Keep

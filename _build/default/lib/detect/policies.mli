@@ -1,0 +1,20 @@
+(** Shared access-history policies: what each treap/shadow cell keeps, and
+    when a pair of accesses races.  Centralized so STINT, C-RACER and PINT
+    cannot disagree on semantics. *)
+
+(** [race sp ~prior ~current] — the stored accessor [prior] conflicts with
+    [current] iff they are logically parallel. *)
+val race : Sp_order.t -> prior:Sp_order.strand -> current:Sp_order.strand -> bool
+
+(** Reader-slot update policies.  All take the incumbent reader and the new
+    reader [s]; [`Replace] means [s] takes the slot.
+
+    A reader that is serial-after the incumbent always replaces it (it
+    supersedes every reader it can see); among parallel readers the
+    left-most (resp. right-most) in English order wins. *)
+
+val keep_leftmost :
+  Sp_order.t -> s:Sp_order.strand -> incumbent:Sp_order.strand -> [ `Keep | `Replace ]
+
+val keep_rightmost :
+  Sp_order.t -> s:Sp_order.strand -> incumbent:Sp_order.strand -> [ `Keep | `Replace ]

@@ -1,0 +1,41 @@
+(** Race reports.
+
+    A determinacy race is reported between two strands with the conflicting
+    address interval.  Reports are deduplicated on (earlier strand, later
+    strand, kind) — the granularity at which the paper's Theorem 5 equates
+    detectors.  The collector is thread-safe: PINT's treap workers run on
+    separate domains. *)
+
+type kind =
+  | Write_write
+  | Write_read  (** earlier write, later read *)
+  | Read_write  (** earlier read, later write *)
+
+type race = {
+  kind : kind;
+  prior : int;  (** {!Sp_order.id} of the strand already in the access history *)
+  current : int;  (** id of the strand whose access detected the race *)
+  where : Interval.t;  (** a conflicting interval witness *)
+}
+
+type t
+
+val create : unit -> t
+
+(** [add t kind ~prior ~current where] records a race (deduplicated). *)
+val add : t -> kind -> prior:int -> current:int -> Interval.t -> unit
+
+(** Distinct races recorded. *)
+val count : t -> int
+
+(** Total reports including duplicates (diagnostic). *)
+val raw_count : t -> int
+
+(** All distinct races, ordered by (prior, current, kind). *)
+val races : t -> race list
+
+(** [mem t ~prior ~current] — some race between this (ordered) strand pair. *)
+val mem : t -> prior:int -> current:int -> bool
+
+val kind_to_string : kind -> string
+val pp_race : Format.formatter -> race -> unit

@@ -1,0 +1,87 @@
+let make ?(seed = 2022) () =
+  let report = Report.create () in
+  let diags = ref [] in
+  let driver (ctx : Hooks.ctx) =
+    if ctx.n_workers > 1 then failwith "Stint: serial detector run on a parallel executor";
+    let sp = ctx.sp in
+    let owner_eq = ( == ) in
+    let writer = Itreap.create ~seed ~owner_eq () in
+    let reader = Itreap.create ~seed:(seed + 1) ~owner_eq () in
+    let coal = Coalescer.create () in
+    let strands = ref 0 in
+    let intervals = ref 0 and work = ref 0 and raw_events = ref 0 in
+    let check treap kind (iv : Interval.t) (s : Sp_order.strand) =
+      Itreap.query treap iv ~f:(fun seg prior ->
+          if Policies.race sp ~prior ~current:s then
+            Report.add report kind ~prior:(Sp_order.id prior) ~current:(Sp_order.id s)
+              (Interval.inter seg iv))
+    in
+    let clear_both iv =
+      Itreap.clear_range writer iv;
+      Itreap.clear_range reader iv
+    in
+    let process (u : Srec.t) =
+      incr strands;
+      intervals := !intervals + Array.length u.reads + Array.length u.writes;
+      work := !work + u.work;
+      raw_events := !raw_events + u.raw_reads + u.raw_writes;
+      let s = u.sp in
+      Array.iter
+        (fun r ->
+          check writer Report.Write_read r s;
+          Itreap.insert_merge reader r s ~keep:(fun ~incumbent ->
+              Policies.keep_leftmost sp ~s ~incumbent))
+        u.reads;
+      Array.iter
+        (fun w ->
+          check writer Report.Write_write w s;
+          check reader Report.Read_write w s;
+          Itreap.insert_replace writer w s)
+        u.writes;
+      List.iter (fun (b, l) -> clear_both (Interval.make b (b + l - 1))) u.clears;
+      List.iter
+        (fun (b, l) ->
+          clear_both (Interval.make b (b + l - 1));
+          Aspace.heap_free ctx.aspace ~base:b ~len:l)
+        u.frees
+    in
+    {
+      Hooks.sink =
+        (fun ~wid ->
+          {
+            Access.on_read = (fun ~addr ~len -> Coalescer.add_read coal ~addr ~len);
+            on_write = (fun ~addr ~len -> Coalescer.add_write coal ~addr ~len);
+            on_free = (fun ~base ~len ->
+                let u = ctx.current ~wid in
+                u.frees <- (base, len) :: u.frees);
+            on_compute = (fun ~amount:_ -> ());
+          });
+      on_start = (fun ~wid:_ _ _ -> ());
+      on_finish =
+        (fun ~wid:_ u _kind ->
+          let reads, writes = Coalescer.finish coal in
+          u.reads <- reads;
+          u.writes <- writes;
+          process u);
+      on_done =
+        (fun () ->
+          diags :=
+            [
+              ("strands", float_of_int !strands);
+              ("intervals", float_of_int !intervals);
+              ("work", float_of_int !work);
+              ("raw_events", float_of_int !raw_events);
+              ("writer_visits", float_of_int (Itreap.visits writer));
+              ("reader_visits", float_of_int (Itreap.visits reader));
+              ("writer_size", float_of_int (Itreap.size writer));
+              ("reader_size", float_of_int (Itreap.size reader));
+            ]);
+    }
+  in
+  {
+    Detector.name = "stint";
+    driver;
+    report;
+    drain = (fun () -> ());
+    diagnostics = (fun () -> !diags);
+  }

@@ -1,0 +1,13 @@
+(** STINT (Xu et al., ALENEX'22): the serial interval-based race detector.
+
+    Two treaps — last writer and (left-most) reader — updated synchronously
+    at the end of each strand with the strand's coalesced intervals.  A
+    single reader per location suffices because the computation executes in
+    depth-first serial order (Feng–Leiserson); the left-most-reader policy
+    plus SP pseudo-transitivity guarantees no race is missed.
+
+    Must be run on the sequential executor; running it under a parallel
+    executor is a usage error (its treaps are not synchronized) and is
+    rejected at [driver] time when [ctx.n_workers > 1]. *)
+
+val make : ?seed:int -> unit -> Detector.t

@@ -1,0 +1,1 @@
+lib/exec/events.ml: Format Srec

@@ -1,0 +1,1 @@
+lib/exec/events.mli: Format Srec

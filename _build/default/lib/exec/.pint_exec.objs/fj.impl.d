@@ -1,0 +1,1 @@
+lib/exec/fj.ml: Aspace Domain Membuf

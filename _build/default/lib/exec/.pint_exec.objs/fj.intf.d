@@ -1,0 +1,1 @@
+lib/exec/fj.mli: Aspace Membuf

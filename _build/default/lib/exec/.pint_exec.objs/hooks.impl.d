@@ -1,0 +1,1 @@
+lib/exec/hooks.ml: Access Aspace Events Sp_order Srec

@@ -1,0 +1,1 @@
+lib/exec/hooks.mli: Access Aspace Events Sp_order Srec

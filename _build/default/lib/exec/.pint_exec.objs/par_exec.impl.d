@@ -1,0 +1,1 @@
+lib/exec/par_exec.ml: Access Array Aspace Atomic Book Domain Effect Events Fj Hooks List Membuf Mutex Option Rng Sp_order Srec Unix

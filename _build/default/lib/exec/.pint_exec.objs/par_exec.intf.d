@@ -1,0 +1,1 @@
+lib/exec/par_exec.mli: Aspace Hooks

@@ -1,0 +1,1 @@
+lib/exec/seq_exec.ml: Access Aspace Book Events Fj Fun Hooks Membuf Option Sp_order Srec

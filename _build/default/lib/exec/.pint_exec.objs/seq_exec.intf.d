@@ -1,0 +1,1 @@
+lib/exec/seq_exec.mli: Aspace Hooks

@@ -1,0 +1,1 @@
+lib/exec/sim_exec.ml: Access Array Aspace Book Effect Events Fj Fun Hooks List Membuf Option Rng Sp_order Srec

@@ -1,0 +1,1 @@
+lib/exec/sim_exec.mli: Aspace Events Hooks Srec

@@ -1,0 +1,1 @@
+lib/exec/srec.ml: Array Atomic Format Interval Sp_order

@@ -1,0 +1,1 @@
+lib/exec/srec.mli: Atomic Format Interval Sp_order

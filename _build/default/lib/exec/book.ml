@@ -1,0 +1,16 @@
+let at_spawn ~(u : Srec.t) ~(cont : Srec.t) ~(sync : Srec.t) ~first =
+  u.is_spawn <- true;
+  u.child <- Some cont;
+  u.child_is_sync <- false;
+  Atomic.set cont.pred 1;
+  if first then Atomic.set sync.pred 0
+
+let at_return_cont_stolen ~(u : Srec.t) ~(parent_sync : Srec.t) =
+  u.child <- Some parent_sync;
+  u.child_is_sync <- true;
+  Atomic.incr parent_sync.pred
+
+let at_sync_nontrivial ~(u : Srec.t) ~(sync : Srec.t) =
+  u.child <- Some sync;
+  u.child_is_sync <- true;
+  Atomic.incr sync.pred

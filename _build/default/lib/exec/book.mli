@@ -1,0 +1,18 @@
+(** Algorithm 1's record bookkeeping, shared by every executor.
+
+    These are the [u.child] / [pred] manipulations a core worker performs at
+    strand boundaries so that the writer treap worker can later check strand
+    readiness (Algorithm 2).  Kept in one place so the sequential, simulated
+    and real-parallel executors cannot drift apart. *)
+
+(** At a spawn: [u] is the spawn node, [cont]/[sync] the records created for
+    the continuation and (if [first] spawn of the block) the sync node. *)
+val at_spawn : u:Srec.t -> cont:Srec.t -> sync:Srec.t -> first:bool -> unit
+
+(** At a spawned function's return whose spawn's continuation was stolen:
+    register the return node as a counted predecessor of the block's sync. *)
+val at_return_cont_stolen : u:Srec.t -> parent_sync:Srec.t -> unit
+
+(** At a non-trivial sync: the strand leading into the sync is a counted
+    predecessor of the sync node. *)
+val at_sync_nontrivial : u:Srec.t -> sync:Srec.t -> unit

@@ -1,0 +1,44 @@
+type ctx = {
+  aspace : Aspace.t;
+  sp : Sp_order.t;
+  n_workers : int;
+  current : wid:int -> Srec.t;
+}
+
+type t = {
+  sink : wid:int -> Access.sink;
+  on_start : wid:int -> Srec.t -> Events.start_kind -> unit;
+  on_finish : wid:int -> Srec.t -> Events.finish_kind -> unit;
+  on_done : unit -> unit;
+}
+
+type driver = ctx -> t
+
+let null_hooks =
+  {
+    sink = (fun ~wid:_ -> Access.noop);
+    on_start = (fun ~wid:_ _ _ -> ());
+    on_finish = (fun ~wid:_ _ _ -> ());
+    on_done = (fun () -> ());
+  }
+
+let with_counting current (s : Access.sink) : Access.sink =
+  {
+    on_read =
+      (fun ~addr ~len ->
+        let c = current () in
+        c.Srec.raw_reads <- c.Srec.raw_reads + 1;
+        c.Srec.work <- c.Srec.work + len;
+        s.on_read ~addr ~len);
+    on_write =
+      (fun ~addr ~len ->
+        let c = current () in
+        c.Srec.raw_writes <- c.Srec.raw_writes + 1;
+        c.Srec.work <- c.Srec.work + len;
+        s.on_write ~addr ~len);
+    on_free = s.on_free;
+    on_compute =
+      (fun ~amount ->
+        let c = current () in
+        c.Srec.compute <- c.Srec.compute + amount);
+  }

@@ -1,0 +1,395 @@
+open Effect
+open Effect.Deep
+
+type config = {
+  n_workers : int;
+  seed : int;
+  aux : (string * (unit -> [ `Worked of int | `Idle | `Done ])) list;
+}
+
+type result = {
+  elapsed_s : float;
+  n_steals : int;
+  n_strands : int;
+  n_spawns : int;
+  n_nontrivial_syncs : int;
+}
+
+let default_config = { n_workers = 4; seed = 1; aux = [] }
+
+(* ---------------------------------------------------------------- fibers *)
+
+type _ Effect.t += E_spawn : (unit -> unit) -> unit Effect.t
+type _ Effect.t += E_sync : unit Effect.t
+
+type status = Finished | Spawned of (unit -> unit) * kont | Synced of kont
+and kont = (unit, status) continuation
+
+let run_fiber (g : unit -> unit) : status =
+  match_with g ()
+    {
+      retc = (fun () -> Finished);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_spawn f -> Some (fun (k : (a, status) continuation) -> Spawned (f, k))
+          | E_sync -> Some (fun (k : (a, status) continuation) -> Synced k)
+          | _ -> None);
+    }
+
+(* ----------------------------------------------------------- structures *)
+
+type frame = {
+  parent : frame option;
+  (* current-block fields: touched only by the logical thread executing the
+     function body, so unsynchronized *)
+  mutable sync_sp : Sp_order.strand option;
+  mutable sync_rec : Srec.t option;
+  (* join state: touched by returning children concurrently *)
+  lock : Mutex.t;
+  mutable outstanding : int;
+  stolen_in_block : bool Atomic.t;
+  mutable suspended : susp option;
+}
+
+and susp = { sk : kont; sfiber : fiber_done; srec : Srec.t }
+
+and fiber_done = Root | Child of child_info
+
+and child_info = { cp_frame : frame; cp_sync : Srec.t; cp_item : ditem }
+
+and ditem = { dk : kont; dframe : frame; drec : Srec.t; dfiber : fiber_done }
+
+let new_frame ~parent =
+  {
+    parent;
+    sync_sp = None;
+    sync_rec = None;
+    lock = Mutex.create ();
+    outstanding = 0;
+    stolen_in_block = Atomic.make false;
+    suspended = None;
+  }
+
+(* Mutex-protected double-ended queue.  Steals are rare and this container
+   is not the bottleneck of anything we measure (virtual-time performance
+   comes from Sim_exec), so the simple lock beats a hand-rolled Chase-Lev
+   for reviewability. *)
+module Lockdq = struct
+  type 'a t = { lock : Mutex.t; mutable items : 'a list (* newest first *) }
+
+  let create () = { lock = Mutex.create (); items = [] }
+
+  let push_bottom t x =
+    Mutex.lock t.lock;
+    t.items <- x :: t.items;
+    Mutex.unlock t.lock
+
+  let pop_bottom t =
+    Mutex.lock t.lock;
+    let r =
+      match t.items with
+      | [] -> None
+      | x :: rest ->
+          t.items <- rest;
+          Some x
+    in
+    Mutex.unlock t.lock;
+    r
+
+  let steal_top t =
+    Mutex.lock t.lock;
+    let r =
+      match List.rev t.items with
+      | [] -> None
+      | oldest :: rev_rest ->
+          t.items <- List.rev rev_rest;
+          Some oldest
+    in
+    Mutex.unlock t.lock;
+    r
+
+  let is_empty t =
+    Mutex.lock t.lock;
+    let r = t.items == [] in
+    Mutex.unlock t.lock;
+    r
+end
+
+type job = J_start of (unit -> unit) | J_resume of kont
+
+type wstate = {
+  wid : int;
+  mutable job : job option;
+  mutable fid : fiber_done;
+  mutable frame : frame;
+  mutable cur : Srec.t;
+  deque : ditem Lockdq.t;
+  rng : Rng.t;
+}
+
+(* current worker state for the executing domain *)
+let wkey : wstate option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let self () =
+  match !(Domain.DLS.get wkey) with
+  | Some w -> w
+  | None -> failwith "Par_exec: not on a worker domain"
+
+(* -------------------------------------------------------------- the run *)
+
+let run ?aspace ~config ~(driver : Hooks.driver) main =
+  let aspace = match aspace with Some a -> a | None -> Aspace.create () in
+  let nw = config.n_workers in
+  if nw < 1 then invalid_arg "Par_exec: need at least one worker";
+  if nw > Aspace.max_workers aspace then invalid_arg "Par_exec: more workers than stack regions";
+  let sp, root_sp = Sp_order.create () in
+  let next_uid = Atomic.make 1 in
+  let fresh s = Srec.make ~uid:(Atomic.fetch_and_add next_uid 1) s in
+  let root_rec = Srec.make ~uid:0 root_sp in
+  let workers =
+    Array.init nw (fun wid ->
+        {
+          wid;
+          job = None;
+          fid = Root;
+          frame = new_frame ~parent:None;
+          cur = root_rec;
+          deque = Lockdq.create ();
+          rng = Rng.create (config.seed + (wid * 7919));
+        })
+  in
+  let ctx = { Hooks.aspace; sp; n_workers = nw; current = (fun ~wid -> workers.(wid).cur) } in
+  let hooks = driver ctx in
+  let computation_done = Atomic.make false in
+  let n_steals = Atomic.make 0 in
+  let n_spawns = Atomic.make 0 in
+  let n_nontrivial = Atomic.make 0 in
+
+  let finish (w : wstate) kind = hooks.Hooks.on_finish ~wid:w.wid w.cur kind in
+  let start (w : wstate) r kind =
+    w.cur <- r;
+    hooks.Hooks.on_start ~wid:w.wid r kind
+  in
+
+  (* engine operations; always re-resolve the executing worker because a
+     fiber can migrate between domains across suspension points *)
+  let e_sync () =
+    let w = self () in
+    match w.frame.sync_sp with None -> () | Some _ -> perform E_sync
+  in
+  let e_spawn f = perform (E_spawn f) in
+  let e_scope f =
+    let w = self () in
+    let fr = new_frame ~parent:(Some w.frame) in
+    w.frame <- fr;
+    f ();
+    e_sync ();
+    (self ()).frame <- Option.get fr.parent
+  in
+  let e_with_frame ~words k =
+    let w = self () in
+    let push_wid = w.wid in
+    Membuf.Frame.with_f_hooked aspace ~worker:push_wid ~words
+      ~on_pop:(fun ~base ~len ->
+        let w' = self () in
+        if w'.wid <> push_wid then
+          failwith
+            "Par_exec: stack frame popped on a different worker — with_frame bodies must not \
+             contain non-trivial syncs";
+        w'.cur.Srec.clears <- (base, len) :: w'.cur.Srec.clears)
+      k
+  in
+
+  let handle_spawn (w : wstate) f k =
+    Atomic.incr n_spawns;
+    let u = w.cur in
+    let fr = w.frame in
+    let first = Option.is_none fr.sync_sp in
+    let child_sp, cont_sp, sync_sp = Sp_order.spawn sp ~sync_pre:fr.sync_sp u.Srec.sp in
+    let cont_rec = fresh cont_sp in
+    let sync_rec = if first then fresh sync_sp else Option.get fr.sync_rec in
+    fr.sync_sp <- Some sync_sp;
+    fr.sync_rec <- Some sync_rec;
+    Book.at_spawn ~u ~cont:cont_rec ~sync:sync_rec ~first;
+    finish w (Events.F_spawn { cont = cont_rec; sync = sync_rec; first_of_block = first });
+    Mutex.lock fr.lock;
+    fr.outstanding <- fr.outstanding + 1;
+    Mutex.unlock fr.lock;
+    let item = { dk = k; dframe = fr; drec = cont_rec; dfiber = w.fid } in
+    Lockdq.push_bottom w.deque item;
+    let child_rec = fresh child_sp in
+    w.fid <- Child { cp_frame = fr; cp_sync = sync_rec; cp_item = item };
+    w.frame <- new_frame ~parent:(Some fr);
+    start w child_rec Events.S_child;
+    w.job <-
+      Some
+        (J_start
+           (fun () ->
+             f ();
+             e_sync ()))
+  in
+  let handle_sync (w : wstate) k =
+    let fr = w.frame in
+    let sync_rec = Option.get fr.sync_rec in
+    let trivial = not (Atomic.get fr.stolen_in_block) in
+    if not trivial then begin
+      Atomic.incr n_nontrivial;
+      Book.at_sync_nontrivial ~u:w.cur ~sync:sync_rec
+    end;
+    finish w (Events.F_sync { trivial; sync = sync_rec });
+    fr.sync_sp <- None;
+    fr.sync_rec <- None;
+    Atomic.set fr.stolen_in_block false;
+    if trivial then begin
+      start w sync_rec (Events.S_after_sync { trivial = true });
+      w.job <- Some (J_resume k)
+    end
+    else begin
+      Mutex.lock fr.lock;
+      if fr.outstanding = 0 then begin
+        Mutex.unlock fr.lock;
+        start w sync_rec (Events.S_after_sync { trivial = false });
+        w.job <- Some (J_resume k)
+      end
+      else begin
+        fr.suspended <- Some { sk = k; sfiber = w.fid; srec = sync_rec };
+        Mutex.unlock fr.lock
+      end
+    end
+  in
+  let handle_fiber_end (w : wstate) =
+    match w.fid with
+    | Root ->
+        finish w Events.F_root;
+        Atomic.set computation_done true
+    | Child ci -> begin
+        let fr = ci.cp_frame in
+        match Lockdq.pop_bottom w.deque with
+        | Some item when item == ci.cp_item ->
+            Mutex.lock fr.lock;
+            fr.outstanding <- fr.outstanding - 1;
+            Mutex.unlock fr.lock;
+            finish w (Events.F_return { cont_stolen = false; parent_sync = Some ci.cp_sync });
+            w.fid <- item.dfiber;
+            w.frame <- item.dframe;
+            start w item.drec (Events.S_cont { stolen = false });
+            w.job <- Some (J_resume item.dk)
+        | Some _ -> failwith "Par_exec: deque bottom is not this spawn's continuation"
+        | None -> begin
+            Book.at_return_cont_stolen ~u:w.cur ~parent_sync:ci.cp_sync;
+            finish w (Events.F_return { cont_stolen = true; parent_sync = Some ci.cp_sync });
+            Mutex.lock fr.lock;
+            fr.outstanding <- fr.outstanding - 1;
+            let resume =
+              if fr.outstanding = 0 then begin
+                let s = fr.suspended in
+                fr.suspended <- None;
+                s
+              end
+              else None
+            in
+            Mutex.unlock fr.lock;
+            match resume with
+            | Some susp ->
+                w.fid <- susp.sfiber;
+                w.frame <- fr;
+                start w susp.srec (Events.S_after_sync { trivial = false });
+                w.job <- Some (J_resume susp.sk)
+            | None -> ()
+          end
+      end
+  in
+  let handle_status w = function
+    | Finished -> handle_fiber_end w
+    | Spawned (f, k) -> handle_spawn w f k
+    | Synced k -> handle_sync w k
+  in
+
+  let attempt_steal (w : wstate) =
+    if nw > 1 then begin
+      let v = Rng.int w.rng (nw - 1) in
+      let victim = workers.(if v >= w.wid then v + 1 else v) in
+      match Lockdq.steal_top victim.deque with
+      | Some item ->
+          Atomic.incr n_steals;
+          Atomic.set item.dframe.stolen_in_block true;
+          w.fid <- item.dfiber;
+          w.frame <- item.dframe;
+          start w item.drec (Events.S_cont { stolen = true });
+          w.job <- Some (J_resume item.dk)
+      | None -> Domain.cpu_relax ()
+    end
+  in
+
+  let worker_loop (w : wstate) =
+    Domain.DLS.get wkey := Some w;
+    Fj.install
+      {
+        Fj.e_spawn;
+        e_sync;
+        e_scope;
+        e_with_frame;
+        e_wid = (fun () -> w.wid);
+        e_space = aspace;
+      };
+    Access.install (Hooks.with_counting (fun () -> w.cur) (hooks.Hooks.sink ~wid:w.wid));
+    let rec loop () =
+      match w.job with
+      | Some j ->
+          w.job <- None;
+          let st = match j with J_start g -> run_fiber g | J_resume k -> continue k () in
+          handle_status w st;
+          loop ()
+      | None ->
+          if Atomic.get computation_done then ()
+          else begin
+            attempt_steal w;
+            loop ()
+          end
+    in
+    loop ();
+    Access.uninstall ();
+    Fj.uninstall ();
+    Domain.DLS.get wkey := None
+  in
+
+  let aux_loop (_name, step) =
+    let rec loop () =
+      match step () with
+      | `Worked _ -> loop ()
+      | `Idle ->
+          Domain.cpu_relax ();
+          loop ()
+      | `Done -> ()
+    in
+    loop ()
+  in
+
+  let t0 = Unix.gettimeofday () in
+  workers.(0).job <-
+    Some
+      (J_start
+         (fun () ->
+           main ();
+           e_sync ()));
+  hooks.Hooks.on_start ~wid:0 root_rec Events.S_root;
+  let aux_domains = List.map (fun a -> Domain.spawn (fun () -> aux_loop a)) config.aux in
+  let core_domains =
+    Array.to_list
+      (Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) (Array.sub workers 1 (nw - 1)))
+  in
+  worker_loop workers.(0);
+  List.iter Domain.join core_domains;
+  hooks.Hooks.on_done ();
+  List.iter Domain.join aux_domains;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  Array.iter (fun w -> assert (Lockdq.is_empty w.deque)) workers;
+  {
+    elapsed_s;
+    n_steals = Atomic.get n_steals;
+    n_strands = Atomic.get next_uid;
+    n_spawns = Atomic.get n_spawns;
+    n_nontrivial_syncs = Atomic.get n_nontrivial;
+  }

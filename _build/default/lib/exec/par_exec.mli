@@ -1,0 +1,39 @@
+(** Real multi-domain work-stealing executor.
+
+    Runs the fork-join computation on OCaml 5 domains with Cilk-style
+    continuation stealing: a worker executes the spawned child immediately,
+    parks the continuation on its own deque, and idle workers steal the
+    oldest continuation from a random victim.  Non-trivial syncs suspend the
+    function; the last returning child resumes it on its own domain.
+
+    Auxiliary loops (PINT's three treap workers) run on their own dedicated
+    domains, spinning on the provided step functions until they report
+    [`Done].
+
+    This executor demonstrates genuine parallel operation of the whole
+    system; the container this repository was built in has a single physical
+    core, so the benchmark harness uses {!Sim_exec} for the paper's
+    performance figures and this executor for functional validation (see
+    DESIGN.md §2).
+
+    Same cactus-stack constraint as the simulator: a [with_frame] body must
+    not contain a non-trivial sync. *)
+
+type config = {
+  n_workers : int;
+  seed : int;  (** victim-selection seed (schedules remain nondeterministic) *)
+  aux : (string * (unit -> [ `Worked of int | `Idle | `Done ])) list;
+      (** auxiliary worker loops, one domain each *)
+}
+
+type result = {
+  elapsed_s : float;
+  n_steals : int;
+  n_strands : int;
+  n_spawns : int;
+  n_nontrivial_syncs : int;
+}
+
+val default_config : config
+
+val run : ?aspace:Aspace.t -> config:config -> driver:Hooks.driver -> (unit -> unit) -> result

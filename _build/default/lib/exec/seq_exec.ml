@@ -1,0 +1,90 @@
+type frame = { mutable sync_sp : Sp_order.strand option; mutable sync_rec : Srec.t option }
+
+type result = { n_strands : int; n_spawns : int; n_syncs : int }
+
+let run ?aspace ~(driver : Hooks.driver) main =
+  let aspace = match aspace with Some a -> a | None -> Aspace.create () in
+  let sp, root_sp = Sp_order.create () in
+  let next_uid = ref 0 in
+  let fresh s =
+    incr next_uid;
+    Srec.make ~uid:!next_uid s
+  in
+  let cur = ref (fresh root_sp) in
+  let ctx = { Hooks.aspace; sp; n_workers = 1; current = (fun ~wid:_ -> !cur) } in
+  let hooks = driver ctx in
+  let frame = ref { sync_sp = None; sync_rec = None } in
+  let n_spawns = ref 0 and n_syncs = ref 0 in
+  let finish k = hooks.Hooks.on_finish ~wid:0 !cur k in
+  let start r k =
+    cur := r;
+    hooks.Hooks.on_start ~wid:0 r k
+  in
+  (* A sync in sequential execution is always trivial; a sync with no spawn
+     in the block is not even a boundary. *)
+  let do_sync () =
+    match !frame.sync_sp with
+    | None -> ()
+    | Some _ ->
+        incr n_syncs;
+        let f = !frame in
+        let sync_rec = Option.get f.sync_rec in
+        finish (Events.F_sync { trivial = true; sync = sync_rec });
+        f.sync_sp <- None;
+        f.sync_rec <- None;
+        start sync_rec (Events.S_after_sync { trivial = true })
+  in
+  let in_scope body =
+    let saved = !frame in
+    frame := { sync_sp = None; sync_rec = None };
+    Fun.protect
+      ~finally:(fun () -> frame := saved)
+      (fun () ->
+        body ();
+        do_sync ())
+  in
+  let e_spawn f =
+    incr n_spawns;
+    let u = !cur in
+    let fr = !frame in
+    let first = fr.sync_sp = None in
+    let child_sp, cont_sp, sync_sp = Sp_order.spawn sp ~sync_pre:fr.sync_sp u.sp in
+    let cont_rec = fresh cont_sp in
+    let sync_rec = if first then fresh sync_sp else Option.get fr.sync_rec in
+    fr.sync_sp <- Some sync_sp;
+    fr.sync_rec <- Some sync_rec;
+    Book.at_spawn ~u ~cont:cont_rec ~sync:sync_rec ~first;
+    finish (Events.F_spawn { cont = cont_rec; sync = sync_rec; first_of_block = first });
+    (* depth-first: run the child now, in its own sync scope *)
+    start (fresh child_sp) Events.S_child;
+    in_scope f;
+    finish (Events.F_return { cont_stolen = false; parent_sync = Some sync_rec });
+    start cont_rec (Events.S_cont { stolen = false })
+  in
+  let engine =
+    {
+      Fj.e_spawn;
+      e_sync = do_sync;
+      e_scope = in_scope;
+      e_with_frame =
+        (fun ~words k ->
+          Membuf.Frame.with_f_hooked aspace ~worker:0 ~words
+            ~on_pop:(fun ~base ~len -> !cur.clears <- (base, len) :: !cur.clears)
+            k);
+      e_wid = (fun () -> 0);
+      e_space = aspace;
+    }
+  in
+  Fj.install engine;
+  Access.install (Hooks.with_counting (fun () -> !cur) (hooks.Hooks.sink ~wid:0));
+  Fun.protect
+    ~finally:(fun () ->
+      Access.uninstall ();
+      Fj.uninstall ())
+    (fun () ->
+      hooks.Hooks.on_start ~wid:0 !cur Events.S_root;
+      main ();
+      do_sync ();
+      finish Events.F_root);
+  hooks.Hooks.on_done ();
+  { n_strands = !next_uid; n_spawns = !n_spawns; n_syncs = !n_syncs }

@@ -1,0 +1,20 @@
+(** Sequential depth-first executor.
+
+    Runs the fork-join computation exactly as the serial elision would:
+    [spawn f] executes [f] immediately, continuations are never stolen and
+    every sync is trivial.  This is the execution mode of STINT (the serial
+    baseline) and of PINT's one-core configuration.
+
+    The executor still produces the full strand-boundary event stream, with
+    Algorithm-1 bookkeeping applied, so any detector can run on top. *)
+
+type result = {
+  n_strands : int;  (** strands executed (records created) *)
+  n_spawns : int;
+  n_syncs : int;  (** non-degenerate syncs (strand boundaries) *)
+}
+
+(** [run ?aspace ~driver main] executes [main] to completion on the calling
+    domain.  [driver] supplies the detector hooks; [aspace] defaults to a
+    fresh address space.  Not reentrant. *)
+val run : ?aspace:Aspace.t -> driver:Hooks.driver -> (unit -> unit) -> result

@@ -1,0 +1,67 @@
+(** Virtual-time work-stealing simulator.
+
+    Executes the fork-join computation {e for real} (every strand's user code
+    runs, every detector data structure is exercised) on one OS thread, while
+    simulating P core workers of a Cilk-style continuation-stealing runtime
+    in discrete virtual time.  This is the performance substrate for every
+    figure in the paper's evaluation (see DESIGN.md §2: the container has one
+    physical core, so wall-clock parallel measurements are replaced by a
+    deterministic model driven by measured event counts).
+
+    Model:
+    - each virtual worker has a clock; the scheduler always advances the
+      lowest-clock runnable worker, so interleaving is clock-causal and, with
+      a fixed seed, bit-reproducible;
+    - user code is chopped into strands with OCaml effects: [spawn]/[sync]
+      suspend the fiber and return control to the scheduler;
+    - a worker executes spawned children first and pushes the continuation
+      on its deque (bottom); an idle worker steals from the top of a random
+      victim's deque, paying [c_steal], and can only take an item whose push
+      time has passed;
+    - a strand's cost is charged at its finishing boundary via the
+      [strand_cost] closure — the harness supplies per-detector cost models;
+    - non-trivial syncs suspend the frame; the last returning child resumes
+      it on its own worker, as in Cilk;
+    - auxiliary {e actors} (PINT's three treap workers) are stepped after
+      every core event and accumulate their processing costs on their own
+      clocks; the run's [total] is the max over all component clocks.
+
+    Constraint inherited from the cactus-stack simulation: a [with_frame]
+    body must pop on the worker that pushed it, i.e. it must not contain a
+    non-trivial sync; violations fail fast with an explicit error. *)
+
+type actor = {
+  a_name : string;
+  a_step : unit -> [ `Worked of int | `Idle | `Done ];
+  a_cost : int -> int;  (** convert a step's visit count to virtual cycles *)
+}
+
+type config = {
+  n_workers : int;
+  seed : int;
+  strand_cost : Srec.t -> Events.finish_kind -> int;
+  c_steal : int;
+  c_steal_fail : int;
+  actors : actor list;
+}
+
+type result = {
+  makespan : int;  (** max core-worker clock *)
+  total : int;  (** max over core workers and actors *)
+  worker_clocks : int array;
+  actor_clocks : (string * int) list;
+  n_steals : int;
+  n_failed_steals : int;
+  n_strands : int;
+  n_spawns : int;
+  n_nontrivial_syncs : int;
+  core_work : int;  (** sum of all strand costs (1-worker-equivalent time) *)
+}
+
+val default_strand_cost : Srec.t -> Events.finish_kind -> int
+
+val default_config : config
+
+(** [run ?aspace ~config ~driver main] — simulate [main] under [config] with
+    the given detector.  Deterministic in ([config.seed], program). *)
+val run : ?aspace:Aspace.t -> config:config -> driver:Hooks.driver -> (unit -> unit) -> result

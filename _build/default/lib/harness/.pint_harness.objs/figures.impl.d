@@ -1,0 +1,1 @@
+lib/harness/figures.ml: List Printf Registry Systems Table Workload

@@ -1,0 +1,1 @@
+lib/harness/systems.ml: Cost_model Cracer Detector Float List Nodetect Pint_detector Report Sim_exec Stint Workload

@@ -1,0 +1,1 @@
+lib/harness/systems.mli: Cost_model Workload

@@ -1,0 +1,57 @@
+(** The virtual-cycle cost model.
+
+    Every performance number in the reproduced figures is a deterministic
+    function of measured event counts (words touched, arithmetic operations,
+    instrumentation events, treap-node visits, steals) weighted by the
+    constants below.  The constants were calibrated once against the
+    relative magnitudes the paper reports for the [heat] benchmark in
+    Figure 1 and then frozen — every other cell of every figure is emergent
+    (see EXPERIMENTS.md for the calibration note).
+
+    Semantics of each constant (virtual cycles):
+    - [c_flop] — one arithmetic operation in the computation proper;
+    - [c_word] — one word of memory traffic in the computation proper;
+    - [c_strand], [c_spawn], [c_sync] — runtime bookkeeping at boundaries;
+    - [c_coal_word] — per word: the load/store instrumentation hook plus
+      runtime coalescing in the interval-based detectors (STINT and PINT);
+    - [c_instr_event] — per instrumentation call site event;
+    - [c_trace_push] — PINT-only per strand: trace insertion and
+      Algorithm-1 bookkeeping;
+    - [c_hash_word] — per word for the per-access detector (C-RACER):
+      shadow-cell probe, up to three reachability queries, and update;
+    - [c_treap_visit], [c_treap_strand] — access-history side of the
+      interval detectors: per treap-node visit and per strand handled by a
+      treap worker;
+    - [c_steal], [c_steal_fail] — work stealing. *)
+
+type t = {
+  c_flop : int;
+  c_word : int;
+  c_strand : int;
+  c_spawn : int;
+  c_sync : int;
+  c_coal_word : int;
+  c_instr_event : int;
+  c_trace_push : int;
+  c_hash_word : int;
+  c_treap_visit : int;
+  c_treap_strand : int;
+  c_steal : int;
+  c_steal_fail : int;
+}
+
+val default : t
+
+(** Strand-cost closures for {!Sim_exec.config}. *)
+
+val base_cost : t -> Srec.t -> Events.finish_kind -> int
+val stint_core_cost : t -> Srec.t -> Events.finish_kind -> int
+val pint_core_cost : t -> Srec.t -> Events.finish_kind -> int
+val cracer_core_cost : t -> Srec.t -> Events.finish_kind -> int
+
+(** Treap-worker step cost from a step's node-visit count. *)
+val treap_step_cost : t -> int -> int
+
+(** Synchronous (serial) access-history cost from detector diagnostics:
+    [treap_time model ~visits ~strands ~treaps]. *)
+val treap_time : t -> visits:float -> strands:float -> treaps:int -> float

@@ -1,0 +1,123 @@
+type system = Base | Stint_sys | Pint_sys | Cracer_sys
+
+let system_name = function
+  | Base -> "baseline"
+  | Stint_sys -> "stint"
+  | Pint_sys -> "pint"
+  | Cracer_sys -> "cracer"
+
+type measurement = {
+  system : string;
+  workload : string;
+  workers : int;
+  time : float;
+  core_time : float;
+  writer_time : float;
+  lreader_time : float;
+  rreader_time : float;
+  races : int;
+  checked : bool;
+  n_steals : int;
+  n_strands : int;
+  diags : (string * float) list;
+}
+
+let vsec cycles = cycles /. 1e6
+
+let actor_clock (r : Sim_exec.result) name =
+  match List.assoc_opt name r.actor_clocks with Some c -> float_of_int c | None -> 0.
+
+let run ?(model = Cost_model.default) ?(seed = 2022) ?(shards = 1) ~(workload : Workload.t)
+    ~size ~base ~workers system =
+  let inst = workload.make ~size ~base in
+  let mk_config strand_cost actors n_workers =
+    {
+      Sim_exec.n_workers;
+      seed;
+      strand_cost;
+      c_steal = model.Cost_model.c_steal;
+      c_steal_fail = model.Cost_model.c_steal_fail;
+      actors;
+    }
+  in
+  let finishup ~det ~sim_res ~time ~writer_time ~lreader_time ~rreader_time =
+    let races, diags =
+      match det with
+      | Some d ->
+          d.Detector.drain ();
+          (Report.count d.Detector.report, d.Detector.diagnostics ())
+      | None -> (0, [])
+    in
+    {
+      system = system_name system;
+      workload = workload.name;
+      workers;
+      time;
+      core_time = float_of_int sim_res.Sim_exec.makespan;
+      writer_time;
+      lreader_time;
+      rreader_time;
+      races;
+      checked = inst.Workload.check ();
+      n_steals = sim_res.Sim_exec.n_steals;
+      n_strands = sim_res.Sim_exec.n_strands;
+      diags;
+    }
+  in
+  match system with
+  | Base ->
+      let d = Nodetect.make () in
+      let config = mk_config (Cost_model.base_cost model) [] workers in
+      let r = Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run in
+      finishup ~det:None ~sim_res:r
+        ~time:(float_of_int r.Sim_exec.makespan)
+        ~writer_time:0. ~lreader_time:0. ~rreader_time:0.
+  | Cracer_sys ->
+      let d = Cracer.make () in
+      let config = mk_config (Cost_model.cracer_core_cost model) [] workers in
+      let r = Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run in
+      finishup ~det:(Some d) ~sim_res:r
+        ~time:(float_of_int r.Sim_exec.makespan)
+        ~writer_time:0. ~lreader_time:0. ~rreader_time:0.
+  | Stint_sys ->
+      let d = Stint.make () in
+      let config = mk_config (Cost_model.stint_core_cost model) [] 1 in
+      let r = Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run in
+      d.Detector.drain ();
+      let diag k = match List.assoc_opt k (d.Detector.diagnostics ()) with
+        | Some v -> v
+        | None -> 0.
+      in
+      let treap =
+        Cost_model.treap_time model
+          ~visits:(diag "writer_visits" +. diag "reader_visits")
+          ~strands:(diag "strands") ~treaps:2
+      in
+      finishup ~det:(Some d) ~sim_res:r
+        ~time:(float_of_int r.Sim_exec.makespan +. treap)
+        ~writer_time:0. ~lreader_time:0. ~rreader_time:0.
+  | Pint_sys ->
+      let p = Pint_detector.make ~seed:(seed + 7) ~reader_shards:shards () in
+      let det = Pint_detector.detector p in
+      let actors = Pint_detector.sim_actors ~cost:(Cost_model.treap_step_cost model) p in
+      let config = mk_config (Cost_model.pint_core_cost model) actors workers in
+      let r = Sim_exec.run ~config ~driver:det.Detector.driver inst.Workload.run in
+      let w = actor_clock r "writer" in
+      let reader_clocks =
+        List.filter_map
+          (fun (n, c) -> if n <> "writer" then Some (float_of_int c) else None)
+          r.Sim_exec.actor_clocks
+      in
+      let l = if shards = 1 then actor_clock r "lreader" else List.fold_left ( +. ) 0. (List.filteri (fun i _ -> i < shards) reader_clocks) /. float_of_int shards
+      and rr = if shards = 1 then actor_clock r "rreader" else List.fold_left ( +. ) 0. (List.filteri (fun i _ -> i >= shards) reader_clocks) /. float_of_int shards in
+      let time =
+        if workers = 1 then
+          (* §IV-A one-core configuration: core first, then access history *)
+          float_of_int r.Sim_exec.makespan +. w
+          +. List.fold_left ( +. ) 0. reader_clocks
+        else
+          List.fold_left Float.max
+            (Float.max (float_of_int r.Sim_exec.makespan) w)
+            reader_clocks
+      in
+      finishup ~det:(Some det) ~sim_res:r ~time ~writer_time:w ~lreader_time:l ~rreader_time:rr

@@ -1,0 +1,49 @@
+(** Run one (workload, race-detection system, worker count) configuration
+    under the virtual-time simulator and return its measurements.
+
+    Worker-count convention: [workers] is the number of {e core} workers in
+    the simulated runtime.  For PINT the three treap workers ride on top
+    (the paper's "P cores = (P−3) core workers + 3 treap workers" becomes
+    [workers = P - 3] at the call site); for the baseline and C-RACER all
+    [P] cores are core workers; STINT is serial and ignores [workers].
+
+    One-core semantics matches §IV-A: PINT on one core runs the whole core
+    component first and then the access-history component, so its time is
+    the sum (not the max) of the component times. *)
+
+type system = Base | Stint_sys | Pint_sys | Cracer_sys
+
+val system_name : system -> string
+
+type measurement = {
+  system : string;
+  workload : string;
+  workers : int;  (** core workers *)
+  time : float;  (** virtual cycles for the whole run *)
+  core_time : float;  (** core-component makespan *)
+  writer_time : float;
+  lreader_time : float;
+  rreader_time : float;
+  races : int;
+  checked : bool;  (** result verification outcome *)
+  n_steals : int;
+  n_strands : int;
+  diags : (string * float) list;
+}
+
+(** [shards] (default 1) runs PINT with address-sharded reader treap
+    workers — the §VI extension; ignored for the other systems. *)
+val run :
+  ?model:Cost_model.t ->
+  ?seed:int ->
+  ?shards:int ->
+  workload:Workload.t ->
+  size:int ->
+  base:int ->
+  workers:int ->
+  system ->
+  measurement
+
+(** [vsec cycles] — virtual cycles rendered as "virtual seconds"
+    (1 vs = 10⁶ cycles), the unit the figure tables print. *)
+val vsec : float -> float

@@ -1,0 +1,35 @@
+let render ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = List.map pad all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let line r =
+    List.iteri
+      (fun i cell ->
+        let w = widths.(i) in
+        let s =
+          if i = 0 then cell ^ String.make (w - String.length cell) ' '
+          else String.make (w - String.length cell) ' ' ^ cell
+        in
+        Buffer.add_string buf s;
+        if i < ncols - 1 then Buffer.add_string buf "  ")
+      r;
+    Buffer.add_char buf '\n'
+  in
+  line (List.hd all);
+  Buffer.add_string buf (String.make (Array.fold_left ( + ) (2 * (ncols - 1)) widths) '-');
+  Buffer.add_char buf '\n';
+  List.iter line (List.tl all);
+  Buffer.contents buf
+
+let t2 v = Printf.sprintf "%.2f" v
+let x1 v = Printf.sprintf "%.1fx" v
+let x2p v = Printf.sprintf "(%.1fx)" v
+let bracket v = Printf.sprintf "[%.1fx]" v

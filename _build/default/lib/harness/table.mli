@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the figure reproductions. *)
+
+(** [render ~title ~header rows] — column-aligned ASCII table.  The first
+    column is left-aligned, the rest right-aligned. *)
+val render : title:string -> header:string list -> string list list -> string
+
+(** Number formats used across the tables. *)
+
+val t2 : float -> string
+(** two-decimal time *)
+
+val x1 : float -> string
+(** one-decimal factor with an [x] suffix, e.g. ["31.9x"] *)
+
+val x2p : float -> string
+(** factor in parentheses, e.g. ["(12.5x)"] *)
+
+val bracket : float -> string
+(** factor in brackets, e.g. ["[43.2x]"] *)

@@ -1,0 +1,1 @@
+lib/interval/coalescer.ml: Interval Vec

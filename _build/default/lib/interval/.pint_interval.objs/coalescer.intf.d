@@ -1,0 +1,1 @@
+lib/interval/coalescer.mli: Interval

@@ -1,0 +1,59 @@
+
+type side = {
+  buf : Interval.t Vec.t;
+  mutable raw : int;
+}
+
+type t = { reads : side; writes : side }
+
+let dummy = Interval.point 0
+
+let create () =
+  { reads = { buf = Vec.create ~capacity:64 dummy; raw = 0 };
+    writes = { buf = Vec.create ~capacity:64 dummy; raw = 0 } }
+
+let add side ~addr ~len =
+  if len <= 0 then invalid_arg "Coalescer.add: len must be positive";
+  side.raw <- side.raw + 1;
+  let iv = Interval.make addr (addr + len - 1) in
+  if Vec.is_empty side.buf then Vec.push side.buf iv
+  else begin
+    let last = Vec.peek side.buf in
+    if Interval.adjacent_or_overlapping last iv then
+      Vec.set side.buf (Vec.length side.buf - 1) (Interval.hull last iv)
+    else Vec.push side.buf iv
+  end
+
+let add_read t = add t.reads
+let add_write t = add t.writes
+
+let raw_counts t = (t.reads.raw, t.writes.raw)
+
+let canonicalize side =
+  let n = Vec.length side.buf in
+  if n = 0 then [||]
+  else begin
+    Vec.sort Interval.compare side.buf;
+    let out = Vec.create ~capacity:n dummy in
+    Vec.iter
+      (fun iv ->
+        if Vec.is_empty out then Vec.push out iv
+        else
+          let last = Vec.peek out in
+          if Interval.adjacent_or_overlapping last iv then
+            Vec.set out (Vec.length out - 1) (Interval.hull last iv)
+          else Vec.push out iv)
+      side.buf;
+    Vec.to_array out
+  end
+
+let finish t =
+  let reads = canonicalize t.reads in
+  let writes = canonicalize t.writes in
+  Vec.clear t.reads.buf;
+  Vec.clear t.writes.buf;
+  t.reads.raw <- 0;
+  t.writes.raw <- 0;
+  (reads, writes)
+
+let pending t = (Vec.length t.reads.buf, Vec.length t.writes.buf)

@@ -1,0 +1,36 @@
+(** Runtime coalescing of a strand's memory accesses into intervals.
+
+    One coalescer instance is owned by the executing worker and recycled
+    across strands.  During a strand it receives every instrumented access
+    ([add_read] / [add_write], with a length so bulk operations — the stand-in
+    for compile-time coalescing — contribute one call); at the strand
+    boundary [finish] returns the strand's disjoint, sorted read and write
+    interval sets.
+
+    Coalescing happens in two stages, mirroring STINT's runtime scheme:
+    - a fast path merges an access that overlaps or extends the most recently
+      recorded interval of the same kind (the overwhelmingly common case in
+      loop nests);
+    - [finish] sort-merges whatever remains into canonical disjoint sets.
+
+    The total number of raw accesses observed is tracked separately from the
+    number of resulting intervals: the ratio between the two is what makes
+    interval-based access history win (or, for [fft], lose). *)
+
+type t
+
+val create : unit -> t
+
+val add_read : t -> addr:int -> len:int -> unit
+val add_write : t -> addr:int -> len:int -> unit
+
+(** Raw instrumented access events so far this strand (reads, writes). *)
+val raw_counts : t -> int * int
+
+(** [finish t] returns [(reads, writes)] as canonical interval sets and
+    resets the coalescer for the next strand.  Each returned array is sorted
+    by [lo] with pairwise-disjoint, non-adjacent members. *)
+val finish : t -> Interval.t array * Interval.t array
+
+(** Pending (uncoalesced-buffer) sizes — test/diagnostic aid. *)
+val pending : t -> int * int

@@ -1,0 +1,27 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if hi < lo then invalid_arg "Interval.make: hi < lo";
+  { lo; hi }
+
+let point a = { lo = a; hi = a }
+let width i = i.hi - i.lo + 1
+let contains i a = i.lo <= a && a <= i.hi
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+let adjacent_or_overlapping a b = a.lo <= b.hi + 1 && b.lo <= a.hi + 1
+
+let hull a b =
+  if not (adjacent_or_overlapping a b) then invalid_arg "Interval.hull: disjoint";
+  { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let inter a b =
+  if not (overlaps a b) then invalid_arg "Interval.inter: disjoint";
+  { lo = max a.lo b.lo; hi = min a.hi b.hi }
+
+let compare a b =
+  let c = Int.compare a.lo b.lo in
+  if c <> 0 then c else Int.compare a.hi b.hi
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let pp fmt i = Format.fprintf fmt "[%d,%d]" i.lo i.hi
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,41 @@
+(** Closed integer intervals of memory addresses.
+
+    An interval [{lo; hi}] covers every address [a] with [lo <= a <= hi]
+    (both inclusive, matching the paper's [\[1,4\]], [\[6,10\]] examples).
+    Addresses are word-granular virtual addresses from [Pint_shadow]. *)
+
+type t = { lo : int; hi : int }
+
+(** [make lo hi].
+    @raise Invalid_argument if [hi < lo]. *)
+val make : int -> int -> t
+
+(** Single-address interval. *)
+val point : int -> t
+
+(** Number of addresses covered. *)
+val width : t -> int
+
+val contains : t -> int -> bool
+
+(** [overlaps a b] — the intersection is non-empty. *)
+val overlaps : t -> t -> bool
+
+(** [adjacent_or_overlapping a b] — they overlap or touch ([a.hi + 1 =
+    b.lo] or symmetric), i.e. their union is a single interval. *)
+val adjacent_or_overlapping : t -> t -> bool
+
+(** Union of two adjacent-or-overlapping intervals.
+    @raise Invalid_argument otherwise. *)
+val hull : t -> t -> t
+
+(** Intersection.
+    @raise Invalid_argument if disjoint. *)
+val inter : t -> t -> t
+
+(** Order by [lo], ties by [hi]. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,239 @@
+(* Two-level order-maintenance list.
+
+   Invariants (checked by [validate]):
+   - groups form a doubly-linked list with strictly increasing [glabel];
+   - records form one doubly-linked list spanning all groups, in order;
+   - each record's [grp] pointer names the group it lies in, the records of a
+     group are contiguous in the record list, and [g.first] is the first;
+   - record labels are strictly increasing within a group;
+   - every group holds between 1 and [group_cap] records (the base group may
+     transiently hold just the base record).
+
+   The seqlock: any operation that rewrites labels or moves records between
+   groups increments [version] to an odd value first and back to even after.
+   Readers snapshot (glabel, label) pairs and retry when the version was odd
+   or changed. *)
+
+type record = {
+  mutable label : int;
+  mutable grp : group;
+  mutable next : record option;
+  mutable prev : record option;
+}
+
+and group = {
+  mutable glabel : int;
+  mutable first : record;
+  mutable size : int;
+  mutable next_g : group option;
+  mutable prev_g : group option;
+}
+
+type t = {
+  mutable first_group : group;
+  lock : Mutex.t;
+  version : int Atomic.t;
+  mutable n_records : int;
+  mutable n_groups : int;
+  mutable n_relabels : int;
+}
+
+(* Capacity of a group before it splits.  Must be well below the label range
+   so an evenly-relabelled group always has gaps. *)
+let group_cap = 64
+
+(* Record labels live in [0, record_label_range); group labels likewise. *)
+let record_label_range = 1 lsl 60
+let group_label_range = 1 lsl 60
+
+let create () =
+  let rec base_record =
+    { label = record_label_range / 2; grp = base_group; next = None; prev = None }
+  and base_group =
+    { glabel = group_label_range / 2; first = base_record; size = 1; next_g = None; prev_g = None }
+  in
+  {
+    first_group = base_group;
+    lock = Mutex.create ();
+    version = Atomic.make 0;
+    n_records = 1;
+    n_groups = 1;
+    n_relabels = 0;
+  }
+
+let base t = t.first_group.first
+
+let begin_relabel t =
+  t.n_relabels <- t.n_relabels + 1;
+  Atomic.incr t.version
+
+let end_relabel t = Atomic.incr t.version
+
+(* Spread the labels of [g]'s records evenly over the label range. *)
+let relabel_group g =
+  let step = record_label_range / (g.size + 1) in
+  let rec go r i =
+    r.label <- i * step;
+    if i < g.size then go (Option.get r.next) (i + 1)
+  in
+  go g.first 1
+
+(* Spread all group labels evenly.  O(#groups), amortized against the
+   doubling it takes to exhaust the group-label range. *)
+let relabel_all_groups t =
+  let step = group_label_range / (t.n_groups + 1) in
+  let rec go g i =
+    g.glabel <- i * step;
+    match g.next_g with None -> () | Some g' -> go g' (i + 1)
+  in
+  go t.first_group 1
+
+(* Insert group [g'] immediately after [g], assigning it a label strictly
+   between [g] and its successor; relabels all groups when no gap remains. *)
+let insert_group_after t g g' =
+  let succ_label () = match g.next_g with None -> group_label_range | Some s -> s.glabel in
+  if succ_label () - g.glabel < 2 then relabel_all_groups t;
+  let succ_label = succ_label () in
+  g'.glabel <- g.glabel + ((succ_label - g.glabel) / 2);
+  g'.next_g <- g.next_g;
+  g'.prev_g <- Some g;
+  (match g.next_g with None -> () | Some s -> s.prev_g <- Some g');
+  g.next_g <- Some g';
+  t.n_groups <- t.n_groups + 1
+
+(* Split [g] in half: the second half moves into a fresh group placed right
+   after [g] in the group list.  Caller holds the lock and the seqlock is
+   already odd. *)
+let split_group t g =
+  let keep = g.size / 2 in
+  let rec nth r i = if i = 0 then r else nth (Option.get r.next) (i - 1) in
+  let mid = nth g.first keep in
+  (* mid is the first record of the new group *)
+  let g' = { glabel = 0; first = mid; size = g.size - keep; next_g = None; prev_g = None } in
+  g.size <- keep;
+  insert_group_after t g g';
+  (* retarget the moved records *)
+  let rec retag r n =
+    if n > 0 then begin
+      r.grp <- g';
+      match r.next with None -> () | Some r' -> retag r' (n - 1)
+    end
+  in
+  retag mid g'.size;
+  relabel_group g;
+  relabel_group g'
+
+let insert_after t r =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      (* Split first if the group is at capacity, so the gap search below
+         always has room to succeed after at most one relabel. *)
+      if r.grp.size >= group_cap then begin
+        begin_relabel t;
+        split_group t r.grp;
+        end_relabel t
+      end;
+      let g = r.grp in
+      let succ_label =
+        match r.next with
+        | Some s when s.grp == g -> s.label
+        | _ -> record_label_range
+      in
+      if succ_label - r.label < 2 then begin
+        begin_relabel t;
+        relabel_group g;
+        end_relabel t
+      end;
+      let succ_label =
+        match r.next with
+        | Some s when s.grp == g -> s.label
+        | _ -> record_label_range
+      in
+      assert (succ_label - r.label >= 2);
+      let fresh =
+        { label = r.label + ((succ_label - r.label) / 2); grp = g; next = r.next; prev = Some r }
+      in
+      (match r.next with None -> () | Some s -> s.prev <- Some fresh);
+      r.next <- Some fresh;
+      g.size <- g.size + 1;
+      t.n_records <- t.n_records + 1;
+      fresh)
+
+let rec compare t a b =
+  if a == b then 0
+  else begin
+    let v1 = Atomic.get t.version in
+    if v1 land 1 = 1 then begin
+      Domain.cpu_relax ();
+      compare t a b
+    end
+    else begin
+      let ga = a.grp.glabel and la = a.label in
+      let gb = b.grp.glabel and lb = b.label in
+      let v2 = Atomic.get t.version in
+      if v1 <> v2 then compare t a b
+      else if ga <> gb then Stdlib.compare ga gb
+      else Stdlib.compare la lb
+    end
+  end
+
+let precedes t a b = compare t a b < 0
+
+let length t = t.n_records
+let relabel_count t = t.n_relabels
+let group_count t = t.n_groups
+
+let to_list t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let rec go acc = function None -> List.rev acc | Some r -> go (r :: acc) r.next in
+      go [] (Some t.first_group.first))
+
+let validate t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let fail fmt = Printf.ksprintf failwith fmt in
+      (* group list: labels strictly increasing, linkage consistent *)
+      let rec check_groups g n_groups n_records =
+        (match g.next_g with
+        | Some g' ->
+            if g'.glabel <= g.glabel then fail "group labels not increasing";
+            (match g'.prev_g with
+            | Some p when p == g -> ()
+            | _ -> fail "group prev link broken")
+        | None -> ());
+        if g.size < 1 then fail "empty group";
+        if g.size > group_cap then fail "overfull group (%d)" g.size;
+        (* records of this group: contiguous, increasing labels, right grp *)
+        let rec check_records r i last_label =
+          if r.grp != g then fail "record grp pointer wrong";
+          if i > 0 && r.label <= last_label then fail "record labels not increasing";
+          (match r.prev with
+          | Some p when (match p.next with Some x -> x != r | None -> true) ->
+              fail "record prev/next mismatch"
+          | _ -> ());
+          if i = g.size - 1 then r.next
+          else
+            match r.next with
+            | None -> fail "group size overruns record list"
+            | Some r' -> check_records r' (i + 1) r.label
+        in
+        let after = check_records g.first 0 min_int in
+        (match after, g.next_g with
+        | Some r, Some g' when g'.first != r -> fail "group first not contiguous"
+        | Some _, None -> fail "records after last group"
+        | None, Some _ -> fail "record list ends before groups do"
+        | _ -> ());
+        match g.next_g with
+        | None ->
+            if n_groups + 1 <> t.n_groups then fail "n_groups wrong";
+            if n_records + g.size <> t.n_records then fail "n_records wrong"
+        | Some g' -> check_groups g' (n_groups + 1) (n_records + g.size)
+      in
+      check_groups t.first_group 0 0)

@@ -1,0 +1,54 @@
+(** Order-maintenance list.
+
+    Maintains a total order under [insert_after] with O(1)-amortized inserts
+    and O(1) order queries, using the classic two-level labelling scheme
+    (Dietz–Sleator / Bender et al.): records live in groups, groups carry
+    widely spaced integer labels, records carry labels local to their group,
+    and comparison is lexicographic on (group label, record label).  When a
+    gap is exhausted, the group (or the whole group list) is relabelled;
+    overfull groups are split.
+
+    Concurrency contract (this is the WSP-Order substrate, see DESIGN.md §5):
+    - [insert_after] takes the structure's mutex, so concurrent inserts from
+      parallel workers are serialized;
+    - [precedes] / [compare] are lock-free: they validate against a seqlock
+      version counter that relabelling bumps, retrying on interference.  This
+      gives linearizable queries without making readers take the lock. *)
+
+type t
+type record
+
+(** Fresh list containing only its base record. *)
+val create : unit -> t
+
+(** The first record of the order; every inserted record is after it. *)
+val base : t -> record
+
+(** [insert_after t r] inserts a fresh record immediately after [r].
+    Thread-safe. *)
+val insert_after : t -> record -> record
+
+(** [compare t a b] is negative / zero / positive as [a] is before / equal to
+    / after [b] in the order.  Lock-free and safe against concurrent
+    inserts. *)
+val compare : t -> record -> record -> int
+
+(** [precedes t a b] is [compare t a b < 0]. *)
+val precedes : t -> record -> record -> bool
+
+(** Number of records (including the base). *)
+val length : t -> int
+
+(** Number of relabelling events so far (amortization diagnostics). *)
+val relabel_count : t -> int
+
+(** Number of groups currently in the structure. *)
+val group_count : t -> int
+
+(** [validate t] checks every structural invariant (group sizes, label
+    monotonicity, linkage consistency) and raises [Failure] describing the
+    first violation.  Test-only; takes the lock. *)
+val validate : t -> unit
+
+(** [to_list t] returns records in order (test-only; takes the lock). *)
+val to_list : t -> record list

@@ -1,0 +1,1 @@
+lib/shadow/access.mli:

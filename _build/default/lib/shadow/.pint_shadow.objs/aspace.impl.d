@@ -1,0 +1,1 @@
+lib/shadow/aspace.ml: Array Fun Hashtbl List Mutex Printf Vec

@@ -1,0 +1,1 @@
+lib/shadow/aspace.mli:

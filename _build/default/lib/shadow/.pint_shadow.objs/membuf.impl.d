@@ -1,0 +1,1 @@
+lib/shadow/membuf.ml: Access Array Aspace Fun

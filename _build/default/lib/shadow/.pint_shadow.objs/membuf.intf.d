@@ -1,0 +1,1 @@
+lib/shadow/membuf.mli: Aspace

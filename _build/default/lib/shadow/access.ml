@@ -1,0 +1,25 @@
+type sink = {
+  on_read : addr:int -> len:int -> unit;
+  on_write : addr:int -> len:int -> unit;
+  on_free : base:int -> len:int -> unit;
+  on_compute : amount:int -> unit;
+}
+
+let noop =
+  {
+    on_read = (fun ~addr:_ ~len:_ -> ());
+    on_write = (fun ~addr:_ ~len:_ -> ());
+    on_free = (fun ~base:_ ~len:_ -> ());
+    on_compute = (fun ~amount:_ -> ());
+  }
+
+let key = Domain.DLS.new_key (fun () -> ref noop)
+
+let install s = !(Domain.DLS.get key) |> ignore; Domain.DLS.get key := s
+let uninstall () = Domain.DLS.get key := noop
+let current () = !(Domain.DLS.get key)
+
+let emit_read ~addr ~len = (current ()).on_read ~addr ~len
+let emit_write ~addr ~len = (current ()).on_write ~addr ~len
+let emit_free ~base ~len = (current ()).on_free ~base ~len
+let emit_compute ~amount = (current ()).on_compute ~amount

@@ -1,0 +1,135 @@
+type frame = { base : int; words : int; mutable live : bool }
+
+type stack = { region_base : int; region_words : int; frames : frame Vec.t; mutable sp : int }
+
+(* Free and allocated heap blocks; [free] kept sorted by base for first-fit
+   with coalescing, [allocated] indexed by base for liveness checks. *)
+type heap = {
+  mutable free : (int * int) list; (* (base, len), sorted by base, coalesced *)
+  allocated : (int, int) Hashtbl.t; (* base -> len *)
+  mutable brk : int;
+  mutable live_words : int;
+}
+
+type t = {
+  workers : int;
+  stack_words : int;
+  stacks : stack array;
+  heap : heap;
+  heap_base : int;
+  lock : Mutex.t;
+}
+
+let create ?(max_workers = 64) ?(stack_words = 1 lsl 20) ?(heap_words = 0) () =
+  ignore heap_words;
+  let stacks =
+    Array.init max_workers (fun w ->
+        {
+          region_base = w * stack_words;
+          region_words = stack_words;
+          frames = Vec.create { base = 0; words = 0; live = false };
+          sp = 0;
+        })
+  in
+  let heap_base = max_workers * stack_words in
+  {
+    workers = max_workers;
+    stack_words;
+    stacks;
+    heap = { free = []; allocated = Hashtbl.create 256; brk = heap_base; live_words = 0 };
+    heap_base;
+    lock = Mutex.create ();
+  }
+
+let max_workers t = t.workers
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ------------------------------------------------------------------ heap *)
+
+let heap_alloc t words =
+  if words <= 0 then invalid_arg "Aspace.heap_alloc: words must be positive";
+  with_lock t (fun () ->
+      let h = t.heap in
+      (* first fit *)
+      let rec take acc = function
+        | [] ->
+            let base = h.brk in
+            h.brk <- h.brk + words;
+            (base, List.rev acc)
+        | (b, l) :: rest when l >= words ->
+            let remainder = if l = words then [] else [ (b + words, l - words) ] in
+            (b, List.rev_append acc (remainder @ rest))
+        | blk :: rest -> take (blk :: acc) rest
+      in
+      let base, free = take [] h.free in
+      h.free <- free;
+      Hashtbl.replace h.allocated base words;
+      h.live_words <- h.live_words + words;
+      base)
+
+let heap_free t ~base ~len =
+  with_lock t (fun () ->
+      let h = t.heap in
+      (match Hashtbl.find_opt h.allocated base with
+      | Some l when l = len -> Hashtbl.remove h.allocated base
+      | Some l -> failwith (Printf.sprintf "Aspace.heap_free: block %d has length %d, not %d" base l len)
+      | None -> failwith (Printf.sprintf "Aspace.heap_free: no live block at %d" base));
+      h.live_words <- h.live_words - len;
+      (* insert sorted, then coalesce adjacent blocks *)
+      let rec insert = function
+        | [] -> [ (base, len) ]
+        | (b, l) :: rest ->
+            if base + len <= b then (base, len) :: (b, l) :: rest
+            else if b + l <= base then (b, l) :: insert rest
+            else failwith "Aspace.heap_free: double free / overlap"
+      in
+      let rec coalesce = function
+        | (b1, l1) :: (b2, l2) :: rest when b1 + l1 = b2 -> coalesce ((b1, l1 + l2) :: rest)
+        | blk :: rest -> blk :: coalesce rest
+        | [] -> []
+      in
+      h.free <- coalesce (insert h.free))
+
+let heap_live_words t = with_lock t (fun () -> t.heap.live_words)
+
+let heap_block_live t ~base ~len =
+  with_lock t (fun () -> Hashtbl.find_opt t.heap.allocated base = Some len)
+
+(* ---------------------------------------------------------------- stacks *)
+
+let stack t worker =
+  if worker < 0 || worker >= t.workers then invalid_arg "Aspace: bad worker id";
+  t.stacks.(worker)
+
+let frame_push t ~worker ~words =
+  if words <= 0 then invalid_arg "Aspace.frame_push: words must be positive";
+  let s = stack t worker in
+  if s.sp + words > s.region_words then
+    failwith (Printf.sprintf "Aspace: stack overflow on worker %d" worker);
+  let base = s.region_base + s.sp in
+  Vec.push s.frames { base; words; live = true };
+  s.sp <- s.sp + words;
+  base
+
+let frame_pop t ~worker ~base =
+  let s = stack t worker in
+  let found = ref false in
+  Vec.iter (fun f -> if f.base = base && f.live then (f.live <- false; found := true)) s.frames;
+  if not !found then
+    failwith (Printf.sprintf "Aspace.frame_pop: no live frame at %d on worker %d" base worker);
+  (* lazy reclaim of the dead suffix *)
+  let rec reclaim () =
+    if not (Vec.is_empty s.frames) && not (Vec.peek s.frames).live then begin
+      let f = Vec.pop s.frames in
+      s.sp <- s.sp - f.words;
+      reclaim ()
+    end
+  in
+  reclaim ()
+
+let stack_used t ~worker = (stack t worker).sp
+let stack_base t ~worker = (stack t worker).region_base
+let is_stack_addr t addr = addr >= 0 && addr < t.heap_base

@@ -1,0 +1,1 @@
+lib/trace/ahq.ml: Array Atomic Srec

@@ -1,0 +1,74 @@
+type reader = int
+
+let l = 0
+let r = 1
+
+type t = {
+  slots : Srec.t option array;
+  cap : int;
+  head : int Atomic.t; (* total enqueued; writer-owned *)
+  cursors : int Atomic.t array; (* total processed, per reader *)
+}
+
+let create ?(capacity = 4096) ?(readers = 2) () =
+  if capacity <= 0 then invalid_arg "Ahq.create: capacity must be positive";
+  if readers < 1 then invalid_arg "Ahq.create: need at least one reader";
+  {
+    slots = Array.make capacity None;
+    cap = capacity;
+    head = Atomic.make 0;
+    cursors = Array.init readers (fun _ -> Atomic.make 0);
+  }
+
+let n_readers t = Array.length t.cursors
+
+let min_cursor t =
+  Array.fold_left (fun m c -> min m (Atomic.get c)) max_int t.cursors
+
+let try_enqueue t s =
+  let h = Atomic.get t.head in
+  if h - min_cursor t >= t.cap then false
+  else begin
+    t.slots.(h mod t.cap) <- Some s;
+    Atomic.incr t.head;
+    true
+  end
+
+let cursor t i =
+  if i < 0 || i >= Array.length t.cursors then invalid_arg "Ahq: bad reader index";
+  t.cursors.(i)
+
+let peek t i =
+  let pos = Atomic.get (cursor t i) in
+  if pos >= Atomic.get t.head then None
+  else
+    match t.slots.(pos mod t.cap) with
+    | Some _ as s -> s
+    | None -> failwith "Ahq: published slot is empty"
+
+let advance t i =
+  let c = cursor t i in
+  let pos = Atomic.get c in
+  if pos >= Atomic.get t.head then failwith "Ahq.advance: nothing pending";
+  (* Recycle the record reference if we are the last reader through this
+     slot.  The clear must happen BEFORE our cursor advances: while our
+     cursor still sits at [pos] the writer cannot reuse the slot (the ring
+     occupancy check uses the minimum cursor), so the clear can never wipe a
+     freshly enqueued record.  If two readers pass simultaneously, neither
+     sees the other as "past" and the stale reference is simply overwritten
+     by the writer on reuse — harmless. *)
+  let everyone_else_past = ref true in
+  Array.iteri
+    (fun j other -> if j <> i && Atomic.get other <= pos then everyone_else_past := false)
+    t.cursors;
+  if !everyone_else_past then t.slots.(pos mod t.cap) <- None;
+  Atomic.incr c
+
+let enqueued t = Atomic.get t.head
+let processed t i = Atomic.get (cursor t i)
+
+let drained t =
+  let h = Atomic.get t.head in
+  Array.for_all (fun c -> Atomic.get c = h) t.cursors
+
+let capacity t = t.cap

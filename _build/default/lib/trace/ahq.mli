@@ -1,0 +1,53 @@
+(** The global access-history queue.
+
+    A bounded ring written only by the writer treap worker and read by the
+    reader treap workers, each through its own cursor — the paper's "only
+    the writer treap worker modifies it, the reader treap workers only read
+    it" design.  A slot is recycled (and its record reference dropped) once
+    every reader has moved past it; if the ring is full the writer stalls,
+    which is the natural backpressure when the reader treaps fall behind.
+
+    The paper runs exactly two readers (the left-most and right-most reader
+    treap workers); the sharded-treap extension (§VI future work, see
+    [Pint_detector.make ~reader_shards]) runs [2·S] of them, so the queue
+    supports an arbitrary reader count.  Readers are identified by index;
+    {!l} and {!r} name the classic two. *)
+
+type t
+
+type reader = int
+
+(** Conventional names for the two-reader configuration. *)
+val l : reader
+
+val r : reader
+
+(** [create ?capacity ~readers ()] — [readers >= 1] cursors. *)
+val create : ?capacity:int -> ?readers:int -> unit -> t
+
+val n_readers : t -> int
+
+(** {2 Writer treap worker} *)
+
+(** [try_enqueue t s] — false iff the ring is full. *)
+val try_enqueue : t -> Srec.t -> bool
+
+(** {2 Reader treap workers} *)
+
+(** Next record for this reader, if the writer has published one. *)
+val peek : t -> reader -> Srec.t option
+
+(** Advance this reader's cursor past the record returned by [peek]; also
+    clears the slot once every reader has passed it.
+    @raise Failure if nothing is pending for this reader. *)
+val advance : t -> reader -> unit
+
+(** {2 Diagnostics} *)
+
+val enqueued : t -> int
+val processed : t -> reader -> int
+
+(** All readers fully caught up with the writer. *)
+val drained : t -> bool
+
+val capacity : t -> int

@@ -1,0 +1,98 @@
+let chunk_size = 256
+
+type chunk = { slots : Srec.t option array; mutable next : chunk option }
+
+let new_chunk () = { slots = Array.make chunk_size None; next = None }
+
+type t = {
+  tid : int;
+  towner : int;
+  mutable wchunk : chunk;  (* producer's chunk *)
+  mutable wpos : int;  (* producer index within wchunk *)
+  mutable rchunk : chunk;  (* consumer's chunk *)
+  mutable rpos : int;  (* consumer index within rchunk *)
+  n_pushed : int Atomic.t;
+  mutable n_popped : int;  (* consumer-private *)
+  closed : bool Atomic.t;
+  mutable unlock_latch : bool;  (* consumer-private *)
+}
+
+let create ~id ~owner =
+  let c = new_chunk () in
+  {
+    tid = id;
+    towner = owner;
+    wchunk = c;
+    wpos = 0;
+    rchunk = c;
+    rpos = 0;
+    n_pushed = Atomic.make 0;
+    n_popped = 0;
+    closed = Atomic.make false;
+    unlock_latch = false;
+  }
+
+let id t = t.tid
+let owner t = t.towner
+
+let push t s =
+  if t.wpos = chunk_size then begin
+    let c = new_chunk () in
+    (* link before publishing, so a consumer that observes the bumped count
+       can always follow [next] *)
+    t.wchunk.next <- Some c;
+    t.wchunk <- c;
+    t.wpos <- 0
+  end;
+  t.wchunk.slots.(t.wpos) <- Some s;
+  t.wpos <- t.wpos + 1;
+  Atomic.incr t.n_pushed
+
+let close t = Atomic.set t.closed true
+
+let available t = Atomic.get t.n_pushed - t.n_popped
+
+let advance_consumer t =
+  if t.rpos = chunk_size then begin
+    match t.rchunk.next with
+    | Some c ->
+        t.rchunk <- c;
+        t.rpos <- 0
+    | None -> failwith "Trace: published count runs past linked chunks"
+  end
+
+let peek t =
+  if available t <= 0 then None
+  else begin
+    advance_consumer t;
+    match t.rchunk.slots.(t.rpos) with
+    | Some _ as s -> s
+    | None -> failwith "Trace: published slot is empty"
+  end
+
+let pop t =
+  if available t <= 0 then failwith "Trace.pop: nothing available";
+  advance_consumer t;
+  t.rchunk.slots.(t.rpos) <- None;
+  t.rpos <- t.rpos + 1;
+  t.n_popped <- t.n_popped + 1
+
+let is_closed t = Atomic.get t.closed
+let drained t = is_closed t && available t = 0
+let pushed t = Atomic.get t.n_pushed
+let popped t = t.n_popped
+
+let unlocked t =
+  t.unlock_latch
+  ||
+  if t.n_popped > 0 then begin
+    (* something was already collected, so the head check passed before *)
+    t.unlock_latch <- true;
+    true
+  end
+  else
+    match peek t with
+    | Some first when Atomic.get first.Srec.pred = 0 ->
+        t.unlock_latch <- true;
+        true
+    | _ -> false

@@ -1,0 +1,53 @@
+(** The per-worker {e trace} data structure (Algorithm 1).
+
+    A FIFO of finished strand records with single-producer (the owning core
+    worker) / single-consumer (the writer treap worker) semantics,
+    implemented as the paper describes — a linked list of fixed-size chunks.
+    Publication is via a monotone atomic counter: the producer fills a slot
+    (linking a fresh chunk first when needed) and then bumps [pushed], so a
+    consumer that observes [pushed > popped] can safely read the next slot.
+
+    Trace lifecycle: a worker starts a new trace when it begins a stolen
+    continuation or passes a non-trivial sync; the old trace is {e closed}.
+    The writer treap worker may only start collecting from a trace whose
+    {e first} strand is ready (Collection Rule 1); [unlocked] latches that
+    check so it happens once per trace. *)
+
+type t
+
+(** [create ~id ~owner] — [id] is a global creation index, [owner] the core
+    worker that fills it. *)
+val create : id:int -> owner:int -> t
+
+val id : t -> int
+val owner : t -> int
+
+(** {2 Producer side (core worker)} *)
+
+val push : t -> Srec.t -> unit
+
+(** Mark that no further strands will be pushed. *)
+val close : t -> unit
+
+(** {2 Consumer side (writer treap worker)} *)
+
+(** Next uncollected strand, if any is published. *)
+val peek : t -> Srec.t option
+
+(** Drop the strand returned by the last [peek].
+    @raise Failure if nothing is available. *)
+val pop : t -> unit
+
+val is_closed : t -> bool
+
+(** No strand left and closed. *)
+val drained : t -> bool
+
+(** Strands pushed so far (diagnostic). *)
+val pushed : t -> int
+
+val popped : t -> int
+
+(** Collection Rule 1 latch: [unlocked t] returns true once the trace's
+    first strand has been observed with [pred = 0]; idempotent. *)
+val unlocked : t -> bool

@@ -1,0 +1,273 @@
+
+type 'o node =
+  | Leaf
+  | Node of { left : 'o node; right : 'o node; iv : Interval.t; owner : 'o; prio : int }
+
+type 'o t = {
+  mutable root : 'o node;
+  mutable size : int;
+  mutable visits : int;
+  mutable covered : int;
+  rng : Rng.t;
+  owner_eq : 'o -> 'o -> bool;
+}
+
+let create ~seed ~owner_eq () =
+  { root = Leaf; size = 0; visits = 0; covered = 0; rng = Rng.create seed; owner_eq }
+
+let size t = t.size
+let visits t = t.visits
+let covered t = t.covered
+
+let visit t = t.visits <- t.visits + 1
+
+(* [split t k n] partitions by low endpoint into (lo < k, lo >= k). *)
+let rec split t k n =
+  match n with
+  | Leaf -> (Leaf, Leaf)
+  | Node nd ->
+      visit t;
+      if nd.iv.Interval.lo < k then begin
+        let a, b = split t k nd.right in
+        (Node { nd with right = a }, b)
+      end
+      else begin
+        let a, b = split t k nd.left in
+        (a, Node { nd with left = b })
+      end
+
+(* [join t a b] assumes every key in [a] is smaller than every key in [b]. *)
+let rec join t a b =
+  match (a, b) with
+  | Leaf, x | x, Leaf -> x
+  | Node na, Node nb ->
+      visit t;
+      if na.prio > nb.prio then Node { na with right = join t na.right b }
+      else Node { nb with left = join t a nb.left }
+
+(* Smallest low endpoint among nodes whose interval reaches [lo0] or beyond.
+   Stored intervals are disjoint, so both endpoints increase with the key and
+   a single descent suffices. *)
+let rec first_overlap_lo t lo0 n =
+  match n with
+  | Leaf -> None
+  | Node nd ->
+      visit t;
+      if nd.iv.Interval.hi >= lo0 then begin
+        match first_overlap_lo t lo0 nd.left with
+        | Some _ as found -> found
+        | None -> Some nd.iv.Interval.lo
+      end
+      else first_overlap_lo t lo0 nd.right
+
+let rec in_order n acc =
+  match n with
+  | Leaf -> acc
+  | Node nd -> in_order nd.left ((nd.iv, nd.owner) :: in_order nd.right acc)
+
+(* Detach all stored intervals overlapping [iv]: returns the tree of
+   everything strictly left, the overlapping entries in address order, and
+   the tree of everything strictly right. *)
+let extract_overlaps t iv =
+  let a, right = split t (iv.Interval.hi + 1) t.root in
+  match first_overlap_lo t iv.Interval.lo a with
+  | None -> (a, [], right)
+  | Some lo -> begin
+      let left, ovl = split t lo a in
+      (left, in_order ovl [], right)
+    end
+
+let rec remove_max t n =
+  match n with
+  | Leaf -> (Leaf, None)
+  | Node nd -> begin
+      visit t;
+      match nd.right with
+      | Leaf -> (nd.left, Some (nd.iv, nd.owner))
+      | _ ->
+          let right, m = remove_max t nd.right in
+          (Node { nd with right }, m)
+    end
+
+let rec remove_min t n =
+  match n with
+  | Leaf -> (Leaf, None)
+  | Node nd -> begin
+      visit t;
+      match nd.left with
+      | Leaf -> (nd.right, Some (nd.iv, nd.owner))
+      | _ ->
+          let left, m = remove_min t nd.left in
+          (Node { nd with left }, m)
+    end
+
+let singleton t iv owner =
+  Node { left = Leaf; right = Leaf; iv; owner; prio = Rng.next t.rng }
+
+(* Coalesce a sorted piece list, merging adjacent pieces with equal owners. *)
+let coalesce_pieces t pieces =
+  let out = ref [] in
+  List.iter
+    (fun (iv, o) ->
+      match !out with
+      | (iv', o') :: rest
+        when t.owner_eq o o' && Interval.adjacent_or_overlapping iv' iv ->
+          out := (Interval.hull iv' iv, o') :: rest
+      | _ -> out := (iv, o) :: !out)
+    pieces;
+  List.rev !out
+
+(* Replace the overlap region: remove [ovl]-entries, install [pieces]
+   (sorted, already internally coalesced), merging with the boundary
+   neighbours in [left]/[right] when owners match and intervals touch.
+   Maintains size/covered ledgers. *)
+let commit t left ovl pieces right =
+  let removed_w = List.fold_left (fun w (iv, _) -> w + Interval.width iv) 0 ovl in
+  let removed_n = List.length ovl in
+  let pieces, left, removed_w, removed_n =
+    match pieces with
+    | (p0, o0) :: rest -> begin
+        let left', m = remove_max t left in
+        match m with
+        | Some (jv, u) when t.owner_eq u o0 && jv.Interval.hi + 1 = p0.Interval.lo ->
+            ( (Interval.hull jv p0, o0) :: rest,
+              left',
+              removed_w + Interval.width jv,
+              removed_n + 1 )
+        | _ -> (pieces, left, removed_w, removed_n)
+      end
+    | [] -> (pieces, left, removed_w, removed_n)
+  in
+  let pieces, right, removed_w, removed_n =
+    match List.rev pieces with
+    | (pl, ol) :: rev_rest -> begin
+        let right', m = remove_min t right in
+        match m with
+        | Some (jv, u) when t.owner_eq u ol && pl.Interval.hi + 1 = jv.Interval.lo ->
+            ( List.rev ((Interval.hull pl jv, ol) :: rev_rest),
+              right',
+              removed_w + Interval.width jv,
+              removed_n + 1 )
+        | _ -> (pieces, right, removed_w, removed_n)
+      end
+    | [] -> (pieces, right, removed_w, removed_n)
+  in
+  let added_w = List.fold_left (fun w (iv, _) -> w + Interval.width iv) 0 pieces in
+  let added_n = List.length pieces in
+  let middle =
+    List.fold_left (fun acc (iv, o) -> join t acc (singleton t iv o)) Leaf pieces
+  in
+  t.root <- join t (join t left middle) right;
+  t.size <- t.size + added_n - removed_n;
+  t.covered <- t.covered + added_w - removed_w
+
+let stickout_left iv = function
+  | (jv, u) :: _ when jv.Interval.lo < iv.Interval.lo ->
+      [ (Interval.make jv.Interval.lo (iv.Interval.lo - 1), u) ]
+  | _ -> []
+
+let rec last_entry = function
+  | [] -> None
+  | [ x ] -> Some x
+  | _ :: rest -> last_entry rest
+
+let stickout_right iv ovl =
+  match last_entry ovl with
+  | Some (jv, u) when jv.Interval.hi > iv.Interval.hi ->
+      [ (Interval.make (iv.Interval.hi + 1) jv.Interval.hi, u) ]
+  | _ -> []
+
+let insert_replace t iv owner =
+  let left, ovl, right = extract_overlaps t iv in
+  let pieces = stickout_left iv ovl @ ((iv, owner) :: stickout_right iv ovl) in
+  commit t left ovl (coalesce_pieces t pieces) right
+
+let insert_merge t iv owner ~keep =
+  let left, ovl, right = extract_overlaps t iv in
+  let pieces = Vec.create (iv, owner) in
+  (match stickout_left iv ovl with [ p ] -> Vec.push pieces p | _ -> ());
+  let cur = ref iv.Interval.lo in
+  List.iter
+    (fun (jv, u) ->
+      let clip = Interval.inter jv iv in
+      if !cur < clip.Interval.lo then
+        Vec.push pieces (Interval.make !cur (clip.Interval.lo - 1), owner);
+      let seg_owner = match keep ~incumbent:u with `Keep -> u | `Replace -> owner in
+      Vec.push pieces (clip, seg_owner);
+      cur := clip.Interval.hi + 1)
+    ovl;
+  if !cur <= iv.Interval.hi then Vec.push pieces (Interval.make !cur iv.Interval.hi, owner);
+  (match stickout_right iv ovl with [ p ] -> Vec.push pieces p | _ -> ());
+  commit t left ovl (coalesce_pieces t (Array.to_list (Vec.to_array pieces))) right
+
+let clear_range t iv =
+  let left, ovl, right = extract_overlaps t iv in
+  let pieces = stickout_left iv ovl @ stickout_right iv ovl in
+  commit t left ovl pieces right
+
+let query t iv ~f =
+  let rec go n =
+    match n with
+    | Leaf -> ()
+    | Node nd ->
+        visit t;
+        if nd.iv.Interval.lo > iv.Interval.hi then go nd.left
+        else if nd.iv.Interval.hi < iv.Interval.lo then go nd.right
+        else begin
+          go nd.left;
+          f nd.iv nd.owner;
+          go nd.right
+        end
+  in
+  go t.root
+
+let find t addr =
+  let rec go n =
+    match n with
+    | Leaf -> None
+    | Node nd ->
+        visit t;
+        if addr < nd.iv.Interval.lo then go nd.left
+        else if addr > nd.iv.Interval.hi then go nd.right
+        else Some (nd.iv, nd.owner)
+  in
+  go t.root
+
+let iter t ~f = List.iter (fun (iv, o) -> f iv o) (in_order t.root [])
+let to_list t = in_order t.root []
+
+let reset t =
+  t.root <- Leaf;
+  t.size <- 0;
+  t.covered <- 0
+
+let validate t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let entries = to_list t in
+  let n = List.length entries in
+  if n <> t.size then fail "size ledger %d but %d entries" t.size n;
+  let w = List.fold_left (fun w (iv, _) -> w + Interval.width iv) 0 entries in
+  if w <> t.covered then fail "covered ledger %d but %d covered" t.covered w;
+  let rec check_pairs = function
+    | (iv1, o1) :: ((iv2, o2) :: _ as rest) ->
+        if iv2.Interval.lo <= iv1.Interval.hi then
+          fail "overlap: %s vs %s" (Interval.to_string iv1) (Interval.to_string iv2);
+        if t.owner_eq o1 o2 && iv1.Interval.hi + 1 = iv2.Interval.lo then
+          fail "uncoalesced same-owner neighbours at %d" iv2.Interval.lo;
+        check_pairs rest
+    | _ -> ()
+  in
+  check_pairs entries;
+  let rec check_heap = function
+    | Leaf -> ()
+    | Node nd ->
+        (match nd.left with
+        | Node l when l.prio > nd.prio -> fail "heap violation (left) at %d" nd.iv.Interval.lo
+        | _ -> ());
+        (match nd.right with
+        | Node r when r.prio > nd.prio -> fail "heap violation (right) at %d" nd.iv.Interval.lo
+        | _ -> ());
+        check_heap nd.left;
+        check_heap nd.right
+  in
+  check_heap t.root

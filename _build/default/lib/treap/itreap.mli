@@ -1,0 +1,78 @@
+(** STINT-style interval treap: a treap of pairwise {e non-overlapping}
+    memory intervals, each owned by one strand (Xu et al., ALENEX'22).
+
+    The tree is a BST on interval low endpoints and a max-heap on random
+    priorities.  Because stored intervals never overlap, low endpoints and
+    high endpoints induce the same order, which the query and insertion
+    algorithms exploit: the set of stored intervals overlapping a probe
+    interval is always contiguous in key order.
+
+    Insertions maintain the paper's exactness guarantee: inserting [3,7] by
+    [w] into a treap holding [1,4,u],[6,10,v] yields [1,2,u],[3,7,w],
+    [8,10,v].  Two insertion semantics cover the three access-history roles:
+
+    - {!insert_replace} — last-writer semantics: the new owner takes the
+      whole range; partially overlapped intervals are truncated.
+    - {!insert_merge} — reader semantics: per overlapped segment a caller
+      policy decides whether the incumbent survives ([`Keep]) or the new
+      strand takes over ([`Replace]); uncovered gaps always go to the new
+      strand.  The left-most and right-most reader treaps differ only in the
+      policy closure they pass.
+
+    [clear_range] supports §III-F: wiping a returning function's stack frame
+    and delayed heap frees.
+
+    Each treap instance is owned by exactly one worker (this is the whole
+    point of PINT's design) so nothing here is thread-safe.
+
+    Node visits are counted in an internal ledger so the benchmark harness
+    can charge virtual cycles proportional to real structural work. *)
+
+type 'o t
+
+(** [create ~seed ~owner_eq ()] — [owner_eq] lets insertions merge adjacent
+    equal-owner intervals, keeping the treap canonical and small. *)
+val create : seed:int -> owner_eq:('o -> 'o -> bool) -> unit -> 'o t
+
+(** Number of stored intervals. *)
+val size : 'o t -> int
+
+(** Total node visits performed so far (query + restructuring). *)
+val visits : 'o t -> int
+
+(** Total addresses covered by stored intervals. *)
+val covered : 'o t -> int
+
+(** [query t iv f] calls [f stored owner] for every stored interval
+    overlapping [iv], in increasing address order. *)
+val query : 'o t -> Interval.t -> f:(Interval.t -> 'o -> unit) -> unit
+
+(** [find t addr] — owner of the interval covering [addr], if any. *)
+val find : 'o t -> int -> (Interval.t * 'o) option
+
+(** [insert_replace t iv owner] — last-writer semantics (see above). *)
+val insert_replace : 'o t -> Interval.t -> 'o -> unit
+
+(** [insert_merge t iv owner ~keep] — reader semantics.  For every stored
+    segment [seg] with incumbent [u] overlapping [iv], the policy
+    [keep ~incumbent:u] decides the segment's new owner; gaps inside [iv]
+    get [owner].  The policy must be a pure function of the two owners. *)
+val insert_merge : 'o t -> Interval.t -> 'o -> keep:(incumbent:'o -> [ `Keep | `Replace ]) -> unit
+
+(** [clear_range t iv] removes all coverage of [iv], truncating stored
+    intervals that straddle its boundary. *)
+val clear_range : 'o t -> Interval.t -> unit
+
+(** In-order traversal of all stored intervals. *)
+val iter : 'o t -> f:(Interval.t -> 'o -> unit) -> unit
+
+(** All stored intervals in address order. *)
+val to_list : 'o t -> (Interval.t * 'o) list
+
+(** Remove everything. *)
+val reset : 'o t -> unit
+
+(** Check every structural invariant (BST order, heap order, disjointness,
+    canonical same-owner separation, size accounting); raises [Failure] on
+    violation.  Test-only. *)
+val validate : 'o t -> unit

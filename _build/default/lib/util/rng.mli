@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository (treap priorities, steal-victim
+    selection, workload input data) flows through this module so that every
+    run is bit-reproducible from a seed.  The generator is SplitMix64
+    (Steele, Lea & Flood 2014): 64-bit state, one multiply-xorshift round per
+    draw, and splittable so independent components can derive independent
+    streams from one master seed. *)
+
+type t
+
+(** [create seed] makes a fresh generator.  Equal seeds give equal streams. *)
+val create : int -> t
+
+(** [copy t] duplicates the generator state. *)
+val copy : t -> t
+
+(** [split t] derives a new, statistically independent generator and
+    advances [t].  Used to hand each worker / treap its own stream. *)
+val split : t -> t
+
+(** [next t] returns the next raw 63-bit non-negative value. *)
+val next : t -> int
+
+(** [int t bound] returns a uniform value in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] returns a uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t] returns a uniform boolean. *)
+val bool : t -> bool
+
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit

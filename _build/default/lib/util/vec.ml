@@ -1,0 +1,80 @@
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ?(capacity = 8) dummy =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity dummy; len = 0; dummy }
+
+let length v = v.len
+let is_empty v = v.len = 0
+
+let check v i fn = if i < 0 || i >= v.len then invalid_arg ("Vec." ^ fn ^ ": index out of bounds")
+
+let get v i =
+  check v i "get";
+  v.data.(i)
+
+let set v i x =
+  check v i "set";
+  v.data.(i) <- x
+
+let grow v =
+  let cap = Array.length v.data in
+  let data = Array.make (2 * cap) v.dummy in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then grow v;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  let x = v.data.(v.len) in
+  v.data.(v.len) <- v.dummy;
+  x
+
+let peek v =
+  if v.len = 0 then invalid_arg "Vec.peek: empty";
+  v.data.(v.len - 1)
+
+let clear v =
+  Array.fill v.data 0 v.len v.dummy;
+  v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_array v = Array.sub v.data 0 v.len
+
+let of_array ~dummy a =
+  let n = Array.length a in
+  let v = create ~capacity:(max n 1) dummy in
+  Array.blit a 0 v.data 0 n;
+  v.len <- n;
+  v
+
+let sort cmp v =
+  let live = Array.sub v.data 0 v.len in
+  Array.sort cmp live;
+  Array.blit live 0 v.data 0 v.len
+
+let truncate v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.truncate";
+  Array.fill v.data n (v.len - n) v.dummy;
+  v.len <- n

@@ -1,0 +1,55 @@
+(** Growable array (vector).
+
+    A thin, allocation-conscious resizable array used for per-strand access
+    logs, trace chunks and result accumulation.  Not thread-safe: every
+    instance is owned by a single worker. *)
+
+type 'a t
+
+(** [create ?capacity dummy] makes an empty vector.  [dummy] fills unused
+    slots (required because OCaml arrays cannot be partially initialized). *)
+val create : ?capacity:int -> 'a -> 'a t
+
+(** Number of elements currently stored. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [get v i] is the [i]-th element.
+    @raise Invalid_argument if [i] is out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** [set v i x] replaces the [i]-th element.
+    @raise Invalid_argument if [i] is out of bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** [push v x] appends [x], growing the backing store if needed. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop v] removes and returns the last element.
+    @raise Invalid_argument if empty. *)
+val pop : 'a t -> 'a
+
+(** Last element without removing it.
+    @raise Invalid_argument if empty. *)
+val peek : 'a t -> 'a
+
+(** [clear v] drops all elements (capacity is retained, slots reset to the
+    dummy so stale pointers are not kept alive). *)
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+(** Copy out the live elements. *)
+val to_array : 'a t -> 'a array
+
+val of_array : dummy:'a -> 'a array -> 'a t
+
+(** [sort cmp v] sorts the live elements in place. *)
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+
+(** [truncate v n] keeps the first [n] elements.
+    @raise Invalid_argument if [n] is negative or exceeds the length. *)
+val truncate : 'a t -> int -> unit

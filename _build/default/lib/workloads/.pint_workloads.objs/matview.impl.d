@@ -1,0 +1,1 @@
+lib/workloads/matview.ml: Access Membuf

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: List Wl_chol Wl_fft Wl_heat Wl_mmul Wl_sort Wl_stra Workload

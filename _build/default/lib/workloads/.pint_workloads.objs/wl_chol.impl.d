@@ -1,0 +1,1 @@
+lib/workloads/wl_chol.ml: Access Fj Float Matview Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_fft.ml: Access Fj Float Membuf Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_heat.ml: Access Array Fj Float Membuf Workload

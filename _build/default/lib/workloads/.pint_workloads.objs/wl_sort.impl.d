@@ -1,0 +1,1 @@
+lib/workloads/wl_sort.ml: Access Fj Float Membuf Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_stra.ml: Access Array Fj Float Matview Rng Workload

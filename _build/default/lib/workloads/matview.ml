@@ -1,0 +1,61 @@
+module Row = struct
+  type t = { buf : Membuf.f; r0 : int; c0 : int; stride : int }
+
+  let whole buf n = { buf; r0 = 0; c0 = 0; stride = n }
+
+  let quad t n q =
+    let h = n / 2 in
+    {
+      t with
+      r0 = t.r0 + (if q >= 2 then h else 0);
+      c0 = t.c0 + (if q land 1 = 1 then h else 0);
+    }
+
+  let idx t i j = ((t.r0 + i) * t.stride) + t.c0 + j
+  let get t i j = Membuf.get_f t.buf (idx t i j)
+  let set t i j v = Membuf.set_f t.buf (idx t i j) v
+  let peek t i j = Membuf.peek_f t.buf (idx t i j)
+  let poke t i j v = Membuf.poke_f t.buf (idx t i j) v
+
+  let announce_read t n =
+    for i = 0 to n - 1 do
+      Access.emit_read ~addr:(Membuf.base_f t.buf + idx t i 0) ~len:n
+    done
+
+  let announce_write t n =
+    for i = 0 to n - 1 do
+      Access.emit_write ~addr:(Membuf.base_f t.buf + idx t i 0) ~len:n
+    done
+end
+
+module Z = struct
+  type t = { buf : Membuf.f; off : int; n : int; base : int }
+
+  let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+  let whole buf n ~base =
+    if not (is_pow2 n && is_pow2 base && base <= n) then
+      invalid_arg "Matview.Z.whole: need power-of-two n and base with base <= n";
+    { buf; off = 0; n; base }
+
+  let quad t q =
+    let h = t.n / 2 in
+    { t with off = t.off + (q * h * h); n = h }
+
+  (* Address of (i, j): descend quadrants until the row-major leaf. *)
+  let rec idx t i j =
+    if t.n <= t.base then t.off + (i * t.n) + j
+    else begin
+      let h = t.n / 2 in
+      let q = (if i >= h then 2 else 0) + if j >= h then 1 else 0 in
+      idx (quad t q) (i mod h) (j mod h)
+    end
+
+  let get t i j = Membuf.get_f t.buf (idx t i j)
+  let set t i j v = Membuf.set_f t.buf (idx t i j) v
+  let peek t i j = Membuf.peek_f t.buf (idx t i j)
+  let poke t i j v = Membuf.poke_f t.buf (idx t i j) v
+
+  let announce_read t = Access.emit_read ~addr:(Membuf.base_f t.buf + t.off) ~len:(t.n * t.n)
+  let announce_write t = Access.emit_write ~addr:(Membuf.base_f t.buf + t.off) ~len:(t.n * t.n)
+end

@@ -1,0 +1,58 @@
+(** Matrix views over instrumented buffers.
+
+    {!Row} is a conventional row-major submatrix view (buffer + origin +
+    stride): a row of a submatrix is contiguous, so interval coalescing
+    works per-row and fragments across rows — the [stra] situation.
+
+    {!Z} is a Morton/Z-order view down to [base]-sized row-major leaf
+    blocks: every aligned power-of-two quadrant is one contiguous address
+    range, so whole sub-products coalesce into single intervals — the
+    [straz] situation.  Quadrant [q] (0=NW, 1=NE, 2=SW, 3=SE) of an
+    [n]-block at offset [off] lives at [off + q*(n/2)^2]. *)
+
+module Row : sig
+  type t = { buf : Membuf.f; r0 : int; c0 : int; stride : int }
+
+  (** [whole buf n] — view an [n*n] row-major matrix occupying the buffer. *)
+  val whole : Membuf.f -> int -> t
+
+  (** [quad t n q] — quadrant [q] of the [n×n] view [t]. *)
+  val quad : t -> int -> int -> t
+
+  val get : t -> int -> int -> float
+  val set : t -> int -> int -> float -> unit
+
+  (** Uninstrumented accessors for setup / verification. *)
+  val peek : t -> int -> int -> float
+
+  val poke : t -> int -> int -> float -> unit
+
+  (** Bulk-interval announcements over the [n×n] extent of the view, one
+      event per (contiguous) row — the compile-time-coalescing stand-in for
+      row-major leaf kernels. *)
+  val announce_read : t -> int -> unit
+
+  val announce_write : t -> int -> unit
+end
+
+module Z : sig
+  type t = { buf : Membuf.f; off : int; n : int; base : int }
+
+  (** [whole buf n ~base] — an [n×n] Morton matrix with [base×base]
+      row-major leaves.  [n] and [base] must be powers of two, [base <= n]. *)
+  val whole : Membuf.f -> int -> base:int -> t
+
+  (** Quadrant [q] (0..3) of the view; the result is contiguous. *)
+  val quad : t -> int -> t
+
+  val get : t -> int -> int -> float
+  val set : t -> int -> int -> float -> unit
+  val peek : t -> int -> int -> float
+  val poke : t -> int -> int -> float -> unit
+
+  (** Bulk-interval read/write announcements for a whole leaf block —
+      the compile-time-coalescing stand-in used by leaf kernels. *)
+  val announce_read : t -> unit
+
+  val announce_write : t -> unit
+end

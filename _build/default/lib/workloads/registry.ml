@@ -1,0 +1,13 @@
+(* The paper's benchmark suite, in its Figure-1 row order. *)
+let all () =
+  [
+    Wl_chol.workload;
+    Wl_heat.workload;
+    Wl_mmul.workload;
+    Wl_sort.workload;
+    Wl_stra.workload_row;
+    Wl_stra.workload_z;
+    Wl_fft.workload;
+  ]
+
+let find name = List.find (fun w -> w.Workload.name = name) (all ())

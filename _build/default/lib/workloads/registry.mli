@@ -1,0 +1,9 @@
+(** The benchmark suite. *)
+
+(** All seven benchmarks in the paper's row order:
+    chol, heat, mmul, sort, stra, straz, fft. *)
+val all : unit -> Workload.t list
+
+(** Look a workload up by name.
+    @raise Not_found for unknown names. *)
+val find : string -> Workload.t

@@ -1,0 +1,131 @@
+(* chol — tiled right-looking Cholesky factorization (lower triangular).
+
+   Per step k: factor the diagonal tile, triangular-solve the tiles below
+   it in parallel, sync, then update the trailing submatrix with one
+   parallel task per tile, sync.  Tile kernels announce their rows as bulk
+   intervals.
+
+   The racy variant omits the sync between the solve and update phases, so
+   updates read panel tiles that the solves are still writing. *)
+
+module R = Matview.Row
+
+let tile (a : R.t) b ti tj = { a with R.r0 = a.R.r0 + (ti * b); c0 = a.R.c0 + (tj * b) }
+
+(* in-place Cholesky of a b×b tile (lower triangle; upper left untouched) *)
+let potrf (t : R.t) b =
+  R.announce_read t b;
+  R.announce_write t b;
+  Access.emit_compute ~amount:(b * b * b / 3);
+  for c = 0 to b - 1 do
+    let s = ref (R.peek t c c) in
+    for k = 0 to c - 1 do
+      s := !s -. (R.peek t c k *. R.peek t c k)
+    done;
+    let d = sqrt !s in
+    R.poke t c c d;
+    for r = c + 1 to b - 1 do
+      let s = ref (R.peek t r c) in
+      for k = 0 to c - 1 do
+        s := !s -. (R.peek t r k *. R.peek t c k)
+      done;
+      R.poke t r c (!s /. d)
+    done
+  done
+
+(* X := X · L^{-T} where L is the (lower) diagonal tile *)
+let trsm (l : R.t) (x : R.t) b =
+  R.announce_read l b;
+  R.announce_read x b;
+  R.announce_write x b;
+  Access.emit_compute ~amount:(b * b * b);
+  for r = 0 to b - 1 do
+    for c = 0 to b - 1 do
+      let s = ref (R.peek x r c) in
+      for k = 0 to c - 1 do
+        s := !s -. (R.peek x r k *. R.peek l c k)
+      done;
+      R.poke x r c (!s /. R.peek l c c)
+    done
+  done
+
+(* T := T − X · Yᵀ *)
+let gemm_update (t : R.t) (x : R.t) (y : R.t) b =
+  R.announce_read x b;
+  R.announce_read y b;
+  R.announce_read t b;
+  R.announce_write t b;
+  Access.emit_compute ~amount:(2 * b * b * b);
+  for i = 0 to b - 1 do
+    for j = 0 to b - 1 do
+      let s = ref (R.peek t i j) in
+      for k = 0 to b - 1 do
+        s := !s -. (R.peek x i k *. R.peek y j k)
+      done;
+      R.poke t i j !s
+    done
+  done
+
+let chol ~sync_phases (a : R.t) n b =
+  let nt = n / b in
+  for k = 0 to nt - 1 do
+    potrf (tile a b k k) b;
+    Fj.scope (fun () ->
+        for i = k + 1 to nt - 1 do
+          Fj.spawn (fun () -> trsm (tile a b k k) (tile a b i k) b)
+        done;
+        if sync_phases then Fj.sync ();
+        for i = k + 1 to nt - 1 do
+          for j = k + 1 to i do
+            Fj.spawn (fun () -> gemm_update (tile a b i j) (tile a b i k) (tile a b j k) b)
+          done
+        done;
+        Fj.sync ())
+  done
+
+let input_entry n i j = (if i = j then float_of_int n else 0.) +. (1. /. (1. +. Float.abs (float_of_int (i - j))))
+
+let make_gen ~sync_phases ~size ~base =
+  let n = size and b = base in
+  if n mod b <> 0 then invalid_arg "chol: base must divide size";
+  let state = ref None in
+  let run () =
+    let buf = Fj.alloc_f (n * n) in
+    let a = R.whole buf n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        R.poke a i j (input_entry n i j)
+      done
+    done;
+    state := Some a;
+    chol ~sync_phases a n b
+  in
+  let check () =
+    match !state with
+    | None -> false
+    | Some l ->
+        (* (L·Lᵀ)[i][j] must reproduce the input (lower triangle) *)
+        let rng = Rng.create 4004 in
+        let ok = ref true in
+        for _ = 1 to 64 do
+          let i = Rng.int rng n in
+          let j = Rng.int rng (i + 1) in
+          let s = ref 0. in
+          for k = 0 to j do
+            s := !s +. (R.peek l i k *. R.peek l j k)
+          done;
+          if Float.abs (!s -. input_entry n i j) > 1e-6 *. float_of_int n then ok := false
+        done;
+        !ok
+  in
+  { Workload.run; check }
+
+let workload =
+  {
+      Workload.name = "chol";
+      description = "tiled right-looking Cholesky factorization";
+      default_size = 256;
+      default_base = 32;
+      make = (fun ~size ~base -> make_gen ~sync_phases:true ~size ~base);
+      racy = Some (fun ~size ~base -> make_gen ~sync_phases:false ~size ~base);
+    }

@@ -1,0 +1,124 @@
+(* fft — iterative in-place Cooley–Tukey FFT with a parallel bit-reversal
+   permutation, over split real/imaginary buffers.
+
+   The bit-reversal phase swaps each element with its bit-reversed partner:
+   the partner addresses are scattered across the whole array, so a strand's
+   accesses coalesce into hundreds of tiny intervals.  This is the paper's
+   interval-hostile benchmark (§IV-A): the number of intervals stays close
+   to the number of accesses, so interval-based access history loses its
+   advantage over the per-access hashmap.  The butterfly stages are
+   parallelized over contiguous block ranges and coalesce normally.
+
+   Every element access is instrumented individually (no bulk announces) —
+   there is nothing for a compiler to coalesce here.
+
+   The racy variant skips the sync between the bit-reversal and the first
+   butterfly stage. *)
+
+let bit_reverse ~bits i =
+  let r = ref 0 in
+  for b = 0 to bits - 1 do
+    if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+  done;
+  !r
+
+(* parallel-for over [lo,hi) by recursive splitting with base chunk size *)
+let rec par_for base lo hi f =
+  if hi - lo <= base then
+    for i = lo to hi - 1 do
+      f i
+    done
+  else begin
+    let mid = (lo + hi) / 2 in
+    Fj.scope (fun () ->
+        Fj.spawn (fun () -> par_for base lo mid f);
+        par_for base mid hi f;
+        Fj.sync ())
+  end
+
+let get re im k = (Membuf.get_f re k, Membuf.get_f im k)
+
+let set re im k (x, y) =
+  Membuf.set_f re k x;
+  Membuf.set_f im k y
+
+let fft ~synced ~base re im n =
+  let bits =
+    let rec go b = if 1 lsl b = n then b else go (b + 1) in
+    go 0
+  in
+  Fj.scope (fun () ->
+      (* bit-reversal: the pair (i, rev i) is swapped by the strand owning
+         min(i, rev i), so parallel chunks never conflict — but their writes
+         land all over the array.  Spawned so the racy variant can overlap
+         it with the first butterfly stage. *)
+      Fj.spawn (fun () ->
+          par_for base 0 n (fun i ->
+              Access.emit_compute ~amount:4;
+          let j = bit_reverse ~bits i in
+              if i < j then begin
+                let a = get re im i and b = get re im j in
+                set re im i b;
+                set re im j a
+              end));
+      if synced then Fj.sync ();
+      (* butterfly stages, parallel over the global butterfly index so late
+         stages (few blocks) still split within a block *)
+      let len = ref 2 in
+      while !len <= n do
+        let l = !len in
+        let h = l / 2 in
+        par_for (max 1 (base / 2)) 0 (n / 2) (fun g ->
+            let blk = g / h and k = g mod h in
+            let start = blk * l in
+            Access.emit_compute ~amount:10;
+            let ang = -2. *. Float.pi *. float_of_int k /. float_of_int l in
+            let wr = cos ang and wi = sin ang in
+            let ur, ui = get re im (start + k) in
+            let vr, vi = get re im (start + k + h) in
+            let tr = (wr *. vr) -. (wi *. vi) and ti = (wr *. vi) +. (wi *. vr) in
+            set re im (start + k) (ur +. tr, ui +. ti);
+            set re im (start + k + h) (ur -. tr, ui -. ti));
+        Fj.sync ();
+        len := l * 2
+      done)
+
+let make_gen ~synced ~size ~base =
+  let n = size in
+  let state = ref None in
+  let run () =
+    let re = Fj.alloc_f n and im = Fj.alloc_f n in
+    (* input: impulse at 0 plus a pure complex tone at bin 3 *)
+    Membuf.poke_f re 0 1.0;
+    for t = 0 to n - 1 do
+      let ang = 2. *. Float.pi *. 3. *. float_of_int t /. float_of_int n in
+      Membuf.poke_f re t (Membuf.peek_f re t +. cos ang);
+      Membuf.poke_f im t (sin ang)
+    done;
+    state := Some (re, im);
+    fft ~synced ~base re im n
+  in
+  let check () =
+    match !state with
+    | None -> false
+    | Some (re, im) ->
+        (* the impulse contributes 1 everywhere; the tone n at bin 3 *)
+        let ok = ref true in
+        for k = 0 to n - 1 do
+          let want_re = if k = 3 then 1. +. float_of_int n else 1. in
+          if Float.abs (Membuf.peek_f re k -. want_re) > 1e-6 *. float_of_int n then ok := false;
+          if Float.abs (Membuf.peek_f im k) > 1e-6 *. float_of_int n then ok := false
+        done;
+        !ok
+  in
+  { Workload.run; check }
+
+let workload =
+  {
+    Workload.name = "fft";
+    description = "iterative FFT with parallel bit-reversal (scattered intervals)";
+    default_size = 4096;
+    default_base = 64;
+    make = (fun ~size ~base -> make_gen ~synced:true ~size ~base);
+    racy = Some (fun ~size ~base -> make_gen ~synced:false ~size ~base);
+  }

@@ -1,0 +1,98 @@
+(* mmul — blocked recursive matrix multiplication, C = A·B, row-major.
+
+   The classic two-phase divide and conquer: the four quadrant products
+   that write disjoint C quadrants run in parallel, a sync, then the four
+   accumulating products.  Leaf kernels announce their block rows as bulk
+   intervals (the compile-time-coalescing stand-in) and compute with
+   uninstrumented arithmetic.
+
+   The racy variant omits the sync between the two phases, so the
+   accumulating products race with the initializing ones on every C
+   quadrant. *)
+
+module R = Matview.Row
+
+(* C += A·B on an n×n leaf (when [init], C = A·B). *)
+let leaf_kernel ~init (c : R.t) (a : R.t) (b : R.t) n =
+  R.announce_read a n;
+  R.announce_read b n;
+  if not init then R.announce_read c n;
+  R.announce_write c n;
+  Access.emit_compute ~amount:(2 * n * n * n);
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref (if init then 0. else R.peek c i j) in
+      for k = 0 to n - 1 do
+        acc := !acc +. (R.peek a i k *. R.peek b k j)
+      done;
+      R.poke c i j !acc
+    done
+  done
+
+let rec mm ~sync_phases ~init c a b n base =
+  if n <= base then leaf_kernel ~init c a b n
+  else begin
+    let h = n / 2 in
+    let q v i = R.quad v n i in
+    Fj.scope (fun () ->
+        (* phase 1: C_q (init or +=) gets A_left · B_top products *)
+        Fj.spawn (fun () -> mm ~sync_phases ~init (q c 0) (q a 0) (q b 0) h base);
+        Fj.spawn (fun () -> mm ~sync_phases ~init (q c 1) (q a 0) (q b 1) h base);
+        Fj.spawn (fun () -> mm ~sync_phases ~init (q c 2) (q a 2) (q b 0) h base);
+        mm ~sync_phases ~init (q c 3) (q a 2) (q b 1) h base;
+        if sync_phases then Fj.sync ();
+        (* phase 2: accumulate the A_right · B_bottom products *)
+        Fj.spawn (fun () -> mm ~sync_phases ~init:false (q c 0) (q a 1) (q b 2) h base);
+        Fj.spawn (fun () -> mm ~sync_phases ~init:false (q c 1) (q a 1) (q b 3) h base);
+        Fj.spawn (fun () -> mm ~sync_phases ~init:false (q c 2) (q a 3) (q b 2) h base);
+        mm ~sync_phases ~init:false (q c 3) (q a 3) (q b 3) h base;
+        Fj.sync ())
+  end
+
+let fill_input rng (v : R.t) n =
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      R.poke v i j (Rng.float rng -. 0.5)
+    done
+  done
+
+let make_gen ~sync_phases ~size ~base =
+  let n = size in
+  let state = ref None in
+  let run () =
+    let ba = Fj.alloc_f (n * n) and bb = Fj.alloc_f (n * n) and bc = Fj.alloc_f (n * n) in
+    let a = R.whole ba n and b = R.whole bb n and c = R.whole bc n in
+    let rng = Rng.create 90125 in
+    fill_input rng a n;
+    fill_input rng b n;
+    state := Some (a, b, c);
+    mm ~sync_phases ~init:true c a b n base
+  in
+  let check () =
+    match !state with
+    | None -> false
+    | Some (a, b, c) ->
+        (* verify a deterministic sample of entries against the naive product *)
+        let rng = Rng.create 777 in
+        let ok = ref true in
+        for _ = 1 to 64 do
+          let i = Rng.int rng n and j = Rng.int rng n in
+          let acc = ref 0. in
+          for k = 0 to n - 1 do
+            acc := !acc +. (R.peek a i k *. R.peek b k j)
+          done;
+          if Float.abs (!acc -. R.peek c i j) > 1e-6 *. float_of_int n then ok := false
+        done;
+        !ok
+  in
+  { Workload.run; check }
+
+let workload =
+  {
+    Workload.name = "mmul";
+      description = "blocked recursive matrix multiplication (row-major)";
+      default_size = 256;
+      default_base = 64;
+      make = (fun ~size ~base -> make_gen ~sync_phases:true ~size ~base);
+      racy = Some (fun ~size ~base -> make_gen ~sync_phases:false ~size ~base);
+    }

@@ -1,0 +1,143 @@
+(* sort — parallel mergesort in the cilksort style.
+
+   [msort src dst tmp] sorts [src] into [dst] using [tmp] as scratch: the
+   two halves are sorted in parallel into the scratch halves, then merged
+   in parallel back into [dst].  The parallel merge splits the larger run
+   at its median, binary-searches the split point in the other run, and
+   recursively merges the two independent parts into disjoint output
+   ranges.  Runs below [base] fall back to sequential insertion sort /
+   sequential merge kernels that announce bulk intervals.
+
+   The racy variant merges with an off-by-one split so the two sub-merges
+   overlap by one output slot. *)
+
+let announce_r buf off len = if len > 0 then Access.emit_read ~addr:(Membuf.base_f buf + off) ~len
+let announce_w buf off len = if len > 0 then Access.emit_write ~addr:(Membuf.base_f buf + off) ~len
+
+(* sequential insertion sort of [src[lo,hi)] into [dst[dlo,...)] *)
+let seq_sort src lo hi dst dlo =
+  let n = hi - lo in
+  announce_r src lo n;
+  announce_w dst dlo n;
+  Access.emit_compute ~amount:(4 * n);
+  for k = 0 to n - 1 do
+    Membuf.poke_f dst (dlo + k) (Membuf.peek_f src (lo + k))
+  done;
+  for i = 1 to n - 1 do
+    let v = Membuf.peek_f dst (dlo + i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && Membuf.peek_f dst (dlo + !j) > v do
+      Membuf.poke_f dst (dlo + !j + 1) (Membuf.peek_f dst (dlo + !j));
+      decr j
+    done;
+    Membuf.poke_f dst (dlo + !j + 1) v
+  done
+
+(* sequential merge of src[l0,l1) and src[r0,r1) into dst[d,...) *)
+let seq_merge src l0 l1 r0 r1 dst d =
+  announce_r src l0 (l1 - l0);
+  announce_r src r0 (r1 - r0);
+  announce_w dst d (l1 - l0 + (r1 - r0));
+  Access.emit_compute ~amount:(2 * (l1 - l0 + (r1 - r0)));
+  let i = ref l0 and j = ref r0 and k = ref d in
+  while !i < l1 && !j < r1 do
+    if Membuf.peek_f src !i <= Membuf.peek_f src !j then begin
+      Membuf.poke_f dst !k (Membuf.peek_f src !i);
+      incr i
+    end
+    else begin
+      Membuf.poke_f dst !k (Membuf.peek_f src !j);
+      incr j
+    end;
+    incr k
+  done;
+  while !i < l1 do
+    Membuf.poke_f dst !k (Membuf.peek_f src !i);
+    incr i;
+    incr k
+  done;
+  while !j < r1 do
+    Membuf.poke_f dst !k (Membuf.peek_f src !j);
+    incr j;
+    incr k
+  done
+
+(* first index in src[lo,hi) with src[idx] >= v *)
+let lower_bound src lo hi v =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Membuf.peek_f src mid < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let rec par_merge ~skew base src l0 l1 r0 r1 dst d =
+  let ln = l1 - l0 and rn = r1 - r0 in
+  if ln + rn <= base then seq_merge src l0 l1 r0 r1 dst d
+  else if ln < rn then par_merge ~skew base src r0 r1 l0 l1 dst d
+  else begin
+    (* split the larger (left) run at its median *)
+    let lm = (l0 + l1) / 2 in
+    announce_r src lm 1;
+    let pivot = Membuf.peek_f src lm in
+    let rm = lower_bound src r0 r1 pivot in
+    announce_r src r0 (max 1 (r1 - r0));
+    (* [skew] shifts the right sub-merge's output one slot left, making the
+       two sub-merges overlap — the injected race *)
+    let d2 = d + (lm - l0) + (rm - r0) - skew in
+    Fj.scope (fun () ->
+        Fj.spawn (fun () -> par_merge ~skew base src l0 lm r0 rm dst d);
+        par_merge ~skew base src lm l1 rm r1 dst d2;
+        Fj.sync ())
+  end
+
+let rec msort ~skew base src lo hi dst dlo tmp tlo =
+  let n = hi - lo in
+  if n <= base then seq_sort src lo hi dst dlo
+  else begin
+    let half = n / 2 in
+    Fj.scope (fun () ->
+        Fj.spawn (fun () -> msort ~skew base src lo (lo + half) tmp tlo dst dlo);
+        msort ~skew base src (lo + half) hi tmp (tlo + half) dst (dlo + half);
+        Fj.sync ());
+    par_merge ~skew base tmp tlo (tlo + half) (tlo + half) (tlo + n) dst dlo
+  end
+
+let make_gen ~skew ~size ~base =
+  let n = size in
+  let state = ref None in
+  let run () =
+    let src = Fj.alloc_f n and dst = Fj.alloc_f n and tmp = Fj.alloc_f n in
+    let rng = Rng.create 5150 in
+    let sum = ref 0. in
+    for i = 0 to n - 1 do
+      let v = Rng.float rng in
+      Membuf.poke_f src i v;
+      sum := !sum +. v
+    done;
+    state := Some (dst, !sum);
+    msort ~skew base src 0 n dst 0 tmp 0
+  in
+  let check () =
+    match !state with
+    | None -> false
+    | Some (dst, want_sum) ->
+        let ok = ref true in
+        let sum = ref (Membuf.peek_f dst 0) in
+        for i = 1 to n - 1 do
+          if Membuf.peek_f dst i < Membuf.peek_f dst (i - 1) then ok := false;
+          sum := !sum +. Membuf.peek_f dst i
+        done;
+        !ok && Float.abs (!sum -. want_sum) < 1e-6 *. float_of_int n
+  in
+  { Workload.run; check }
+
+let workload =
+  {
+      Workload.name = "sort";
+      description = "parallel mergesort with parallel merge (cilksort)";
+      default_size = 32768;
+      default_base = 512;
+      make = (fun ~size ~base -> make_gen ~skew:0 ~size ~base);
+      racy = Some (fun ~size ~base -> make_gen ~skew:1 ~size ~base);
+    }

@@ -1,0 +1,203 @@
+(* stra / straz — Strassen's matrix multiplication, in row-major layout
+   (stra) and Morton-Z layout (straz).
+
+   The seven sub-products run in parallel, each into heap-allocated
+   temporaries (exercising PINT's delayed free), then the four output
+   quadrants combine in parallel.  The only difference between the two
+   benchmarks is the memory layout of the matrices: in Z order an aligned
+   quadrant is one contiguous interval, while in row-major it fragments
+   into per-row intervals — which is exactly the access-history contrast
+   the paper evaluates. *)
+
+module R = Matview.Row
+module Z = Matview.Z
+
+type mat = RowM of R.t * int | ZM of Z.t
+
+let size = function RowM (_, n) -> n | ZM z -> z.Z.n
+let quad m q = match m with RowM (v, n) -> RowM (R.quad v n q, n / 2) | ZM z -> ZM (Z.quad z q)
+let peek m i j = match m with RowM (v, _) -> R.peek v i j | ZM z -> Z.peek z i j
+let poke m i j x = match m with RowM (v, _) -> R.poke v i j x | ZM z -> Z.poke z i j x
+let announce_read = function RowM (v, n) -> R.announce_read v n | ZM z -> Z.announce_read z
+let announce_write = function RowM (v, n) -> R.announce_write v n | ZM z -> Z.announce_write z
+
+(* temporaries live in their own buffers; give them the same layout family
+   as the main matrices so the interval shapes stay representative *)
+type layout = Lrow | Lz
+
+let alloc_temp layout n ~base =
+  let buf = Fj.alloc_f (n * n) in
+  let m = match layout with Lrow -> RowM (R.whole buf n, n) | Lz -> ZM (Z.whole buf n ~base) in
+  (buf, m)
+
+(* dst = a ⊕ b elementwise *)
+let add_kernel op dst a b =
+  let n = size dst in
+  announce_read a;
+  announce_read b;
+  announce_write dst;
+  Access.emit_compute ~amount:(n * n);
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      poke dst i j (op (peek a i j) (peek b i j))
+    done
+  done
+
+(* dst = a (copy) *)
+let copy_kernel dst a =
+  let n = size dst in
+  announce_read a;
+  announce_write dst;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      poke dst i j (peek a i j)
+    done
+  done
+
+let mult_leaf c a b =
+  let n = size c in
+  announce_read a;
+  announce_read b;
+  announce_write c;
+  Access.emit_compute ~amount:(2 * n * n * n);
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0. in
+      for k = 0 to n - 1 do
+        acc := !acc +. (peek a i k *. peek b k j)
+      done;
+      poke c i j !acc
+    done
+  done
+
+(* c = m1 ⊕1 m2 ⊕2 m3 ⊕3 m4 (quadrant combines) *)
+let combine4 c f m1 m2 m3 m4 =
+  let n = size c in
+  announce_read m1;
+  announce_read m2;
+  announce_read m3;
+  announce_read m4;
+  announce_write c;
+  Access.emit_compute ~amount:(3 * n * n);
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      poke c i j (f (peek m1 i j) (peek m2 i j) (peek m3 i j) (peek m4 i j))
+    done
+  done
+
+let combine2 c f m1 m2 =
+  let n = size c in
+  announce_read m1;
+  announce_read m2;
+  announce_write c;
+  Access.emit_compute ~amount:(n * n);
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      poke c i j (f (peek m1 i j) (peek m2 i j))
+    done
+  done
+
+let rec strassen layout ~base c a b =
+  let n = size c in
+  if n <= base then mult_leaf c a b
+  else begin
+    let h = n / 2 in
+    let a11 = quad a 0 and a12 = quad a 1 and a21 = quad a 2 and a22 = quad a 3 in
+    let b11 = quad b 0 and b12 = quad b 1 and b21 = quad b 2 and b22 = quad b 3 in
+    (* one temp pair + result per product *)
+    let temps = Array.init 7 (fun _ ->
+        let ta = alloc_temp layout h ~base in
+        let tb = alloc_temp layout h ~base in
+        let m = alloc_temp layout h ~base in
+        (ta, tb, m))
+    in
+    let product i fa fb =
+      let (_, ta), (_, tb), (_, m) = temps.(i) in
+      fa ta;
+      fb tb;
+      strassen layout ~base m ta tb
+    in
+    let m i = let _, _, (_, mm) = temps.(i) in mm in
+    Fj.scope (fun () ->
+        Fj.spawn (fun () -> product 0 (fun t -> add_kernel ( +. ) t a11 a22) (fun t -> add_kernel ( +. ) t b11 b22));
+        Fj.spawn (fun () -> product 1 (fun t -> add_kernel ( +. ) t a21 a22) (fun t -> copy_kernel t b11));
+        Fj.spawn (fun () -> product 2 (fun t -> copy_kernel t a11) (fun t -> add_kernel ( -. ) t b12 b22));
+        Fj.spawn (fun () -> product 3 (fun t -> copy_kernel t a22) (fun t -> add_kernel ( -. ) t b21 b11));
+        Fj.spawn (fun () -> product 4 (fun t -> add_kernel ( +. ) t a11 a12) (fun t -> copy_kernel t b22));
+        Fj.spawn (fun () -> product 5 (fun t -> add_kernel ( -. ) t a21 a11) (fun t -> add_kernel ( +. ) t b11 b12));
+        product 6 (fun t -> add_kernel ( -. ) t a12 a22) (fun t -> add_kernel ( +. ) t b21 b22);
+        Fj.sync ();
+        let c11 = quad c 0 and c12 = quad c 1 and c21 = quad c 2 and c22 = quad c 3 in
+        Fj.spawn (fun () ->
+            combine4 c11 (fun m1 m4 m5 m7 -> m1 +. m4 -. m5 +. m7) (m 0) (m 3) (m 4) (m 6));
+        Fj.spawn (fun () -> combine2 c12 ( +. ) (m 2) (m 4));
+        Fj.spawn (fun () -> combine2 c21 ( +. ) (m 1) (m 3));
+        combine4 c22 (fun m1 m2 m3 m6 -> m1 -. m2 +. m3 +. m6) (m 0) (m 1) (m 2) (m 5);
+        Fj.sync ());
+    Array.iter
+      (fun ((ba, _), (bb, _), (bm, _)) ->
+        Fj.free_f ba;
+        Fj.free_f bb;
+        Fj.free_f bm)
+      temps
+  end
+
+let fill rng m =
+  let n = size m in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      poke m i j (Rng.float rng -. 0.5)
+    done
+  done
+
+let make_gen layout ~size:n ~base =
+  let state = ref None in
+  let run () =
+    let mk () =
+      let buf = Fj.alloc_f (n * n) in
+      match layout with Lrow -> RowM (R.whole buf n, n) | Lz -> ZM (Z.whole buf n ~base)
+    in
+    let a = mk () and b = mk () and c = mk () in
+    let rng = Rng.create 8086 in
+    fill rng a;
+    fill rng b;
+    state := Some (a, b, c);
+    strassen layout ~base c a b
+  in
+  let check () =
+    match !state with
+    | None -> false
+    | Some (a, b, c) ->
+        let rng = Rng.create 31337 in
+        let ok = ref true in
+        for _ = 1 to 48 do
+          let i = Rng.int rng n and j = Rng.int rng n in
+          let acc = ref 0. in
+          for k = 0 to n - 1 do
+            acc := !acc +. (peek a i k *. peek b k j)
+          done;
+          if Float.abs (!acc -. peek c i j) > 1e-6 *. float_of_int n then ok := false
+        done;
+        !ok
+  in
+  { Workload.run; check }
+
+let workload_row =
+  {
+      Workload.name = "stra";
+      description = "Strassen matrix multiplication, row-major layout";
+      default_size = 64;
+      default_base = 16;
+      make = make_gen Lrow;
+      racy = None;
+    }
+
+let workload_z =
+  {
+      Workload.name = "straz";
+      description = "Strassen matrix multiplication, Morton-Z layout";
+      default_size = 64;
+      default_base = 16;
+      make = make_gen Lz;
+      racy = None;
+    }

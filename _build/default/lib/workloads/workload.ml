@@ -1,0 +1,10 @@
+type instance = { run : unit -> unit; check : unit -> bool }
+
+type t = {
+  name : string;
+  description : string;
+  default_size : int;
+  default_base : int;
+  make : size:int -> base:int -> instance;
+  racy : (size:int -> base:int -> instance) option;
+}

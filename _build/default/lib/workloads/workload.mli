@@ -1,0 +1,28 @@
+(** The benchmark workloads of the paper's evaluation (§IV).
+
+    Each workload builds an {!instance} for a given problem size: [run] is
+    the fork-join program (executed under any executor through the {!Fj}
+    API), [check] validates the computed result afterwards against an
+    uninstrumented reference, and [racy] variants inject a determinacy race
+    for detector-validation tests.
+
+    Sizes are scaled down from the paper (the substrate is an instrumented
+    simulator, not native code on a 40-core Xeon); EXPERIMENTS.md records
+    the mapping.  [size] is the workload's primary dimension (matrix order,
+    element count, grid side); [base] the sequential base-case size. *)
+
+type instance = {
+  run : unit -> unit;
+  check : unit -> bool;  (** call after the executor returns *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  default_size : int;
+  default_base : int;
+  make : size:int -> base:int -> instance;
+  racy : (size:int -> base:int -> instance) option;
+      (** a buggy variant with a real determinacy race, when provided *)
+}
+

@@ -1,0 +1,1 @@
+test/test_detect_seq.ml: Access Alcotest Array Aspace Cracer Detector Fj Hooks Interval List Membuf Option Pint_detector Printf QCheck QCheck_alcotest Report Rng Seq_exec Sp_order Srec Stint

@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Figures Float Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Array Atomic Domain List Om QCheck QCheck_alcotest Rng Vec

@@ -1,0 +1,1 @@
+test/test_par.ml: Alcotest Cracer Detector Fj Hooks List Membuf Par_exec Pint_detector Rng Seq_exec Stint Test_sim_progs

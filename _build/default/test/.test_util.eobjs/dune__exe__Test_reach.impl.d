@@ -1,0 +1,1 @@
+test/test_reach.ml: Alcotest Array Hashtbl List Option QCheck QCheck_alcotest Rng Sp_order

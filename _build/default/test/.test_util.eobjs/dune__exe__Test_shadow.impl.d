@@ -1,0 +1,1 @@
+test/test_shadow.ml: Access Alcotest Aspace Domain Fun List Membuf Printf

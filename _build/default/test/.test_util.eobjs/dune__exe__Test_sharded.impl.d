@@ -1,0 +1,1 @@
+test/test_sharded.ml: Alcotest Detector Fj Hashtbl Interval List Membuf Pint_detector Printf Registry Rng Seq_exec Sim_exec Stint Systems Test_sim_progs Workload

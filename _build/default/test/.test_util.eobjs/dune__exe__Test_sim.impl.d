@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cracer Detector Fj Hooks List Membuf Pint_detector Rng Seq_exec Sim_exec Stint Test_sim_progs

@@ -1,0 +1,1 @@
+test/test_sim_progs.ml: Fj List Membuf Rng

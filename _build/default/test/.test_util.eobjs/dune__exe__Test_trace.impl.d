@@ -1,0 +1,1 @@
+test/test_trace.ml: Ahq Alcotest Atomic Domain List Option Printf Sp_order Srec Trace

@@ -1,0 +1,1 @@
+test/test_treap.ml: Alcotest Array Int Interval Itreap List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cracer Detector Float List Nodetect Par_exec Pint_detector Printf Registry Seq_exec Sim_exec Stint Workload

@@ -1,0 +1,166 @@
+(* Shape assertions on the reproduced figures: the qualitative claims of the
+   paper's evaluation must hold in the reproduction (see EXPERIMENTS.md for
+   the cell-by-cell comparison).  These run the full harness, so sizes are
+   the defaults used by the shipped tables. *)
+
+let check_bool = Alcotest.(check bool)
+
+let fig1_rows = lazy (fst (Figures.fig1 ()))
+let fig2_rows = lazy (fst (Figures.fig2 ()))
+let fig3_rows = lazy (fst (Figures.fig3 ()))
+let fig4_rows = lazy (fst (Figures.fig4 ()))
+
+let test_fig1_stint_cheaper_than_pint () =
+  List.iter
+    (fun (r : Figures.fig1_row) ->
+      check_bool (r.f1_name ^ ": STINT(1) <= PINT(1)") true (r.stint1 <= r.pint1))
+    (Lazy.force fig1_rows)
+
+let test_fig1_parallel_overhead_band () =
+  (* paper: at most 41% parallelization overhead; allow headroom to 60% *)
+  List.iter
+    (fun (r : Figures.fig1_row) ->
+      let ovh = r.pint1 /. r.stint1 in
+      check_bool
+        (Printf.sprintf "%s: overhead %.2f in [1.0, 1.6]" r.f1_name ovh)
+        true
+        (ovh >= 1.0 && ovh <= 1.6))
+    (Lazy.force fig1_rows)
+
+let test_fig1_cracer_loses_except_fft () =
+  List.iter
+    (fun (r : Figures.fig1_row) ->
+      if r.f1_name = "fft" then begin
+        check_bool "fft: C-RACER(1) beats STINT(1)" true (r.cracer1 < r.stint1);
+        check_bool "fft: C-RACER(P) beats PINT(P)" true (r.cracer_p < r.pint_p)
+      end
+      else begin
+        check_bool (r.f1_name ^ ": C-RACER(1) much slower") true (r.cracer1 > 2. *. r.stint1);
+        check_bool (r.f1_name ^ ": PINT(P) beats C-RACER(P)") true (r.pint_p < r.cracer_p)
+      end)
+    (Lazy.force fig1_rows)
+
+let test_fig1_scalability () =
+  List.iter
+    (fun (r : Figures.fig1_row) ->
+      check_bool (r.f1_name ^ ": baseline scales") true (r.base_p < r.base1);
+      check_bool (r.f1_name ^ ": PINT scales >= 4x") true (r.pint1 /. r.pint_p >= 4.))
+    (Lazy.force fig1_rows)
+
+let test_fig1_detection_overhead_ordering () =
+  (* every detector costs more than the baseline *)
+  List.iter
+    (fun (r : Figures.fig1_row) ->
+      check_bool (r.f1_name ^ ": base < stint") true (r.base1 < r.stint1);
+      check_bool (r.f1_name ^ ": base < cracer") true (r.base1 < r.cracer1))
+    (Lazy.force fig1_rows)
+
+let test_fig2_writer_not_reader_dominant () =
+  (* the writer treap worker is not the dominant treap worker for the
+     read-heavy benchmarks (fft, which is write-heavy, is the exception);
+     heat announces balanced read/write bands, so allow slack for it *)
+  List.iter
+    (fun (r : Figures.fig2_row) ->
+      if r.f2_name <> "fft" then
+        check_bool
+          (r.f2_name ^ ": writer not dominant")
+          true
+          (r.writer_work <= 1.25 *. Float.max r.lreader_work r.rreader_work))
+    (Lazy.force fig2_rows)
+
+let test_fig2_async_overlap () =
+  (* for at least half the benchmarks the 17-core total equals the core
+     component: the asynchronous access history fully overlaps *)
+  let rows = Lazy.force fig2_rows in
+  let overlapped =
+    List.length (List.filter (fun r -> r.Figures.par_total <= r.Figures.par_core *. 1.05) rows)
+  in
+  check_bool
+    (Printf.sprintf "%d/%d benchmarks fully overlapped" overlapped (List.length rows))
+    true
+    (overlapped >= 2)
+
+let test_fig2_core_dominates_serial () =
+  (* on one core the core component dominates each individual treap worker
+     (except fft, the paper's exception) *)
+  List.iter
+    (fun (r : Figures.fig2_row) ->
+      if r.f2_name <> "fft" then
+        check_bool (r.f2_name ^ ": core > each treap worker") true
+          (r.core_work > r.writer_work && r.core_work > r.lreader_work
+         && r.core_work > r.rreader_work))
+    (Lazy.force fig2_rows)
+
+let test_fig3_core_scales_and_treap_caps () =
+  List.iter
+    (fun (name, cells) ->
+      let get p = List.assoc p cells in
+      let c1 = get 1 and c16 = get 16 and c32 = get 32 in
+      check_bool (name ^ ": core component scales 1->16") true
+        (c16.Figures.core_t < c1.Figures.core_t /. 3.);
+      check_bool (name ^ ": total monotone-ish") true (c32.Figures.total_t <= c1.Figures.total_t);
+      (* treap bottleneck visible at 32 core workers for the interval-dense
+         benchmarks *)
+      if List.mem name [ "mmul"; "sort" ] then
+        check_bool (name ^ ": treap dominates at 32") true
+          (c32.Figures.total_t > c32.Figures.core_t *. 1.05))
+    (Lazy.force fig3_rows)
+
+let test_fig4_heat_overhead_shrinks () =
+  let cells = List.assoc "heat" (Lazy.force fig4_rows) in
+  let ovh (c : Figures.fig4_cell) = c.f4_pint.Figures.total_t /. c.f4_base_t in
+  let first = ovh (List.hd cells) and last = ovh (List.nth cells (List.length cells - 1)) in
+  check_bool
+    (Printf.sprintf "heat overhead shrinks (%.1f -> %.1f)" first last)
+    true (last < first)
+
+let test_fig4_sort_overhead_grows_at_scale () =
+  (* paper: at 32 workers the grown problem makes the treap component the
+     bottleneck and the overhead jumps *)
+  let cells = List.assoc "sort" (Lazy.force fig4_rows) in
+  let ovh (c : Figures.fig4_cell) = c.f4_pint.Figures.total_t /. c.f4_base_t in
+  let at w = ovh (List.find (fun c -> c.Figures.f4_workers = w) cells) in
+  check_bool
+    (Printf.sprintf "sort overhead grows at 32 (%.1f vs %.1f)" (at 32) (at 4))
+    true
+    (at 32 > 1.5 *. at 4);
+  let c32 = List.find (fun c -> c.Figures.f4_workers = 32) cells in
+  check_bool "sort treap-dominated at 32" true
+    (c32.f4_pint.Figures.total_t > c32.f4_pint.Figures.core_t *. 1.05)
+
+let test_determinism () =
+  let a = fst (Figures.fig1 ()) and b = fst (Figures.fig1 ()) in
+  check_bool "fig1 bit-reproducible" true (a = b)
+
+let test_stra_z_contrast () =
+  let find n = List.find (fun (r : Figures.fig1_row) -> r.f1_name = n) (Lazy.force fig1_rows) in
+  let stra = find "stra" and straz = find "straz" in
+  check_bool "same baseline" true (Float.abs (stra.base1 -. straz.base1) < 0.05 *. stra.base1);
+  check_bool "Z layout cheaper to race-detect" true (straz.stint1 < stra.stint1)
+
+let () =
+  Alcotest.run "pint_figures"
+    [
+      ( "fig1",
+        [
+          Alcotest.test_case "stint <= pint" `Quick test_fig1_stint_cheaper_than_pint;
+          Alcotest.test_case "par overhead band" `Quick test_fig1_parallel_overhead_band;
+          Alcotest.test_case "cracer loses except fft" `Quick test_fig1_cracer_loses_except_fft;
+          Alcotest.test_case "scalability" `Quick test_fig1_scalability;
+          Alcotest.test_case "overhead ordering" `Quick test_fig1_detection_overhead_ordering;
+          Alcotest.test_case "stra vs straz" `Quick test_stra_z_contrast;
+        ] );
+      ( "fig2",
+        [
+          Alcotest.test_case "writer least busy" `Quick test_fig2_writer_not_reader_dominant;
+          Alcotest.test_case "async overlap" `Quick test_fig2_async_overlap;
+          Alcotest.test_case "core dominates serially" `Quick test_fig2_core_dominates_serial;
+        ] );
+      ( "fig3-4",
+        [
+          Alcotest.test_case "strong scaling shape" `Quick test_fig3_core_scales_and_treap_caps;
+          Alcotest.test_case "heat weak overhead shrinks" `Quick test_fig4_heat_overhead_shrinks;
+          Alcotest.test_case "sort weak overhead grows" `Quick test_fig4_sort_overhead_grows_at_scale;
+        ] );
+      ("determinism", [ Alcotest.test_case "fig1 reproducible" `Quick test_determinism ]);
+    ]

@@ -1,0 +1,203 @@
+(* Tests for the order-maintenance list: sequential semantics against a list
+   model, amortization/structure invariants, and concurrent reader safety. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_base_only () =
+  let t = Om.create () in
+  check_int "one record" 1 (Om.length t);
+  check_int "compare base base" 0 (Om.compare t (Om.base t) (Om.base t))
+
+let test_simple_chain () =
+  let t = Om.create () in
+  let a = Om.base t in
+  let b = Om.insert_after t a in
+  let c = Om.insert_after t b in
+  check_bool "a < b" true (Om.precedes t a b);
+  check_bool "b < c" true (Om.precedes t b c);
+  check_bool "a < c" true (Om.precedes t a c);
+  check_bool "not c < a" false (Om.precedes t c a)
+
+let test_insert_between () =
+  let t = Om.create () in
+  let a = Om.base t in
+  let c = Om.insert_after t a in
+  let b = Om.insert_after t a in
+  (* b was inserted after a, so order is a, b, c *)
+  check_bool "a < b" true (Om.precedes t a b);
+  check_bool "b < c" true (Om.precedes t b c)
+
+(* Model: build a random sequence of insert-afters mirrored in a plain list,
+   then verify every pairwise comparison.  This exercises group splits and
+   relabels once the structure crosses the group capacity. *)
+let run_model ~seed ~n =
+  let rng = Rng.create seed in
+  let t = Om.create () in
+  let model = ref [ Om.base t ] in
+  for _ = 2 to n do
+    let pos = Rng.int rng (List.length !model) in
+    let anchor = List.nth !model pos in
+    let fresh = Om.insert_after t anchor in
+    let rec insert_at i = function
+      | [] -> [ fresh ]
+      | x :: rest -> if i = 0 then x :: fresh :: rest else x :: insert_at (i - 1) rest
+    in
+    model := insert_at pos !model
+  done;
+  Om.validate t;
+  let arr = Array.of_list !model in
+  let m = Array.length arr in
+  check_int "length" m (Om.length t);
+  (* all ordered pairs agree with the model *)
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      let expected = compare i j in
+      let got = Om.compare t arr.(i) arr.(j) in
+      if compare got 0 <> compare expected 0 then
+        Alcotest.failf "order mismatch at (%d,%d): got %d" i j got
+    done
+  done;
+  (* to_list must equal the model *)
+  let listed = Om.to_list t in
+  check_bool "to_list matches model" true (List.for_all2 ( == ) listed !model)
+
+let test_model_small () = run_model ~seed:1 ~n:50
+let test_model_split_boundary () = run_model ~seed:2 ~n:65
+let test_model_medium () = run_model ~seed:3 ~n:400
+
+let test_append_heavy () =
+  (* Appending at the end repeatedly forces label-gap exhaustion on one side. *)
+  let t = Om.create () in
+  let r = ref (Om.base t) in
+  let all = ref [ !r ] in
+  for _ = 1 to 5_000 do
+    r := Om.insert_after t !r;
+    all := !r :: !all
+  done;
+  Om.validate t;
+  let rec check_desc = function
+    | a :: (b :: _ as rest) ->
+        check_bool "later is after" true (Om.precedes t b a);
+        check_desc rest
+    | _ -> ()
+  in
+  check_desc !all;
+  check_int "length" 5_001 (Om.length t)
+
+let test_same_anchor_heavy () =
+  (* Repeated insertion after the same record builds in reverse order and
+     hammers the same label gap. *)
+  let t = Om.create () in
+  let anchor = Om.base t in
+  let inserted = ref [] in
+  for _ = 1 to 2_000 do
+    inserted := Om.insert_after t anchor :: !inserted
+  done;
+  Om.validate t;
+  (* Later inserts land closer to the anchor: !inserted is in order. *)
+  let rec check_asc = function
+    | a :: (b :: _ as rest) ->
+        check_bool "insert order" true (Om.precedes t a b);
+        check_asc rest
+    | _ -> ()
+  in
+  check_asc !inserted
+
+let test_group_growth () =
+  let t = Om.create () in
+  let r = ref (Om.base t) in
+  for _ = 1 to 1_000 do
+    r := Om.insert_after t !r
+  done;
+  check_bool "groups formed" true (Om.group_count t > 1);
+  check_bool "relabels bounded" true (Om.relabel_count t < 1_000)
+
+let om_random_prop =
+  QCheck.Test.make ~name:"om random inserts keep invariants" ~count:60
+    QCheck.(pair small_nat (int_bound 1000))
+    (fun (seed, n) ->
+      let n = max 2 n in
+      let rng = Rng.create (seed + 17) in
+      let t = Om.create () in
+      let records = Vec.create (Om.base t) in
+      Vec.push records (Om.base t);
+      for _ = 2 to n do
+        let anchor = Vec.get records (Rng.int rng (Vec.length records)) in
+        Vec.push records (Om.insert_after t anchor)
+      done;
+      Om.validate t;
+      Om.length t = n)
+
+(* Concurrent readers during writer inserts: correctness of the seqlock.
+   One domain keeps inserting; readers repeatedly compare pinned records
+   whose relative order is fixed, expecting consistent answers. *)
+let test_concurrent_readers () =
+  let t = Om.create () in
+  let a = Om.base t in
+  let b = Om.insert_after t a in
+  let c = Om.insert_after t b in
+  let stop = Atomic.make false in
+  let errors = Atomic.make 0 in
+  let readers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              if not (Om.precedes t a b) then Atomic.incr errors;
+              if not (Om.precedes t b c) then Atomic.incr errors;
+              if Om.precedes t c a then Atomic.incr errors
+            done))
+  in
+  let writer =
+    Domain.spawn (fun () ->
+        let r = ref b in
+        for _ = 1 to 20_000 do
+          r := Om.insert_after t !r
+        done)
+  in
+  Domain.join writer;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  Om.validate t;
+  check_int "no inconsistent reads" 0 (Atomic.get errors)
+
+let test_concurrent_writers () =
+  let t = Om.create () in
+  let anchors = Array.init 4 (fun _ -> Om.insert_after t (Om.base t)) in
+  let writers =
+    Array.to_list
+      (Array.map
+         (fun anchor ->
+           Domain.spawn (fun () ->
+               let r = ref anchor in
+               for _ = 1 to 5_000 do
+                 r := Om.insert_after t !r
+               done))
+         anchors)
+  in
+  List.iter Domain.join writers;
+  Om.validate t;
+  check_int "all inserts present" (1 + 4 + (4 * 5_000)) (Om.length t)
+
+let () =
+  Alcotest.run "pint_order"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "base only" `Quick test_base_only;
+          Alcotest.test_case "simple chain" `Quick test_simple_chain;
+          Alcotest.test_case "insert between" `Quick test_insert_between;
+          Alcotest.test_case "model n=50" `Quick test_model_small;
+          Alcotest.test_case "model split boundary" `Quick test_model_split_boundary;
+          Alcotest.test_case "model n=400" `Quick test_model_medium;
+          Alcotest.test_case "append heavy" `Quick test_append_heavy;
+          Alcotest.test_case "same anchor heavy" `Quick test_same_anchor_heavy;
+          Alcotest.test_case "group growth" `Quick test_group_growth;
+          QCheck_alcotest.to_alcotest om_random_prop;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "readers vs writer" `Quick test_concurrent_readers;
+          Alcotest.test_case "parallel writers" `Quick test_concurrent_writers;
+        ] );
+    ]

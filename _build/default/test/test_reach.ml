@@ -1,0 +1,232 @@
+(* SP-order reachability tests.
+
+   Ground truth: while driving Sp_order through randomly generated fork-join
+   programs we also record the explicit DAG edges, then compare
+   [series]/[parallel]/[left_of] answers for every strand pair against plain
+   graph reachability and against the sequential (depth-first) execution
+   order. *)
+
+let check_bool = Alcotest.(check bool)
+
+(* A fork-join program body: a list of actions.  Strand boundaries are
+   exactly spawns and syncs; an implicit sync ends every function. *)
+type action = Spawn of action list | Sync
+
+type ground = {
+  edges : (int, int list) Hashtbl.t;
+  mutable seq : int list; (* strand ids in sequential execution order, reversed *)
+  mutable strands : Sp_order.strand list;
+}
+
+let add_edge g u v =
+  let l = Option.value ~default:[] (Hashtbl.find_opt g.edges u) in
+  Hashtbl.replace g.edges u (v :: l)
+
+let note g s =
+  g.seq <- Sp_order.id s :: g.seq;
+  g.strands <- s :: g.strands
+
+(* Execute [body] sequentially (depth-first), driving Sp_order and recording
+   ground-truth edges.  [u] is the function's current strand; returns the
+   function's last strand (after the implicit final sync). *)
+let rec exec t g body u =
+  let sync_pre = ref None in
+  let block_children = ref [] in
+  let do_sync u =
+    match !sync_pre with
+    | None -> u (* trivial sync: no spawn since last sync *)
+    | Some s ->
+        add_edge g (Sp_order.id u) (Sp_order.id s);
+        List.iter (fun last -> add_edge g (Sp_order.id last) (Sp_order.id s)) !block_children;
+        block_children := [];
+        sync_pre := None;
+        note g s;
+        s
+  in
+  let u =
+    List.fold_left
+      (fun u act ->
+        match act with
+        | Spawn child_body ->
+            let child, cont, sync = Sp_order.spawn t ~sync_pre:!sync_pre u in
+            sync_pre := Some sync;
+            add_edge g (Sp_order.id u) (Sp_order.id child);
+            add_edge g (Sp_order.id u) (Sp_order.id cont);
+            note g child;
+            let child_last = exec t g child_body child in
+            block_children := child_last :: !block_children;
+            note g cont;
+            cont
+        | Sync -> do_sync u)
+      u body
+  in
+  do_sync u
+
+let run_program body =
+  let t, root = Sp_order.create () in
+  let g = { edges = Hashtbl.create 64; seq = [ 0 ]; strands = [ root ] } in
+  let _last = exec t g body root in
+  (t, g)
+
+(* Reference reachability by DFS. *)
+let reaches g u v =
+  let seen = Hashtbl.create 16 in
+  let rec go x =
+    x = v
+    || (not (Hashtbl.mem seen x))
+       && begin
+            Hashtbl.add seen x ();
+            List.exists go (Option.value ~default:[] (Hashtbl.find_opt g.edges x))
+          end
+  in
+  go u
+
+let verify_all (t, g) =
+  let strands = Array.of_list (List.rev g.strands) in
+  let seq_order = List.rev g.seq in
+  let seq_pos = Hashtbl.create 16 in
+  List.iteri (fun i id -> Hashtbl.replace seq_pos id i) seq_order;
+  let n = Array.length strands in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let u = strands.(i) and v = strands.(j) in
+      let uid = Sp_order.id u and vid = Sp_order.id v in
+      let expect_series = reaches g uid vid in
+      if Sp_order.series t u v <> expect_series then
+        Alcotest.failf "series(%d,%d): expected %b" uid vid expect_series;
+      let expect_par = (not (reaches g uid vid)) && not (reaches g vid uid) in
+      if Sp_order.parallel t u v <> expect_par then
+        Alcotest.failf "parallel(%d,%d): expected %b" uid vid expect_par;
+      if uid <> vid then begin
+        let expect_left = Hashtbl.find seq_pos uid < Hashtbl.find seq_pos vid in
+        if Sp_order.left_of t u v <> expect_left then
+          Alcotest.failf "left_of(%d,%d): expected %b" uid vid expect_left
+      end
+    done
+  done
+
+(* ------------------------------------------------------- directed cases *)
+
+let test_single_spawn () =
+  (* root spawns A; cont; sync *)
+  let t, root = Sp_order.create () in
+  let child, cont, sync = Sp_order.spawn t ~sync_pre:None root in
+  check_bool "root ~> child" true (Sp_order.series t root child);
+  check_bool "root ~> cont" true (Sp_order.series t root cont);
+  check_bool "child || cont" true (Sp_order.parallel t child cont);
+  check_bool "cont || child" true (Sp_order.parallel t cont child);
+  check_bool "child ~> sync" true (Sp_order.series t child sync);
+  check_bool "cont ~> sync" true (Sp_order.series t cont sync);
+  check_bool "child left of cont" true (Sp_order.left_of t child cont);
+  check_bool "series is reflexive" true (Sp_order.series t child child);
+  check_bool "parallel is irreflexive" false (Sp_order.parallel t child child)
+
+let test_two_spawns_one_block () =
+  let t, root = Sp_order.create () in
+  let a, k1, s = Sp_order.spawn t ~sync_pre:None root in
+  let b, k2, s' = Sp_order.spawn t ~sync_pre:(Some s) k1 in
+  check_bool "same sync strand" true (s == s');
+  check_bool "a || b" true (Sp_order.parallel t a b);
+  check_bool "a || k2" true (Sp_order.parallel t a k2);
+  check_bool "k1 ~> b" true (Sp_order.series t k1 b);
+  check_bool "a ~> sync" true (Sp_order.series t a s);
+  check_bool "b ~> sync" true (Sp_order.series t b s);
+  check_bool "k2 ~> sync" true (Sp_order.series t k2 s);
+  check_bool "a left of b" true (Sp_order.left_of t a b)
+
+let test_sequential_blocks () =
+  (* spawn A; sync; spawn B; sync — A and B are in series *)
+  let t, root = Sp_order.create () in
+  let a, k1, s1 = Sp_order.spawn t ~sync_pre:None root in
+  ignore k1;
+  (* after passing the sync the function continues at s1 *)
+  let b, k2, s2 = Sp_order.spawn t ~sync_pre:None s1 in
+  check_bool "a ~> b" true (Sp_order.series t a b);
+  check_bool "a ~> k2" true (Sp_order.series t a k2);
+  check_bool "b ~> s2" true (Sp_order.series t b s2);
+  check_bool "s1 ~> s2" true (Sp_order.series t s1 s2);
+  check_bool "not b ~> a" false (Sp_order.series t b a)
+
+let test_nested_spawn () =
+  (* root spawns A; A spawns A1; A1 || cont-of-A; A1 || cont-of-root *)
+  let t, root = Sp_order.create () in
+  let a, k, _s = Sp_order.spawn t ~sync_pre:None root in
+  let a1, ak, _sa = Sp_order.spawn t ~sync_pre:None a in
+  check_bool "a1 || k" true (Sp_order.parallel t a1 k);
+  check_bool "ak || k" true (Sp_order.parallel t ak k);
+  check_bool "a ~> a1" true (Sp_order.series t a a1);
+  check_bool "a1 || ak" true (Sp_order.parallel t a1 ak);
+  check_bool "a1 left of ak" true (Sp_order.left_of t a1 ak);
+  check_bool "a1 left of k" true (Sp_order.left_of t a1 k)
+
+(* --------------------------------------------------- exhaustive programs *)
+
+let test_program_simple () = verify_all (run_program [ Spawn []; Sync ])
+let test_program_wide () = verify_all (run_program [ Spawn []; Spawn []; Spawn []; Sync ])
+
+let test_program_nested () =
+  verify_all (run_program [ Spawn [ Spawn []; Sync; Spawn [] ]; Spawn []; Sync; Spawn [] ])
+
+let test_program_deep () =
+  let rec deep n = if n = 0 then [] else [ Spawn (deep (n - 1)); Sync ] in
+  verify_all (run_program (deep 8))
+
+let test_program_no_explicit_sync () =
+  (* implicit function-end syncs only *)
+  verify_all (run_program [ Spawn [ Spawn [] ]; Spawn [ Spawn [ Spawn [] ] ] ])
+
+let random_body rng =
+  let rec gen depth budget =
+    if !budget <= 0 || depth > 4 then []
+    else begin
+      let n = Rng.int rng 4 in
+      List.concat
+        (List.init n (fun _ ->
+             decr budget;
+             if Rng.int rng 3 = 0 then [ Sync ]
+             else [ Spawn (gen (depth + 1) budget) ]))
+    end
+  in
+  gen 0 (ref 18)
+
+let test_program_random () =
+  for seed = 1 to 25 do
+    let rng = Rng.create seed in
+    verify_all (run_program (random_body rng))
+  done
+
+let sp_order_qcheck =
+  QCheck.Test.make ~name:"random fork-join programs verified exhaustively" ~count:40
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 1000) in
+      verify_all (run_program (random_body rng));
+      true)
+
+let test_strand_count () =
+  let t, root = Sp_order.create () in
+  let _ = Sp_order.spawn t ~sync_pre:None root in
+  (* root + child + cont + sync *)
+  Alcotest.(check int) "strand count" 4 (Sp_order.strand_count t)
+
+let () =
+  Alcotest.run "pint_reach"
+    [
+      ( "directed",
+        [
+          Alcotest.test_case "single spawn" `Quick test_single_spawn;
+          Alcotest.test_case "two spawns one block" `Quick test_two_spawns_one_block;
+          Alcotest.test_case "sequential blocks" `Quick test_sequential_blocks;
+          Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+          Alcotest.test_case "strand count" `Quick test_strand_count;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "simple" `Quick test_program_simple;
+          Alcotest.test_case "wide" `Quick test_program_wide;
+          Alcotest.test_case "nested" `Quick test_program_nested;
+          Alcotest.test_case "deep" `Quick test_program_deep;
+          Alcotest.test_case "implicit syncs" `Quick test_program_no_explicit_sync;
+          Alcotest.test_case "random seeds" `Quick test_program_random;
+          QCheck_alcotest.to_alcotest sp_order_qcheck;
+        ] );
+    ]

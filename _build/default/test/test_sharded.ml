@@ -1,0 +1,144 @@
+(* Tests for the §VI extension: address-sharded reader treap workers.
+
+   Correctness: sharding must not change race verdicts (every address is
+   owned by exactly one shard per role, so exactly one L-treap and one
+   R-treap see each access).  Performance: the per-reader work drops, which
+   is the point of the extension. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run_sharded ?(n_workers = 4) ~shards prog =
+  let p = Pint_detector.make ~reader_shards:shards () in
+  let det = Pint_detector.detector p in
+  let config =
+    { Sim_exec.default_config with n_workers; seed = 5; actors = Pint_detector.sim_actors p }
+  in
+  let r = Sim_exec.run ~config ~driver:det.Detector.driver prog in
+  (det, r)
+
+let test_shard_subranges () =
+  (* the shard decomposition partitions any interval exactly *)
+  let block = 4096 in
+  List.iter
+    (fun (lo, hi, shards) ->
+      let iv = Interval.make lo hi in
+      let seen = Hashtbl.create 64 in
+      for shard = 0 to shards - 1 do
+        Pint_detector.iter_shard_subranges ~shards ~shard iv (fun sub ->
+            check_bool "within" true (sub.Interval.lo >= lo && sub.Interval.hi <= hi);
+            check_int "single block" (sub.Interval.lo / block) (sub.Interval.hi / block);
+            check_int "right shard" shard (sub.Interval.lo / block mod shards);
+            for a = sub.Interval.lo to sub.Interval.hi do
+              if Hashtbl.mem seen a then Alcotest.failf "address %d covered twice" a;
+              Hashtbl.add seen a ()
+            done)
+      done;
+      check_int "exact cover" (Interval.width iv) (Hashtbl.length seen))
+    [
+      (0, 100, 2);
+      (4000, 4200, 2);
+      (0, 20000, 3);
+      (12287, 12289, 4);
+      (8192, 8192, 2);
+      (0, 50000, 5);
+    ]
+
+let racy_prog () =
+  let b = Fj.alloc_f 8 in
+  Fj.spawn (fun () -> Membuf.set_f b 3 1.0);
+  Fj.spawn (fun () -> Membuf.set_f b 3 2.0);
+  Fj.sync ()
+
+let test_sharded_detects_race () =
+  List.iter
+    (fun shards ->
+      let det, _ = run_sharded ~shards racy_prog in
+      check_bool
+        (Printf.sprintf "race found with %d shards" shards)
+        true
+        (Detector.races det <> []))
+    [ 1; 2; 4 ]
+
+let test_sharded_random_equivalence () =
+  let nbuf = 12 in
+  for seed = 1 to 20 do
+    let rng = Rng.create (seed * 53) in
+    let actions = Test_sim_progs.random_program rng nbuf in
+    let prog () =
+      let buf = Fj.alloc_f nbuf in
+      Test_sim_progs.interpret buf actions ()
+    in
+    let sd = Stint.make () in
+    let _ = Seq_exec.run ~driver:sd.Detector.driver prog in
+    let expected = Detector.races sd <> [] in
+    List.iter
+      (fun shards ->
+        let det, _ = run_sharded ~shards prog in
+        if Detector.races det <> [] <> expected then
+          Alcotest.failf "seed %d shards %d: got %b want %b" seed shards
+            (Detector.races det <> []) expected)
+      [ 2; 3 ]
+  done
+
+let test_sharded_workloads_clean () =
+  List.iter
+    (fun (name, size, base) ->
+      let w = Registry.find name in
+      let inst = w.Workload.make ~size ~base in
+      let det, r = run_sharded ~n_workers:6 ~shards:3 inst.Workload.run in
+      check_bool (name ^ " correct") true (inst.Workload.check ());
+      check_int (name ^ " race free") 0 (List.length (Detector.races det));
+      (* every strand flows through every shard worker *)
+      let d = det.Detector.diagnostics () in
+      let get k = List.assoc k d in
+      check_bool (name ^ " l shards processed all") true
+        (int_of_float (get "l_strands") = r.Sim_exec.n_strands);
+      check_bool (name ^ " r shards processed all") true
+        (int_of_float (get "r_strands") = r.Sim_exec.n_strands))
+    [ ("mmul", 32, 8); ("sort", 2048, 32); ("heat", 32, 4) ]
+
+let test_sharding_reduces_reader_bottleneck () =
+  (* the extension's point: on a treap-bound configuration, the max reader
+     clock drops substantially when the readers are sharded.  mmul's buffers
+     span many 4096-word blocks, so the split is effective. *)
+  let w = Registry.find "mmul" in
+  let time shards =
+    let m =
+      Systems.run ~shards ~workload:w ~size:w.Workload.default_size ~base:w.Workload.default_base
+        ~workers:17 Systems.Pint_sys
+    in
+    m.Systems.time
+  in
+  let t1 = time 1 and t4 = time 4 in
+  check_bool (Printf.sprintf "sharded faster (%.2f -> %.2f vsec)" (Systems.vsec t1) (Systems.vsec t4))
+    true
+    (t4 < 0.6 *. t1)
+
+let test_sharded_heap_and_frames () =
+  let det, _ =
+    run_sharded ~n_workers:4 ~shards:2 (fun () ->
+        for _ = 1 to 6 do
+          Fj.spawn (fun () ->
+              let x = Fj.alloc_f 16 in
+              Membuf.fill_f x 0 16 1.0;
+              Fj.free_f x;
+              Fj.with_frame ~words:8 (fun fr -> Membuf.set_f fr 0 1.0))
+        done;
+        Fj.sync ())
+  in
+  check_int "no false races" 0 (List.length (Detector.races det))
+
+let () =
+  Alcotest.run "pint_sharded"
+    [
+      ( "sharding",
+        [
+          Alcotest.test_case "subrange partition" `Quick test_shard_subranges;
+          Alcotest.test_case "detects race" `Quick test_sharded_detects_race;
+          Alcotest.test_case "random equivalence" `Quick test_sharded_random_equivalence;
+          Alcotest.test_case "workloads clean" `Quick test_sharded_workloads_clean;
+          Alcotest.test_case "reduces bottleneck" `Quick test_sharding_reduces_reader_bottleneck;
+          Alcotest.test_case "heap+frames" `Quick test_sharded_heap_and_frames;
+        ] );
+    ]

@@ -1,0 +1,40 @@
+(* Shared random fork-join program generator for executor-equivalence tests:
+   the same action tree can be replayed under any executor/detector. *)
+
+type action =
+  | Access of int * int * bool (* addr, len, is_write *)
+  | Spawn of action list
+  | Sync
+
+let random_program rng nbuf =
+  let rec gen depth budget =
+    let actions = ref [] in
+    let n_actions = 1 + Rng.int rng 4 in
+    for _ = 1 to n_actions do
+      if !budget > 0 then begin
+        decr budget;
+        let choice = Rng.int rng 10 in
+        if choice < 4 || depth >= 3 then begin
+          let addr = Rng.int rng nbuf in
+          let len = 1 + Rng.int rng (min 4 (nbuf - addr)) in
+          actions := Access (addr, len, Rng.bool rng) :: !actions
+        end
+        else if choice < 8 then actions := Spawn (gen (depth + 1) budget) :: !actions
+        else actions := Sync :: !actions
+      end
+    done;
+    List.rev !actions
+  in
+  gen 0 (ref 24)
+
+let interpret buf actions () =
+  let rec go actions =
+    List.iter
+      (function
+        | Access (addr, len, true) -> Membuf.fill_f buf addr len 1.0
+        | Access (addr, len, false) -> ignore (Membuf.read_range_f buf addr len)
+        | Spawn inner -> Fj.spawn (fun () -> go inner)
+        | Sync -> Fj.sync ())
+      actions
+  in
+  go actions

@@ -1,0 +1,217 @@
+(* Unit tests for the trace FIFO and the access-history queue, including
+   cross-domain SPSC behaviour. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_rec uid =
+  let _, root = Sp_order.create () in
+  Srec.make ~uid root
+
+(* ------------------------------------------------------------- trace *)
+
+let test_trace_fifo () =
+  let t = Trace.create ~id:1 ~owner:0 in
+  check_int "id" 1 (Trace.id t);
+  check_int "owner" 0 (Trace.owner t);
+  let recs = List.init 10 mk_rec in
+  List.iter (Trace.push t) recs;
+  List.iteri
+    (fun i expected ->
+      (match Trace.peek t with
+      | Some got -> check_int (Printf.sprintf "peek %d" i) expected.Srec.uid got.Srec.uid
+      | None -> Alcotest.fail "empty too early");
+      Trace.pop t)
+    recs;
+  check_bool "empty" true (Trace.peek t = None)
+
+let test_trace_chunk_boundaries () =
+  (* push/pop across several chunk sizes *)
+  let t = Trace.create ~id:0 ~owner:0 in
+  let n = 1000 in
+  for i = 0 to n - 1 do
+    Trace.push t (mk_rec i)
+  done;
+  check_int "pushed" n (Trace.pushed t);
+  for i = 0 to n - 1 do
+    (match Trace.peek t with
+    | Some r -> check_int "order" i r.Srec.uid
+    | None -> Alcotest.fail "missing");
+    Trace.pop t
+  done;
+  check_int "popped" n (Trace.popped t)
+
+let test_trace_interleaved () =
+  let t = Trace.create ~id:0 ~owner:0 in
+  let next = ref 0 in
+  let expect = ref 0 in
+  for round = 1 to 50 do
+    for _ = 1 to round mod 7 do
+      Trace.push t (mk_rec !next);
+      incr next
+    done;
+    while Trace.peek t <> None do
+      (match Trace.peek t with
+      | Some r ->
+          check_int "interleaved order" !expect r.Srec.uid;
+          incr expect
+      | None -> ());
+      Trace.pop t
+    done
+  done;
+  check_int "all consumed" !next !expect
+
+let test_trace_close_drained () =
+  let t = Trace.create ~id:0 ~owner:0 in
+  check_bool "not drained while open" false (Trace.drained t);
+  Trace.push t (mk_rec 0);
+  Trace.close t;
+  check_bool "closed" true (Trace.is_closed t);
+  check_bool "not drained with content" false (Trace.drained t);
+  Trace.pop t;
+  check_bool "drained" true (Trace.drained t)
+
+let test_trace_unlock_latch () =
+  let t = Trace.create ~id:0 ~owner:0 in
+  check_bool "empty trace locked" false (Trace.unlocked t);
+  let r = mk_rec 0 in
+  Atomic.set r.Srec.pred 1;
+  Trace.push t r;
+  check_bool "pred=1 locked" false (Trace.unlocked t);
+  Atomic.set r.Srec.pred 0;
+  check_bool "pred=0 unlocks" true (Trace.unlocked t);
+  (* latch holds even if pred changes again *)
+  Atomic.set r.Srec.pred 5;
+  check_bool "latched" true (Trace.unlocked t)
+
+let test_trace_pop_empty_fails () =
+  let t = Trace.create ~id:0 ~owner:0 in
+  Alcotest.check_raises "pop empty" (Failure "Trace.pop: nothing available") (fun () ->
+      Trace.pop t)
+
+let test_trace_spsc_domains () =
+  (* producer domain pushes 20k records; consumer (this domain) must observe
+     them all in order *)
+  let t = Trace.create ~id:0 ~owner:0 in
+  let n = 20_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          Trace.push t (mk_rec i)
+        done;
+        Trace.close t)
+  in
+  let seen = ref 0 in
+  while not (Trace.drained t) do
+    match Trace.peek t with
+    | Some r ->
+        check_int "spsc order" !seen r.Srec.uid;
+        incr seen;
+        Trace.pop t
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  check_int "all seen" n !seen
+
+(* --------------------------------------------------------------- ahq *)
+
+let test_ahq_basic () =
+  let q = Ahq.create ~capacity:8 () in
+  check_int "capacity" 8 (Ahq.capacity q);
+  check_bool "enqueue" true (Ahq.try_enqueue q (mk_rec 1));
+  check_bool "L sees it" true ((Option.get (Ahq.peek q Ahq.l)).Srec.uid = 1);
+  check_bool "R sees it" true ((Option.get (Ahq.peek q Ahq.r)).Srec.uid = 1);
+  Ahq.advance q Ahq.l;
+  check_bool "L done" true (Ahq.peek q Ahq.l = None);
+  check_bool "R still pending" true (Ahq.peek q Ahq.r <> None);
+  Ahq.advance q Ahq.r;
+  check_bool "drained" true (Ahq.drained q)
+
+let test_ahq_backpressure () =
+  let q = Ahq.create ~capacity:4 () in
+  for i = 0 to 3 do
+    check_bool "fill" true (Ahq.try_enqueue q (mk_rec i))
+  done;
+  check_bool "full" false (Ahq.try_enqueue q (mk_rec 99));
+  (* one reader advancing is not enough: the slot recycles only when both
+     readers have passed *)
+  Ahq.advance q Ahq.l;
+  check_bool "still full (R behind)" false (Ahq.try_enqueue q (mk_rec 99));
+  Ahq.advance q Ahq.r;
+  check_bool "slot recycled" true (Ahq.try_enqueue q (mk_rec 4))
+
+let test_ahq_fifo_order () =
+  let q = Ahq.create ~capacity:16 () in
+  let n = 100 in
+  let enq = ref 0 and l = ref 0 and r = ref 0 in
+  while !l < n || !r < n do
+    if !enq < n && Ahq.try_enqueue q (mk_rec !enq) then incr enq;
+    (match Ahq.peek q Ahq.l with
+    | Some u ->
+        check_int "L order" !l u.Srec.uid;
+        Ahq.advance q Ahq.l;
+        incr l
+    | None -> ());
+    match Ahq.peek q Ahq.r with
+    | Some u ->
+        check_int "R order" !r u.Srec.uid;
+        Ahq.advance q Ahq.r;
+        incr r
+    | None -> ()
+  done;
+  check_bool "drained" true (Ahq.drained q)
+
+let test_ahq_advance_empty_fails () =
+  let q = Ahq.create ~capacity:4 () in
+  Alcotest.check_raises "advance empty" (Failure "Ahq.advance: nothing pending") (fun () ->
+      Ahq.advance q Ahq.l)
+
+let test_ahq_concurrent_readers () =
+  (* writer on this domain, two reader domains; both must see every element
+     in order *)
+  let q = Ahq.create ~capacity:64 () in
+  let n = 30_000 in
+  let mk_reader side =
+    Domain.spawn (fun () ->
+        let seen = ref 0 in
+        while !seen < n do
+          match Ahq.peek q side with
+          | Some u ->
+              if u.Srec.uid <> !seen then failwith "out of order";
+              incr seen;
+              Ahq.advance q side
+          | None -> Domain.cpu_relax ()
+        done;
+        !seen)
+  in
+  let dl = mk_reader Ahq.l and dr = mk_reader Ahq.r in
+  let enq = ref 0 in
+  while !enq < n do
+    if Ahq.try_enqueue q (mk_rec !enq) then incr enq else Domain.cpu_relax ()
+  done;
+  check_int "L consumed" n (Domain.join dl);
+  check_int "R consumed" n (Domain.join dr);
+  check_bool "drained" true (Ahq.drained q)
+
+let () =
+  Alcotest.run "pint_trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "fifo" `Quick test_trace_fifo;
+          Alcotest.test_case "chunk boundaries" `Quick test_trace_chunk_boundaries;
+          Alcotest.test_case "interleaved" `Quick test_trace_interleaved;
+          Alcotest.test_case "close/drained" `Quick test_trace_close_drained;
+          Alcotest.test_case "unlock latch" `Quick test_trace_unlock_latch;
+          Alcotest.test_case "pop empty" `Quick test_trace_pop_empty_fails;
+          Alcotest.test_case "spsc across domains" `Quick test_trace_spsc_domains;
+        ] );
+      ( "ahq",
+        [
+          Alcotest.test_case "basic" `Quick test_ahq_basic;
+          Alcotest.test_case "backpressure" `Quick test_ahq_backpressure;
+          Alcotest.test_case "fifo order" `Quick test_ahq_fifo_order;
+          Alcotest.test_case "advance empty" `Quick test_ahq_advance_empty_fails;
+          Alcotest.test_case "concurrent readers" `Quick test_ahq_concurrent_readers;
+        ] );
+    ]

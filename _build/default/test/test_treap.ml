@@ -1,0 +1,334 @@
+(* Interval-treap tests: directed unit cases (including the paper's §III-A
+   example) plus model-based random testing against a per-address reference
+   map. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let iv = Interval.make
+let make_treap ?(seed = 42) () = Itreap.create ~seed ~owner_eq:Int.equal ()
+
+let entries t =
+  List.map (fun (i, o) -> (i.Interval.lo, i.Interval.hi, o)) (Itreap.to_list t)
+
+let entry_t = Alcotest.(list (triple int int int))
+
+(* ------------------------------------------------------------- directed *)
+
+let test_empty () =
+  let t = make_treap () in
+  check_int "size" 0 (Itreap.size t);
+  check_int "covered" 0 (Itreap.covered t);
+  check_bool "find none" true (Itreap.find t 5 = None);
+  Itreap.validate t
+
+let test_single_insert () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 10 20) 1;
+  Alcotest.check entry_t "one entry" [ (10, 20, 1) ] (entries t);
+  check_int "covered" 11 (Itreap.covered t);
+  check_bool "find inside" true (Itreap.find t 15 = Some (iv 10 20, 1));
+  check_bool "find outside" true (Itreap.find t 21 = None);
+  Itreap.validate t
+
+let test_paper_example () =
+  (* §III-A: writer treap {[1,4,u],[6,10,v]}; w writes [3,7] →
+     {[1,2,u],[3,7,w],[8,10,v]} *)
+  let u = 1 and v = 2 and w = 3 in
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 1 4) u;
+  Itreap.insert_replace t (iv 6 10) v;
+  Itreap.insert_replace t (iv 3 7) w;
+  Alcotest.check entry_t "paper example" [ (1, 2, u); (3, 7, w); (8, 10, v) ] (entries t);
+  Itreap.validate t
+
+let test_replace_exact () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 5 9) 1;
+  Itreap.insert_replace t (iv 5 9) 2;
+  Alcotest.check entry_t "replaced" [ (5, 9, 2) ] (entries t);
+  Itreap.validate t
+
+let test_replace_engulf () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 5 6) 1;
+  Itreap.insert_replace t (iv 8 9) 2;
+  Itreap.insert_replace t (iv 0 20) 3;
+  Alcotest.check entry_t "engulfed" [ (0, 20, 3) ] (entries t);
+  Itreap.validate t
+
+let test_replace_interior_split () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 0 20) 1;
+  Itreap.insert_replace t (iv 8 12) 2;
+  Alcotest.check entry_t "split" [ (0, 7, 1); (8, 12, 2); (13, 20, 1) ] (entries t);
+  check_int "covered unchanged" 21 (Itreap.covered t);
+  Itreap.validate t
+
+let test_same_owner_merge () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 0 4) 1;
+  Itreap.insert_replace t (iv 5 9) 1;
+  Alcotest.check entry_t "adjacent same owner merged" [ (0, 9, 1) ] (entries t);
+  Itreap.insert_replace t (iv 20 29) 1;
+  Itreap.insert_replace t (iv 10 19) 1;
+  Alcotest.check entry_t "merge both sides" [ (0, 29, 1) ] (entries t);
+  check_int "one node" 1 (Itreap.size t);
+  Itreap.validate t
+
+let test_query_order () =
+  let t = make_treap () in
+  List.iter (fun (l, h, o) -> Itreap.insert_replace t (iv l h) o)
+    [ (0, 4, 1); (10, 14, 2); (20, 24, 3); (30, 34, 4) ];
+  let got = ref [] in
+  Itreap.query t (iv 12 31) ~f:(fun i o -> got := (i.Interval.lo, o) :: !got);
+  Alcotest.(check (list (pair int int)))
+    "overlaps in address order"
+    [ (10, 2); (20, 3); (30, 4) ]
+    (List.rev !got)
+
+let test_query_none () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 0 4) 1;
+  Itreap.insert_replace t (iv 10 14) 2;
+  let got = ref 0 in
+  Itreap.query t (iv 5 9) ~f:(fun _ _ -> incr got);
+  check_int "gap query" 0 !got
+
+let test_clear_range () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 0 20) 1;
+  Itreap.clear_range t (iv 5 15);
+  Alcotest.check entry_t "cleared middle" [ (0, 4, 1); (16, 20, 1) ] (entries t);
+  Itreap.clear_range t (iv 0 100);
+  Alcotest.check entry_t "cleared all" [] (entries t);
+  check_int "covered" 0 (Itreap.covered t);
+  Itreap.validate t
+
+let test_clear_range_noop () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 0 4) 1;
+  Itreap.clear_range t (iv 10 20);
+  Alcotest.check entry_t "untouched" [ (0, 4, 1) ] (entries t);
+  Itreap.validate t
+
+let test_insert_merge_gap_only () =
+  let t = make_treap () in
+  Itreap.insert_merge t (iv 3 9) 7 ~keep:(fun ~incumbent:_ -> `Keep);
+  Alcotest.check entry_t "gap gets new owner" [ (3, 9, 7) ] (entries t);
+  Itreap.validate t
+
+let test_insert_merge_keep () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 5 9) 1;
+  Itreap.insert_merge t (iv 0 14) 2 ~keep:(fun ~incumbent:_ -> `Keep);
+  Alcotest.check entry_t "incumbent kept, gaps filled"
+    [ (0, 4, 2); (5, 9, 1); (10, 14, 2) ]
+    (entries t);
+  Itreap.validate t
+
+let test_insert_merge_replace () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 5 9) 1;
+  Itreap.insert_merge t (iv 0 14) 2 ~keep:(fun ~incumbent:_ -> `Replace);
+  Alcotest.check entry_t "all replaced and coalesced" [ (0, 14, 2) ] (entries t);
+  check_int "single node" 1 (Itreap.size t);
+  Itreap.validate t
+
+let test_insert_merge_partial_overlap () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 0 9) 1;
+  (* New reader overlaps the right half only; incumbent survives on the
+     overlap, the stickout keeps its owner. *)
+  Itreap.insert_merge t (iv 5 14) 2 ~keep:(fun ~incumbent:_ -> `Keep);
+  Alcotest.check entry_t "partial overlap"
+    [ (0, 9, 1); (10, 14, 2) ]
+    (entries t);
+  Itreap.validate t
+
+let test_insert_merge_mixed_policy () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 0 4) 1;
+  Itreap.insert_replace t (iv 6 10) 3;
+  (* keep incumbents smaller than the new owner 2: keeps 1, replaces 3 *)
+  let keep ~incumbent = if incumbent < 2 then `Keep else `Replace in
+  Itreap.insert_merge t (iv 0 12) 2 ~keep;
+  Alcotest.check entry_t "mixed" [ (0, 4, 1); (5, 12, 2) ] (entries t);
+  Itreap.validate t
+
+let test_reset () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 0 9) 1;
+  Itreap.reset t;
+  check_int "size" 0 (Itreap.size t);
+  Alcotest.check entry_t "empty" [] (entries t)
+
+let test_visits_counted () =
+  let t = make_treap () in
+  for i = 0 to 63 do
+    Itreap.insert_replace t (iv (i * 10) ((i * 10) + 4)) i
+  done;
+  check_bool "visits accumulate" true (Itreap.visits t > 64)
+
+(* ------------------------------------------------------ model based *)
+
+(* Reference: explicit per-address owner map over a small address space. *)
+module Model = struct
+  let space = 256
+
+  type t = int option array
+
+  let create () : t = Array.make space None
+
+  let insert_replace (m : t) i o =
+    for a = i.Interval.lo to min i.Interval.hi (space - 1) do
+      m.(a) <- Some o
+    done
+
+  let insert_merge (m : t) i o ~keep =
+    for a = i.Interval.lo to min i.Interval.hi (space - 1) do
+      match m.(a) with
+      | None -> m.(a) <- Some o
+      | Some u -> ( match keep ~incumbent:u with `Keep -> () | `Replace -> m.(a) <- Some o)
+    done
+
+  let clear (m : t) i =
+    for a = i.Interval.lo to min i.Interval.hi (space - 1) do
+      m.(a) <- None
+    done
+end
+
+type op = Replace of int * int * int | Merge of int * int * int | Clear of int * int
+
+let op_gen =
+  let open QCheck.Gen in
+  let range = pair (int_bound (Model.space - 20)) (int_range 1 19) in
+  let owner = int_range 0 7 in
+  frequency
+    [
+      (4, map2 (fun (lo, w) o -> Replace (lo, lo + w - 1, o)) range owner);
+      (4, map2 (fun (lo, w) o -> Merge (lo, lo + w - 1, o)) range owner);
+      (1, map (fun (lo, w) -> Clear (lo, lo + w - 1)) range);
+    ]
+
+let op_print = function
+  | Replace (l, h, o) -> Printf.sprintf "Replace[%d,%d]@%d" l h o
+  | Merge (l, h, o) -> Printf.sprintf "Merge[%d,%d]@%d" l h o
+  | Clear (l, h) -> Printf.sprintf "Clear[%d,%d]" l h
+
+(* the merge policy must be a pure function of the owners *)
+let policy ~new_owner ~incumbent = if incumbent <= new_owner then `Keep else `Replace
+
+let agree t (m : Model.t) =
+  (* every address agrees with the model *)
+  let ok = ref true in
+  for a = 0 to Model.space - 1 do
+    let treap_owner = Option.map snd (Itreap.find t a) in
+    if treap_owner <> m.(a) then ok := false
+  done;
+  (* coverage ledger agrees *)
+  let model_cov = Array.fold_left (fun n x -> if x = None then n else n + 1) 0 m in
+  !ok && model_cov = Itreap.covered t
+
+let treap_model_prop =
+  QCheck.Test.make ~name:"treap agrees with per-address model" ~count:400
+    (QCheck.make ~print:QCheck.Print.(list op_print) (QCheck.Gen.list_size (QCheck.Gen.int_range 1 40) op_gen))
+    (fun ops ->
+      let t = make_treap ~seed:7 () in
+      let m = Model.create () in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Replace (l, h, o) ->
+              Itreap.insert_replace t (iv l h) o;
+              Model.insert_replace m (iv l h) o
+          | Merge (l, h, o) ->
+              Itreap.insert_merge t (iv l h) o ~keep:(policy ~new_owner:o);
+              Model.insert_merge m (iv l h) o ~keep:(policy ~new_owner:o)
+          | Clear (l, h) ->
+              Itreap.clear_range t (iv l h);
+              Model.clear m (iv l h));
+          Itreap.validate t;
+          agree t m)
+        ops)
+
+let treap_query_model_prop =
+  QCheck.Test.make ~name:"query returns exactly the overlapping owners" ~count:200
+    (QCheck.make
+       (QCheck.Gen.pair
+          (QCheck.Gen.list_size (QCheck.Gen.int_range 1 30) op_gen)
+          (QCheck.Gen.pair (QCheck.Gen.int_bound 235) (QCheck.Gen.int_range 1 19))))
+    (fun (ops, (qlo, qw)) ->
+      let t = make_treap ~seed:11 () in
+      let m = Model.create () in
+      List.iter
+        (function
+          | Replace (l, h, o) ->
+              Itreap.insert_replace t (iv l h) o;
+              Model.insert_replace m (iv l h) o
+          | Merge (l, h, o) ->
+              Itreap.insert_merge t (iv l h) o ~keep:(policy ~new_owner:o);
+              Model.insert_merge m (iv l h) o ~keep:(policy ~new_owner:o)
+          | Clear (l, h) ->
+              Itreap.clear_range t (iv l h);
+              Model.clear m (iv l h))
+        ops;
+      let q = iv qlo (qlo + qw - 1) in
+      (* flatten the query result to per-address owners *)
+      let from_query = Array.make Model.space None in
+      Itreap.query t q ~f:(fun i o ->
+          for a = max i.Interval.lo q.Interval.lo to min i.Interval.hi q.Interval.hi do
+            from_query.(a) <- Some o
+          done);
+      let ok = ref true in
+      for a = q.Interval.lo to q.Interval.hi do
+        if a < Model.space && from_query.(a) <> m.(a) then ok := false
+      done;
+      !ok)
+
+let test_big_sequential_build () =
+  (* A large build keeps expected-logarithmic depth: visits per op should be
+     far below size. *)
+  let t = make_treap ~seed:3 () in
+  let n = 20_000 in
+  for i = 0 to n - 1 do
+    Itreap.insert_replace t (iv (i * 3) ((i * 3) + 1)) i
+  done;
+  check_int "all separate" n (Itreap.size t);
+  Itreap.validate t;
+  let v0 = Itreap.visits t in
+  ignore (Itreap.find t ((n / 2) * 3));
+  let probe_cost = Itreap.visits t - v0 in
+  check_bool "log-ish probe" true (probe_cost < 80)
+
+let () =
+  Alcotest.run "pint_treap"
+    [
+      ( "directed",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single insert" `Quick test_single_insert;
+          Alcotest.test_case "paper example" `Quick test_paper_example;
+          Alcotest.test_case "replace exact" `Quick test_replace_exact;
+          Alcotest.test_case "replace engulf" `Quick test_replace_engulf;
+          Alcotest.test_case "replace interior split" `Quick test_replace_interior_split;
+          Alcotest.test_case "same owner merge" `Quick test_same_owner_merge;
+          Alcotest.test_case "query order" `Quick test_query_order;
+          Alcotest.test_case "query none" `Quick test_query_none;
+          Alcotest.test_case "clear range" `Quick test_clear_range;
+          Alcotest.test_case "clear range noop" `Quick test_clear_range_noop;
+          Alcotest.test_case "merge into gap" `Quick test_insert_merge_gap_only;
+          Alcotest.test_case "merge keep" `Quick test_insert_merge_keep;
+          Alcotest.test_case "merge replace" `Quick test_insert_merge_replace;
+          Alcotest.test_case "merge partial overlap" `Quick test_insert_merge_partial_overlap;
+          Alcotest.test_case "merge mixed policy" `Quick test_insert_merge_mixed_policy;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "visits counted" `Quick test_visits_counted;
+          Alcotest.test_case "big sequential build" `Quick test_big_sequential_build;
+        ] );
+      ( "model",
+        [
+          QCheck_alcotest.to_alcotest treap_model_prop;
+          QCheck_alcotest.to_alcotest treap_query_model_prop;
+        ] );
+    ]
