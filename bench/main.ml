@@ -32,7 +32,7 @@ let run_detector_once name workers detector () =
       let p = Pint_detector.make () in
       let d = Pint_detector.detector p in
       let config =
-        { Sim_exec.default_config with n_workers = workers; actors = Pint_detector.sim_actors p }
+        { Sim_exec.default_config with n_workers = workers; stages = Pint_detector.stages p }
       in
       ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run)
 
@@ -55,7 +55,7 @@ let fig2_tests =
     let p = Pint_detector.make () in
     let d = Pint_detector.detector p in
     let config =
-      { Sim_exec.default_config with n_workers = 4; actors = Pint_detector.sim_actors p }
+      { Sim_exec.default_config with n_workers = 4; stages = Pint_detector.stages p }
     in
     ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run)
   in
@@ -82,7 +82,7 @@ let fig4_tests =
     let pd = Pint_detector.make () in
     let d = Pint_detector.detector pd in
     let config =
-      { Sim_exec.default_config with n_workers = p; actors = Pint_detector.sim_actors pd }
+      { Sim_exec.default_config with n_workers = p; stages = Pint_detector.stages pd }
     in
     ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run)
   in
@@ -157,6 +157,27 @@ let substrate_tests =
       Ahq.advance q Ahq.r
     done
   in
+  let ahq_pipe_batched () =
+    (* same 1k records, consumed through the batched interface: one cursor
+       update and one recycling scan per 32 records instead of per record *)
+    let _, root = Sp_order.create () in
+    let q = Ahq.create ~capacity:2048 () in
+    for i = 0 to 999 do
+      ignore (Ahq.try_enqueue q (Srec.make ~uid:i root))
+    done;
+    let drain side =
+      let rec go () =
+        let b = Ahq.peek_batch q side in
+        if Array.length b > 0 then begin
+          Ahq.advance_n q side (Array.length b);
+          go ()
+        end
+      in
+      go ()
+    in
+    drain Ahq.l;
+    drain Ahq.r
+  in
   Test.make_grouped ~name:"substrate"
     [
       Test.make ~name:"treap-1k-inserts" (Staged.stage treap_insert);
@@ -166,6 +187,7 @@ let substrate_tests =
       Test.make ~name:"coalescer-1k" (Staged.stage coalescer);
       Test.make ~name:"trace-1k-pipe" (Staged.stage trace_pipe);
       Test.make ~name:"ahq-1k-pipe" (Staged.stage ahq_pipe);
+      Test.make ~name:"ahq-1k-pipe-batch32" (Staged.stage ahq_pipe_batched);
     ]
 
 (* Minimal reporting: name + ns/run from the OLS estimate. *)
@@ -186,6 +208,28 @@ let report tests =
       | _ -> Printf.printf "  %-40s (no estimate)\n%!" name)
     (List.sort compare rows)
 
+(* Per-stage pipeline diagnostics from one representative PINT run, so
+   backpressure (writer stalls), idle spinning and the achieved AHQ batch
+   size can be attributed stage by stage. *)
+let print_stage_diagnostics () =
+  let w = Registry.find "heat" in
+  let inst = w.Workload.make ~size:small ~base:8 in
+  let p = Pint_detector.make () in
+  let d = Pint_detector.detector p in
+  let config =
+    { Sim_exec.default_config with n_workers = 4; stages = Pint_detector.stages p }
+  in
+  ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run);
+  d.Detector.drain ();
+  print_endline "=== PINT per-stage pipeline diagnostics (heat48, 4 workers) ===";
+  List.iter
+    (fun (k, v) ->
+      if
+        String.length k > 6 && String.sub k 0 6 = "stage."
+        || k = "writer_stalls" || k = "ahq_batch"
+      then Printf.printf "  %-28s %12.1f\n" k v)
+    (d.Detector.diagnostics ())
+
 let () =
   print_endline "=== PINT evaluation tables (virtual-time harness) ===";
   print_newline ();
@@ -200,6 +244,8 @@ let () =
   print_newline ();
   let _, f4 = Figures.fig4 () in
   print_string f4;
+  print_newline ();
+  print_stage_diagnostics ();
   print_newline ();
   print_endline "=== Bechamel wall-clock benchmarks (real implementation) ===";
   List.iter report [ fig1_tests; fig2_tests; fig3_tests; fig4_tests; substrate_tests ]

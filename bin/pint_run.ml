@@ -9,13 +9,6 @@ open Cmdliner
 
 type exec_kind = Seq | Sim | Par
 
-let pint_aux p =
-  [
-    ("writer", fun () -> (Pint_detector.writer_step p :> [ `Worked of int | `Idle | `Done ]));
-    ("lreader", fun () -> (Pint_detector.lreader_step p :> [ `Worked of int | `Idle | `Done ]));
-    ("rreader", fun () -> (Pint_detector.rreader_step p :> [ `Worked of int | `Idle | `Done ]));
-  ]
-
 let run_one workload detector exec workers size base racy seed max_report =
   let w =
     try Registry.find workload
@@ -54,14 +47,14 @@ let run_one workload detector exec workers size base racy seed max_report =
       Printf.printf "executor=seq strands=%d spawns=%d syncs=%d\n" r.Seq_exec.n_strands
         r.Seq_exec.n_spawns r.Seq_exec.n_syncs
   | Sim ->
-      let actors = match pint with Some p -> Pint_detector.sim_actors p | None -> [] in
-      let config = { Sim_exec.default_config with n_workers = workers; seed; actors } in
+      let stages = match pint with Some p -> Pint_detector.stages p | None -> [] in
+      let config = { Sim_exec.default_config with n_workers = workers; seed; stages } in
       let r = Sim_exec.run ~config ~driver:det.Detector.driver inst.Workload.run in
       Printf.printf "executor=sim workers=%d strands=%d steals=%d makespan=%d total=%d\n" workers
         r.Sim_exec.n_strands r.Sim_exec.n_steals r.Sim_exec.makespan r.Sim_exec.total
   | Par ->
-      let aux = match pint with Some p -> pint_aux p | None -> [] in
-      let config = { Par_exec.n_workers = workers; seed; aux } in
+      let stages = match pint with Some p -> Pint_detector.stages p | None -> [] in
+      let config = { Par_exec.n_workers = workers; seed; stages } in
       let r = Par_exec.run ~config ~driver:det.Detector.driver inst.Workload.run in
       Printf.printf "executor=par workers=%d strands=%d steals=%d elapsed=%.3fs\n" workers
         r.Par_exec.n_strands r.Par_exec.n_steals r.Par_exec.elapsed_s);

@@ -55,7 +55,7 @@ let diagnose name ~fixed =
   let p = Pint_detector.make () in
   let det = Pint_detector.detector p in
   let config =
-    { Sim_exec.default_config with n_workers = 6; actors = Pint_detector.sim_actors p }
+    { Sim_exec.default_config with n_workers = 6; stages = Pint_detector.stages p }
   in
   let _ = Sim_exec.run ~config ~driver:det.Detector.driver (pipeline ~fixed) in
   let races = Detector.races det in

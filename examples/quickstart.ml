@@ -31,7 +31,7 @@ let run_with_pint name prog =
   let p = Pint_detector.make () in
   let det = Pint_detector.detector p in
   let config =
-    { Sim_exec.default_config with n_workers = 4; actors = Pint_detector.sim_actors p }
+    { Sim_exec.default_config with n_workers = 4; stages = Pint_detector.stages p }
   in
   let r = Sim_exec.run ~config ~driver:det.Detector.driver prog in
   let races = Detector.races det in

@@ -60,7 +60,7 @@ let () =
   let pint = Pint_detector.detector p in
   let _ =
     Sim_exec.run
-      ~config:{ Sim_exec.default_config with n_workers = 8; actors = Pint_detector.sim_actors p }
+      ~config:{ Sim_exec.default_config with n_workers = 8; stages = Pint_detector.stages p }
       ~driver:pint.Detector.driver program
   in
   List.iter

@@ -1,5 +1,3 @@
-type step = [ `Worked of int | `Idle | `Done ]
-
 (* Address-range sharding for the §VI extension: reader-treap work can be
    split across [shards] workers per role because race checks are
    per-address — worker k owns the 4096-word blocks whose index is ≡ k
@@ -48,21 +46,27 @@ type t = {
   seed : int;
   queue_capacity : int;
   shards : int;
+  batch : int;
   report : Report.t;
   mutable run : run option;
+  mutable stage_list : Stage.t list;
   mutable last_diags : (string * float) list;
 }
 
 let dummy_trace = Trace.create ~id:(-1) ~owner:(-1)
 
-let make ?(seed = 4242) ?(queue_capacity = 4096) ?(reader_shards = 1) () =
+let make ?(seed = 4242) ?(queue_capacity = 4096) ?(reader_shards = 1)
+    ?(batch = Ahq.default_batch) () =
   if reader_shards < 1 then invalid_arg "Pint_detector.make: reader_shards must be >= 1";
+  if batch < 1 then invalid_arg "Pint_detector.make: batch must be >= 1";
   {
     seed;
     queue_capacity;
     shards = reader_shards;
+    batch;
     report = Report.create ();
     run = None;
+    stage_list = [];
     last_diags = [];
   }
 
@@ -110,6 +114,7 @@ let driver t (ctx : Hooks.ctx) =
     ignore (new_trace r ~wid)
   done;
   t.run <- Some r;
+  List.iter Stage.reset_metrics t.stage_list;
   {
     Hooks.sink =
       (fun ~wid ->
@@ -219,20 +224,20 @@ let collect t r (u : Srec.t) =
     true
   end
 
-let writer_step t : step =
+let writer_step t : Step.t =
   let r = active t in
   let n = Vec.length r.registry in
   if n = 0 then
     if Atomic.get r.core_done then begin
       Atomic.set r.writer_done true;
-      `Done
+      Step.finished
     end
-    else `Idle
+    else Step.idle
   else begin
     (* scan active traces round-robin from the cursor *)
     let rec scan i tried =
       let len = Vec.length r.registry in
-      if len = 0 || tried >= len then `Idle
+      if len = 0 || tried >= len then Step.idle
       else begin
         let idx = i mod len in
         let tr = Vec.get r.registry idx in
@@ -252,9 +257,9 @@ let writer_step t : step =
               if collect t r u then begin
                 Trace.pop tr;
                 r.scan_cursor <- idx;
-                `Worked (Itreap.visits r.writer - v0)
+                Step.worked (Itreap.visits r.writer - v0)
               end
-              else `Idle (* queue full: stall until readers catch up *)
+              else Step.stalled (* queue full: stall until readers catch up *)
           | None -> scan (idx + 1) (tried + 1)
         end
         else scan (idx + 1) (tried + 1)
@@ -263,19 +268,27 @@ let writer_step t : step =
     match scan r.scan_cursor 0 with
     | `Idle when Vec.length r.registry = 0 && Atomic.get r.core_done ->
         Atomic.set r.writer_done true;
-        `Done
+        Step.finished
     | other -> other
   end
 
-let reader_step_idx t idx : step =
+(* Readers consume the queue in batches: one cursor update and one
+   slot-recycling scan per batch instead of per record. *)
+let reader_step_idx t idx : Step.t =
   let r = active t in
-  match Ahq.peek r.ahq idx with
-  | Some u ->
-      let cost = process_reader t r idx u in
-      Ahq.advance r.ahq idx;
-      ignore (Atomic.fetch_and_add u.Srec.done_count 1);
-      `Worked cost
-  | None -> if Atomic.get r.writer_done then `Done else `Idle
+  let batch = Ahq.peek_batch ~max:t.batch r.ahq idx in
+  let n = Array.length batch in
+  if n = 0 then if Atomic.get r.writer_done then Step.finished else Step.idle
+  else begin
+    let visits = ref 0 in
+    Array.iter
+      (fun u ->
+        visits := !visits + process_reader t r idx u;
+        ignore (Atomic.fetch_and_add u.Srec.done_count 1))
+      batch;
+    Ahq.advance_n r.ahq idx n;
+    Step.worked ~records:n !visits
+  end
 
 let lreader_step t = reader_step_idx t 0
 let rreader_step t = reader_step_idx t t.shards
@@ -291,22 +304,43 @@ let reader_steps t =
       in
       (name, fun () -> reader_step_idx t idx))
 
-let drain t =
-  let readers = reader_steps t in
-  let rec go () =
-    let a = writer_step t in
-    let others = List.map (fun (_, step) -> step ()) readers in
-    let is_done s = match s with `Done -> true | `Worked _ | `Idle -> false in
-    let worked s = match s with `Worked _ -> true | `Done | `Idle -> false in
-    if is_done a && List.for_all is_done others then ()
-    else begin
-      if (not (worked a)) && not (List.exists worked others) then Domain.cpu_relax ();
-      go ()
-    end
+(* The pipeline stages: the writer treap worker plus the [2·S] reader treap
+   workers, registered with the engine.  The same stage values are used by
+   every executor (the simulator steps them in virtual time, the
+   multi-domain executor gives each its own domain, [drain] round-robins
+   them), so the per-stage metrics accumulate in one place regardless of
+   who drives the pipeline. *)
+let default_step_cost visits = 100 + (5 * visits)
+
+let stages ?(cost = default_step_cost) t =
+  let all =
+    Stage.make ~name:"writer" ~cost (fun () -> writer_step t)
+    :: List.map (fun (name, step) -> Stage.make ~name ~cost step) (reader_steps t)
   in
-  go ()
+  t.stage_list <- all;
+  all
+
+let current_stages t = match t.stage_list with [] -> stages t | l -> l
+
+let drain t = Pipeline.drive (Pipeline.of_stages (current_stages t))
 
 let collected t = match t.run with Some r -> r.n_collected | None -> 0
+
+let stage_diagnostics t =
+  match t.stage_list with
+  | [] -> []
+  | sl ->
+      let readers = List.filter (fun s -> Stage.name s <> "writer") sl in
+      let sum f = List.fold_left (fun acc s -> acc + f (Stage.metrics s)) 0 readers in
+      let rsteps = sum (fun m -> m.Stage.steps) and rrecords = sum (fun m -> m.Stage.records) in
+      let writer_stalls =
+        match List.find_opt (fun s -> Stage.name s = "writer") sl with
+        | Some w -> (Stage.metrics w).Stage.stalls
+        | None -> 0
+      in
+      ("writer_stalls", float_of_int writer_stalls)
+      :: ("ahq_batch", float_of_int rrecords /. float_of_int (max 1 rsteps))
+      :: Pipeline.diagnostics (Pipeline.of_stages sl)
 
 let diagnostics t () =
   match t.run with
@@ -335,6 +369,7 @@ let diagnostics t () =
         ("raw_events", float_of_int r.agg_raw_events);
         ("shards", float_of_int t.shards);
       ]
+      @ stage_diagnostics t
 
 let detector t =
   {
@@ -344,18 +379,3 @@ let detector t =
     drain = (fun () -> match t.run with Some _ -> drain t | None -> ());
     diagnostics = diagnostics t;
   }
-
-let sim_actors ?(cost = fun visits -> 100 + (5 * visits)) t =
-  {
-    Sim_exec.a_name = "writer";
-    a_step = (fun () -> (writer_step t :> [ `Worked of int | `Idle | `Done ]));
-    a_cost = cost;
-  }
-  :: List.map
-       (fun (name, step) ->
-         {
-           Sim_exec.a_name = name;
-           a_step = (fun () -> (step () :> [ `Worked of int | `Idle | `Done ]));
-           a_cost = cost;
-         })
-       (reader_steps t)

@@ -9,55 +9,68 @@
     - a worker switches to a fresh trace when it starts a stolen
       continuation or passes a non-trivial sync.
 
-    Access-history side: three logical treap workers, exposed as explicit
-    {e step} functions so that every execution mode can drive them —
+    Access-history side: three logical treap workers, packaged as engine
+    {!Stage}s so that every execution mode can drive them through the
+    shared pipeline machinery —
     - the {b writer} treap worker collects ready strands from traces in a
       DAG-conforming order (Algorithm 2), moves them into the shared
       access-history queue, checks read/write intervals against the
       last-writer treap, performs delayed heap frees;
     - the {b left-most} / {b right-most} reader treap workers follow the
-      queue, check write intervals against their reader treap and insert
-      read intervals under their respective keep policies.
+      queue in batches ({!Ahq.peek_batch}), check write intervals against
+      their reader treap and insert read intervals under their respective
+      keep policies.
 
     The sequential executor calls {!drain} once at the end (the paper's
     one-core PINT configuration: all core work first, then the access
-    history).  The simulator calls the step functions from virtual-time
-    actors; the multi-domain executor calls them from three dedicated
-    domains.  Each step returns the number of treap-node visits it caused,
-    which is the cost its caller charges in virtual time. *)
+    history).  The simulator steps the stages in virtual time; the
+    multi-domain executor runs each on a dedicated domain.  Each step
+    reports the number of treap-node visits it caused, which is the cost
+    its caller charges in virtual time (through the stage's cost hook). *)
 
 type t
 
-(** [make ?seed ?queue_capacity ?reader_shards ()].
+(** [make ?seed ?queue_capacity ?reader_shards ?batch ()].
 
     [reader_shards] implements the paper's §VI future-work direction —
     parallelizing the treap component: each reader role (left-most /
     right-most) is split across that many workers, worker [k] owning the
     4096-word address blocks congruent to [k]; every shard has its own
     sequential treap, so correctness needs no concurrent treap.  The default
-    [1] is the paper's three-treap-worker configuration. *)
-val make : ?seed:int -> ?queue_capacity:int -> ?reader_shards:int -> unit -> t
+    [1] is the paper's three-treap-worker configuration.
+
+    [batch] bounds how many queued records a reader treap worker consumes
+    per step (default {!Ahq.default_batch}), amortizing cursor updates and
+    slot-recycling checks. *)
+val make : ?seed:int -> ?queue_capacity:int -> ?reader_shards:int -> ?batch:int -> unit -> t
 
 (** The generic handle (driver/report/drain) for this instance. *)
 val detector : t -> Detector.t
 
-type step =
-  [ `Worked of int  (** progressed; payload = treap-node visits *)
-  | `Idle  (** nothing to do right now *)
-  | `Done  (** this worker's work is complete for the whole run *) ]
+(** The pipeline as engine stages: the writer stage followed by the [2·S]
+    reader stages.  [cost] converts a step's treap-node visit count into
+    virtual cycles (the harness supplies the calibrated model; the default
+    charges a small constant plus a per-visit cost).  The returned stages
+    are remembered by the detector: {!drain} drives the same values, and
+    their per-stage metrics appear in [Detector.diagnostics] (keys
+    [stage.<name>.<counter>], plus [writer_stalls] and the achieved
+    [ahq_batch] size). *)
+val stages : ?cost:(int -> int) -> t -> Stage.t list
 
-val writer_step : t -> step
+(** One writer-treap-worker step (exposed for tests and custom drivers). *)
+val writer_step : t -> Step.t
 
 (** Shard 0 of each role (the only shard in the default configuration). *)
-val lreader_step : t -> step
+val lreader_step : t -> Step.t
 
-val rreader_step : t -> step
+val rreader_step : t -> Step.t
 
 (** All reader workers, named ("lreader", "rreader" for one shard;
     "lreader0", "rreader1", … when sharded). *)
-val reader_steps : t -> (string * (unit -> step)) list
+val reader_steps : t -> (string * (unit -> Step.t)) list
 
-(** Run all three treap workers round-robin to completion. *)
+(** Run all treap workers round-robin to completion via the engine's
+    {!Pipeline.drive}. *)
 val drain : t -> unit
 
 (** Number of strands the writer worker has collected so far. *)
@@ -67,9 +80,3 @@ val collected : t -> int
     of [iv] owned by [shard]; the shards partition every interval exactly.
     Exposed for tests and for building custom shard workers. *)
 val iter_shard_subranges : shards:int -> shard:int -> Interval.t -> (Interval.t -> unit) -> unit
-
-(** The three treap workers packaged as simulator actors.  [cost] converts a
-    step's treap-node visit count into virtual cycles (the harness supplies
-    the calibrated model; the default charges a small constant plus a
-    per-visit cost). *)
-val sim_actors : ?cost:(int -> int) -> t -> Sim_exec.actor list

@@ -1,0 +1,7 @@
+let max_spins = 256
+
+let relax round =
+  let spins = if round >= 8 then max_spins else 1 lsl round in
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done

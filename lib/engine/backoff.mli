@@ -1,0 +1,9 @@
+(** Exponential idle backoff for stage-driving loops.
+
+    [relax n] spins [min (2^n) 256] times on [Domain.cpu_relax], where [n]
+    is the number of consecutive unproductive rounds the caller has seen.
+    Replaces bare [Domain.cpu_relax] spinning: an idle stage burns little
+    CPU (and steals few cycles from the core workers sharing the machine)
+    while still reacting within a few hundred relaxes once work appears. *)
+
+val relax : int -> unit

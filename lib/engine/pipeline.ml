@@ -1,0 +1,38 @@
+type t = { mutable stages : Stage.t list }
+
+let create () = { stages = [] }
+let of_stages stages = { stages }
+let register t s = t.stages <- t.stages @ [ s ]
+let stages t = t.stages
+
+let drive t =
+  match t.stages with
+  | [] -> ()
+  | stages ->
+      let stages = Array.of_list stages in
+      let n = Array.length stages in
+      let finished = Array.make n false in
+      let remaining = ref n in
+      let idle_rounds = ref 0 in
+      while !remaining > 0 do
+        let progressed = ref false in
+        Array.iteri
+          (fun i s ->
+            if not finished.(i) then begin
+              let st = Stage.exec s in
+              if Step.is_done st then begin
+                finished.(i) <- true;
+                decr remaining
+              end
+              else if Step.progressed st then progressed := true
+            end)
+          stages;
+        if !remaining > 0 then
+          if !progressed then idle_rounds := 0
+          else begin
+            incr idle_rounds;
+            Backoff.relax !idle_rounds
+          end
+      done
+
+let diagnostics t = List.concat_map Stage.diagnostics t.stages

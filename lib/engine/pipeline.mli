@@ -1,0 +1,28 @@
+(** Registration and the drive/drain loop for a set of {!Stage}s.
+
+    One pipeline owns the full set of stages of an asynchronous component
+    (for PINT: the writer treap worker plus the [2·S] reader treap
+    workers).  {!drive} runs them round-robin on the calling thread until
+    every stage reports [`Done] — the single-threaded drain used by the
+    sequential executor and by [Detector.drain]; the multi-domain executor
+    instead gives each registered stage its own domain via {!Stage.run}.
+    Rounds in which no stage progresses back off exponentially
+    ({!Backoff.relax}) instead of spinning on bare [Domain.cpu_relax]. *)
+
+type t
+
+val create : unit -> t
+val of_stages : Stage.t list -> t
+
+(** Append a stage; drive order is registration order. *)
+val register : t -> Stage.t -> unit
+
+val stages : t -> Stage.t list
+
+(** Round-robin all stages to completion on the calling thread.  Stages
+    already [`Done] (e.g. after a previous drive, or after dedicated
+    domains finished them) are retired on their first step. *)
+val drive : t -> unit
+
+(** Concatenated {!Stage.diagnostics} of every registered stage. *)
+val diagnostics : t -> (string * float) list

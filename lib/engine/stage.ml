@@ -1,0 +1,69 @@
+type metrics = {
+  mutable steps : int;
+  mutable records : int;
+  mutable visits : int;
+  mutable idles : int;
+  mutable stalls : int;
+}
+
+type t = {
+  name : string;
+  step : unit -> Step.t;
+  cost : int -> int;
+  metrics : metrics;
+}
+
+let fresh_metrics () = { steps = 0; records = 0; visits = 0; idles = 0; stalls = 0 }
+
+let make ~name ?(cost = Fun.id) step = { name; step; cost; metrics = fresh_metrics () }
+
+let name t = t.name
+let cost t v = t.cost v
+let metrics t = t.metrics
+
+let reset_metrics t =
+  let m = t.metrics in
+  m.steps <- 0;
+  m.records <- 0;
+  m.visits <- 0;
+  m.idles <- 0;
+  m.stalls <- 0
+
+let exec t =
+  let st = t.step () in
+  let m = t.metrics in
+  (match st with
+  | `Worked o ->
+      m.steps <- m.steps + 1;
+      m.records <- m.records + o.Step.records;
+      m.visits <- m.visits + o.Step.visits
+  | `Idle -> m.idles <- m.idles + 1
+  | `Stalled -> m.stalls <- m.stalls + 1
+  | `Done -> ());
+  st
+
+let run t =
+  let idle = ref 0 in
+  let rec loop () =
+    let st = exec t in
+    if not (Step.is_done st) then begin
+      if Step.progressed st then idle := 0
+      else begin
+        incr idle;
+        Backoff.relax !idle
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let diagnostics t =
+  let m = t.metrics in
+  let key suffix = Printf.sprintf "stage.%s.%s" t.name suffix in
+  [
+    (key "steps", float_of_int m.steps);
+    (key "records", float_of_int m.records);
+    (key "visits", float_of_int m.visits);
+    (key "idle", float_of_int m.idles);
+    (key "stalls", float_of_int m.stalls);
+  ]

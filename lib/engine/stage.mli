@@ -1,0 +1,50 @@
+(** A pipeline stage: a named step function plus per-stage accounting.
+
+    A stage wraps one logical pipeline worker (PINT's writer treap worker,
+    one reader treap worker, …).  All schedulers drive stages exclusively
+    through {!exec} (or the convenience loop {!run}), so the counters below
+    are maintained uniformly no matter which executor is in charge:
+
+    - [steps] — productive ([`Worked]) steps taken;
+    - [records] — pipeline records consumed (batch-aware: one step may
+      consume many records, so [records /. steps] is the achieved batch);
+    - [visits] — accumulated cost payloads (treap-node visits for PINT);
+    - [idles] — steps that found nothing to do upstream;
+    - [stalls] — steps blocked on a full downstream queue (backpressure).
+
+    A stage is single-consumer: it must be driven by one thread at a time
+    (each [Par_exec] stage domain, the single-threaded simulator, or a
+    drain loop — never two at once). *)
+
+type metrics = {
+  mutable steps : int;
+  mutable records : int;
+  mutable visits : int;
+  mutable idles : int;
+  mutable stalls : int;
+}
+
+type t
+
+(** [make ~name ?cost step] — [cost] converts a step's visit count into
+    scheduler-specific cost units (virtual cycles for the simulator);
+    defaults to the identity. *)
+val make : name:string -> ?cost:(int -> int) -> (unit -> Step.t) -> t
+
+val name : t -> string
+
+(** Apply the stage's cost hook to a visit count. *)
+val cost : t -> int -> int
+
+val metrics : t -> metrics
+val reset_metrics : t -> unit
+
+(** Drive the stage one step and record the outcome in its metrics. *)
+val exec : t -> Step.t
+
+(** Drive the stage to [`Done] with exponential idle backoff — the loop a
+    dedicated domain runs. *)
+val run : t -> unit
+
+(** The stage's counters as [("stage.<name>.<counter>", value)] pairs. *)
+val diagnostics : t -> (string * float) list

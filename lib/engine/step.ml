@@ -1,0 +1,14 @@
+type outcome = { records : int; visits : int }
+
+type t = [ `Worked of outcome | `Idle | `Stalled | `Done ]
+
+let worked ?(records = 1) visits = `Worked { records; visits }
+let idle : t = `Idle
+let stalled : t = `Stalled
+let finished : t = `Done
+
+let progressed = function `Worked _ -> true | `Idle | `Stalled | `Done -> false
+let is_done = function `Done -> true | `Worked _ | `Idle | `Stalled -> false
+let blocked = function `Idle | `Stalled -> true | `Worked _ | `Done -> false
+let visits = function `Worked o -> o.visits | `Idle | `Stalled | `Done -> 0
+let records = function `Worked o -> o.records | `Idle | `Stalled | `Done -> 0

@@ -4,7 +4,7 @@ open Effect.Deep
 type config = {
   n_workers : int;
   seed : int;
-  aux : (string * (unit -> [ `Worked of int | `Idle | `Done ])) list;
+  stages : Stage.t list;
 }
 
 type result = {
@@ -15,7 +15,7 @@ type result = {
   n_nontrivial_syncs : int;
 }
 
-let default_config = { n_workers = 4; seed = 1; aux = [] }
+let default_config = { n_workers = 4; seed = 1; stages = [] }
 
 (* ---------------------------------------------------------------- fibers *)
 
@@ -75,24 +75,53 @@ let new_frame ~parent =
 (* Mutex-protected double-ended queue.  Steals are rare and this container
    is not the bottleneck of anything we measure (virtual-time performance
    comes from Sim_exec), so the simple lock beats a hand-rolled Chase-Lev
-   for reviewability. *)
-module Lockdq = struct
-  type 'a t = { lock : Mutex.t; mutable items : 'a list (* newest first *) }
+   for reviewability.
 
-  let create () = { lock = Mutex.create (); items = [] }
+   Two-list representation: [front] holds the bottom (newest-first), [back]
+   the top (oldest-first).  Pushes and pops touch only [front]; a steal pops
+   the head of [back].  When the needed side is empty, half of the other
+   side is moved across (one reversal), so every element is reversed O(1)
+   times amortized under any push/pop/steal mix — unlike the previous
+   single-list version whose every steal paid two O(n) [List.rev]s. *)
+module Lockdq = struct
+  type 'a t = {
+    lock : Mutex.t;
+    mutable front : 'a list; (* bottom side, newest first *)
+    mutable back : 'a list; (* top side, oldest first *)
+  }
+
+  let create () = { lock = Mutex.create (); front = []; back = [] }
+
+  (* Split [l] into its first [len l / 2] elements (kept on the source
+     side) and the rest reversed (moved to the other side).  The moved part
+     is never empty when [l] is non-empty. *)
+  let split_for_move l =
+    let n = List.length l in
+    let rec take k acc rest =
+      if k = 0 then (List.rev acc, rest) else
+        match rest with [] -> (List.rev acc, []) | x :: tl -> take (k - 1) (x :: acc) tl
+    in
+    let kept, moved = take (n / 2) [] l in
+    (kept, List.rev moved)
 
   let push_bottom t x =
     Mutex.lock t.lock;
-    t.items <- x :: t.items;
+    t.front <- x :: t.front;
     Mutex.unlock t.lock
 
   let pop_bottom t =
     Mutex.lock t.lock;
+    if t.front = [] && t.back <> [] then begin
+      (* newest elements sit at the tail of [back]; move that half over *)
+      let kept, moved = split_for_move t.back in
+      t.back <- kept;
+      t.front <- moved
+    end;
     let r =
-      match t.items with
+      match t.front with
       | [] -> None
       | x :: rest ->
-          t.items <- rest;
+          t.front <- rest;
           Some x
     in
     Mutex.unlock t.lock;
@@ -100,19 +129,25 @@ module Lockdq = struct
 
   let steal_top t =
     Mutex.lock t.lock;
+    if t.back = [] && t.front <> [] then begin
+      (* oldest elements sit at the tail of [front]; move that half over *)
+      let kept, moved = split_for_move t.front in
+      t.front <- kept;
+      t.back <- moved
+    end;
     let r =
-      match List.rev t.items with
+      match t.back with
       | [] -> None
-      | oldest :: rev_rest ->
-          t.items <- List.rev rev_rest;
-          Some oldest
+      | x :: rest ->
+          t.back <- rest;
+          Some x
     in
     Mutex.unlock t.lock;
     r
 
   let is_empty t =
     Mutex.lock t.lock;
-    let r = t.items == [] in
+    let r = t.front == [] && t.back == [] in
     Mutex.unlock t.lock;
     r
 end
@@ -355,18 +390,6 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
     Domain.DLS.get wkey := None
   in
 
-  let aux_loop (_name, step) =
-    let rec loop () =
-      match step () with
-      | `Worked _ -> loop ()
-      | `Idle ->
-          Domain.cpu_relax ();
-          loop ()
-      | `Done -> ()
-    in
-    loop ()
-  in
-
   let t0 = Unix.gettimeofday () in
   workers.(0).job <-
     Some
@@ -375,7 +398,9 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
            main ();
            e_sync ()));
   hooks.Hooks.on_start ~wid:0 root_rec Events.S_root;
-  let aux_domains = List.map (fun a -> Domain.spawn (fun () -> aux_loop a)) config.aux in
+  (* each pipeline stage gets a dedicated domain; Stage.run spins it to
+     [`Done] with exponential idle backoff *)
+  let aux_domains = List.map (fun s -> Domain.spawn (fun () -> Stage.run s)) config.stages in
   let core_domains =
     Array.to_list
       (Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) (Array.sub workers 1 (nw - 1)))

@@ -6,9 +6,10 @@
     oldest continuation from a random victim.  Non-trivial syncs suspend the
     function; the last returning child resumes it on its own domain.
 
-    Auxiliary loops (PINT's three treap workers) run on their own dedicated
-    domains, spinning on the provided step functions until they report
-    [`Done].
+    Pipeline stages (PINT's treap workers, as engine {!Stage}s) run on
+    their own dedicated domains, each driven by {!Stage.run} until it
+    reports [`Done] — unproductive spins back off exponentially and are
+    recorded in the stage's metrics.
 
     This executor demonstrates genuine parallel operation of the whole
     system; the container this repository was built in has a single physical
@@ -22,8 +23,7 @@
 type config = {
   n_workers : int;
   seed : int;  (** victim-selection seed (schedules remain nondeterministic) *)
-  aux : (string * (unit -> [ `Worked of int | `Idle | `Done ])) list;
-      (** auxiliary worker loops, one domain each *)
+  stages : Stage.t list;  (** pipeline stages, one dedicated domain each *)
 }
 
 type result = {

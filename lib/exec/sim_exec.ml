@@ -1,26 +1,20 @@
 open Effect
 open Effect.Deep
 
-type actor = {
-  a_name : string;
-  a_step : unit -> [ `Worked of int | `Idle | `Done ];
-  a_cost : int -> int;
-}
-
 type config = {
   n_workers : int;
   seed : int;
   strand_cost : Srec.t -> Events.finish_kind -> int;
   c_steal : int;
   c_steal_fail : int;
-  actors : actor list;
+  stages : Stage.t list;
 }
 
 type result = {
   makespan : int;
   total : int;
   worker_clocks : int array;
-  actor_clocks : (string * int) list;
+  stage_clocks : (string * int) list;
   n_steals : int;
   n_failed_steals : int;
   n_strands : int;
@@ -46,7 +40,7 @@ let default_config =
     strand_cost = default_strand_cost;
     c_steal = 200;
     c_steal_fail = 50;
-    actors = [];
+    stages = [];
   }
 
 (* ---------------------------------------------------------------- fibers *)
@@ -144,7 +138,7 @@ let dq_steal_top w =
 
 (* -------------------------------------------------------------- the run *)
 
-type mutable_actor = { ma : actor; mutable a_clock : int; mutable a_done : bool }
+type sim_stage = { stage : Stage.t; mutable s_clock : int; mutable s_done : bool }
 
 let run ?aspace ~config ~(driver : Hooks.driver) main =
   let aspace = match aspace with Some a -> a | None -> Aspace.create () in
@@ -363,24 +357,28 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
         (match earliest with Some t when w.clock < t -> w.clock <- t | _ -> ())
   in
 
-  (* auxiliary actors (PINT's treap workers) *)
-  let actors = List.map (fun a -> { ma = a; a_clock = 0; a_done = false }) config.actors in
-  let step_actors_once () =
+  (* pipeline stages (PINT's treap workers), driven through the engine so
+     their per-stage metrics accumulate exactly as on real domains *)
+  let sim_stages = List.map (fun s -> { stage = s; s_clock = 0; s_done = false }) config.stages in
+  let step_stages_once () =
     List.fold_left
       (fun progressed a ->
-        if a.a_done then progressed
-        else
-          match a.ma.a_step () with
-          | `Worked c ->
-              a.a_clock <- a.a_clock + a.ma.a_cost c;
-              true
-          | `Idle -> progressed
-          | `Done ->
-              a.a_done <- true;
-              progressed)
-      false actors
+        if a.s_done then progressed
+        else begin
+          let st = Stage.exec a.stage in
+          if Step.is_done st then begin
+            a.s_done <- true;
+            progressed
+          end
+          else if Step.progressed st then begin
+            a.s_clock <- a.s_clock + Stage.cost a.stage (Step.visits st);
+            true
+          end
+          else progressed
+        end)
+      false sim_stages
   in
-  let rec drain_actors () = if step_actors_once () then drain_actors () in
+  let rec drain_stages () = if step_stages_once () then drain_stages () in
 
   (* install the per-domain engine and dispatching access sink *)
   let sinks =
@@ -446,25 +444,25 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
                 in
                 handle_status w st
             | None -> attempt_steal w));
-        drain_actors ()
+        drain_stages ()
       done;
       hooks.Hooks.on_done ();
       (* drain the access-history side to completion *)
       let rec final_drain guard =
-        if not (List.for_all (fun a -> a.a_done) actors) then
-          if step_actors_once () then final_drain 0
-          else if guard > 1000 then failwith "Sim_exec: actors stuck (idle but not done)"
+        if not (List.for_all (fun a -> a.s_done) sim_stages) then
+          if step_stages_once () then final_drain 0
+          else if guard > 1000 then failwith "Sim_exec: stages stuck (idle but not done)"
           else final_drain (guard + 1)
       in
       final_drain 0);
   Array.iter (fun w -> assert (w.deque = [])) workers;
   let makespan = Array.fold_left (fun m w -> max m w.clock) 0 workers in
-  let total = List.fold_left (fun m a -> max m a.a_clock) makespan actors in
+  let total = List.fold_left (fun m a -> max m a.s_clock) makespan sim_stages in
   {
     makespan;
     total;
     worker_clocks = Array.map (fun w -> w.clock) workers;
-    actor_clocks = List.map (fun a -> (a.ma.a_name, a.a_clock)) actors;
+    stage_clocks = List.map (fun a -> (Stage.name a.stage, a.s_clock)) sim_stages;
     n_steals = !n_steals;
     n_failed_steals = !n_failed;
     n_strands = !next_uid + 1;

@@ -22,19 +22,15 @@
       [strand_cost] closure — the harness supplies per-detector cost models;
     - non-trivial syncs suspend the frame; the last returning child resumes
       it on its own worker, as in Cilk;
-    - auxiliary {e actors} (PINT's three treap workers) are stepped after
-      every core event and accumulate their processing costs on their own
-      clocks; the run's [total] is the max over all component clocks.
+    - pipeline {e stages} (PINT's treap workers, as engine {!Stage}s) are
+      stepped after every core event and accumulate their processing costs
+      on their own clocks; the run's [total] is the max over all component
+      clocks, and the stages' own metrics accumulate through {!Stage.exec}
+      exactly as they do on real domains.
 
     Constraint inherited from the cactus-stack simulation: a [with_frame]
     body must pop on the worker that pushed it, i.e. it must not contain a
     non-trivial sync; violations fail fast with an explicit error. *)
-
-type actor = {
-  a_name : string;
-  a_step : unit -> [ `Worked of int | `Idle | `Done ];
-  a_cost : int -> int;  (** convert a step's visit count to virtual cycles *)
-}
 
 type config = {
   n_workers : int;
@@ -42,14 +38,14 @@ type config = {
   strand_cost : Srec.t -> Events.finish_kind -> int;
   c_steal : int;
   c_steal_fail : int;
-  actors : actor list;
+  stages : Stage.t list;  (** pipeline stages stepped in virtual time *)
 }
 
 type result = {
   makespan : int;  (** max core-worker clock *)
-  total : int;  (** max over core workers and actors *)
+  total : int;  (** max over core workers and stages *)
   worker_clocks : int array;
-  actor_clocks : (string * int) list;
+  stage_clocks : (string * int) list;
   n_steals : int;
   n_failed_steals : int;
   n_strands : int;

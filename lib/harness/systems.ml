@@ -24,20 +24,20 @@ type measurement = {
 
 let vsec cycles = cycles /. 1e6
 
-let actor_clock (r : Sim_exec.result) name =
-  match List.assoc_opt name r.actor_clocks with Some c -> float_of_int c | None -> 0.
+let stage_clock (r : Sim_exec.result) name =
+  match List.assoc_opt name r.stage_clocks with Some c -> float_of_int c | None -> 0.
 
 let run ?(model = Cost_model.default) ?(seed = 2022) ?(shards = 1) ~(workload : Workload.t)
     ~size ~base ~workers system =
   let inst = workload.make ~size ~base in
-  let mk_config strand_cost actors n_workers =
+  let mk_config strand_cost stages n_workers =
     {
       Sim_exec.n_workers;
       seed;
       strand_cost;
       c_steal = model.Cost_model.c_steal;
       c_steal_fail = model.Cost_model.c_steal_fail;
-      actors;
+      stages;
     }
   in
   let finishup ~det ~sim_res ~time ~writer_time ~lreader_time ~rreader_time =
@@ -99,17 +99,17 @@ let run ?(model = Cost_model.default) ?(seed = 2022) ?(shards = 1) ~(workload : 
   | Pint_sys ->
       let p = Pint_detector.make ~seed:(seed + 7) ~reader_shards:shards () in
       let det = Pint_detector.detector p in
-      let actors = Pint_detector.sim_actors ~cost:(Cost_model.treap_step_cost model) p in
-      let config = mk_config (Cost_model.pint_core_cost model) actors workers in
+      let stages = Pint_detector.stages ~cost:(Cost_model.treap_step_cost model) p in
+      let config = mk_config (Cost_model.pint_core_cost model) stages workers in
       let r = Sim_exec.run ~config ~driver:det.Detector.driver inst.Workload.run in
-      let w = actor_clock r "writer" in
+      let w = stage_clock r "writer" in
       let reader_clocks =
         List.filter_map
           (fun (n, c) -> if n <> "writer" then Some (float_of_int c) else None)
-          r.Sim_exec.actor_clocks
+          r.Sim_exec.stage_clocks
       in
-      let l = if shards = 1 then actor_clock r "lreader" else List.fold_left ( +. ) 0. (List.filteri (fun i _ -> i < shards) reader_clocks) /. float_of_int shards
-      and rr = if shards = 1 then actor_clock r "rreader" else List.fold_left ( +. ) 0. (List.filteri (fun i _ -> i >= shards) reader_clocks) /. float_of_int shards in
+      let l = if shards = 1 then stage_clock r "lreader" else List.fold_left ( +. ) 0. (List.filteri (fun i _ -> i < shards) reader_clocks) /. float_of_int shards
+      and rr = if shards = 1 then stage_clock r "rreader" else List.fold_left ( +. ) 0. (List.filteri (fun i _ -> i >= shards) reader_clocks) /. float_of_int shards in
       let time =
         if workers = 1 then
           (* §IV-A one-core configuration: core first, then access history *)

@@ -38,31 +38,47 @@ let cursor t i =
   if i < 0 || i >= Array.length t.cursors then invalid_arg "Ahq: bad reader index";
   t.cursors.(i)
 
+let slot_at t pos =
+  match t.slots.(pos mod t.cap) with
+  | Some s -> s
+  | None -> failwith "Ahq: published slot is empty"
+
 let peek t i =
   let pos = Atomic.get (cursor t i) in
-  if pos >= Atomic.get t.head then None
-  else
-    match t.slots.(pos mod t.cap) with
-    | Some _ as s -> s
-    | None -> failwith "Ahq: published slot is empty"
+  if pos >= Atomic.get t.head then None else Some (slot_at t pos)
 
-let advance t i =
+let default_batch = 32
+
+let peek_batch ?(max = default_batch) t i =
+  if max <= 0 then invalid_arg "Ahq.peek_batch: max must be positive";
+  let pos = Atomic.get (cursor t i) in
+  let n = min (Atomic.get t.head - pos) max in
+  if n <= 0 then [||] else Array.init n (fun k -> slot_at t (pos + k))
+
+let advance_n t i n =
+  if n <= 0 then invalid_arg "Ahq.advance_n: n must be positive";
   let c = cursor t i in
-  let pos = Atomic.get c in
-  if pos >= Atomic.get t.head then failwith "Ahq.advance: nothing pending";
-  (* Recycle the record reference if we are the last reader through this
-     slot.  The clear must happen BEFORE our cursor advances: while our
-     cursor still sits at [pos] the writer cannot reuse the slot (the ring
-     occupancy check uses the minimum cursor), so the clear can never wipe a
-     freshly enqueued record.  If two readers pass simultaneously, neither
-     sees the other as "past" and the stale reference is simply overwritten
-     by the writer on reuse — harmless. *)
-  let everyone_else_past = ref true in
-  Array.iteri
-    (fun j other -> if j <> i && Atomic.get other <= pos then everyone_else_past := false)
-    t.cursors;
-  if !everyone_else_past then t.slots.(pos mod t.cap) <- None;
-  Atomic.incr c
+  let pos0 = Atomic.get c in
+  if pos0 + n > Atomic.get t.head then failwith "Ahq.advance: nothing pending";
+  (* Recycle the record references for the slots every other reader has
+     already moved past.  Clearing must happen BEFORE our cursor advances:
+     while our cursor still sits at [pos0] the writer cannot reuse any of
+     these slots (the ring occupancy check uses the minimum cursor), so the
+     clear can never wipe a freshly enqueued record.  One snapshot of the
+     other cursors suffices for the whole batch — cursors only move
+     forward, so [pos < min_other] stays true once observed.  If two
+     readers pass a slot simultaneously, neither sees the other as "past"
+     and the stale reference is simply overwritten by the writer on reuse —
+     harmless. *)
+  let min_other = ref max_int in
+  Array.iteri (fun j other -> if j <> i then min_other := min !min_other (Atomic.get other)) t.cursors;
+  let clear_upto = min (pos0 + n) !min_other in
+  for pos = pos0 to clear_upto - 1 do
+    t.slots.(pos mod t.cap) <- None
+  done;
+  Atomic.set c (pos0 + n)
+
+let advance t i = advance_n t i 1
 
 let enqueued t = Atomic.get t.head
 let processed t i = Atomic.get (cursor t i)

@@ -42,6 +42,22 @@ val peek : t -> reader -> Srec.t option
     @raise Failure if nothing is pending for this reader. *)
 val advance : t -> reader -> unit
 
+(** Default [max] for {!peek_batch}. *)
+val default_batch : int
+
+(** [peek_batch ?max t i] — up to [max] (default {!default_batch}) pending
+    records for reader [i], oldest first; [[||]] when none are pending.
+    Batched consumption lets a reader amortize its cursor update and
+    slot-recycling scan over the whole batch: follow with
+    [advance_n t i (Array.length batch)]. *)
+val peek_batch : ?max:int -> t -> reader -> Srec.t array
+
+(** Advance reader [i]'s cursor by [n] records, recycling every slot all
+    other readers have already passed, with a single scan of the other
+    cursors for the whole batch.
+    @raise Failure if fewer than [n] records are pending. *)
+val advance_n : t -> reader -> int -> unit
+
 (** {2 Diagnostics} *)
 
 val enqueued : t -> int

@@ -12,7 +12,7 @@ let run_sharded ?(n_workers = 4) ~shards prog =
   let p = Pint_detector.make ~reader_shards:shards () in
   let det = Pint_detector.detector p in
   let config =
-    { Sim_exec.default_config with n_workers; seed = 5; actors = Pint_detector.sim_actors p }
+    { Sim_exec.default_config with n_workers; seed = 5; stages = Pint_detector.stages p }
   in
   let r = Sim_exec.run ~config ~driver:det.Detector.driver prog in
   (det, r)
@@ -43,6 +43,54 @@ let test_shard_subranges () =
       (8192, 8192, 2);
       (0, 50000, 5);
     ]
+
+let subranges ~shards ~shard iv =
+  let acc = ref [] in
+  Pint_detector.iter_shard_subranges ~shards ~shard iv (fun sub ->
+      acc := (sub.Interval.lo, sub.Interval.hi) :: !acc);
+  List.rev !acc
+
+let check_ranges = Alcotest.(check (list (pair int int)))
+
+let test_shard_subranges_straddle () =
+  let block = 4096 in
+  (* two blocks: the split lands exactly on the block boundary *)
+  let iv = Interval.make (block - 6) (block + 4) in
+  check_ranges "straddle shard0" [ (block - 6, block - 1) ] (subranges ~shards:2 ~shard:0 iv);
+  check_ranges "straddle shard1" [ (block, block + 4) ] (subranges ~shards:2 ~shard:1 iv);
+  (* three blocks, two shards: the outer blocks are both ≡ 0 (mod 2), so
+     shard 0 owns two disjoint subranges of the same interval *)
+  let iv3 = Interval.make (block - 1) (2 * block) in
+  check_ranges "straddle3 shard0"
+    [ (block - 1, block - 1); (2 * block, 2 * block) ]
+    (subranges ~shards:2 ~shard:0 iv3);
+  check_ranges "straddle3 shard1" [ (block, (2 * block) - 1) ] (subranges ~shards:2 ~shard:1 iv3)
+
+let test_shard_subranges_single_word () =
+  let block = 4096 in
+  List.iter
+    (fun addr ->
+      let iv = Interval.make addr addr in
+      let owner = addr / block mod 3 in
+      for shard = 0 to 2 do
+        let want = if shard = owner then [ (addr, addr) ] else [] in
+        check_ranges (Printf.sprintf "word %d shard %d" addr shard) want
+          (subranges ~shards:3 ~shard iv)
+      done)
+    [ 0; block - 1; block; (2 * block) + 17 ]
+
+let test_shard_subranges_more_shards_than_blocks () =
+  let block = 4096 in
+  (* a 2-block interval under 5 shards: shards 2..4 own nothing *)
+  let iv = Interval.make 10 (block + 10) in
+  check_ranges "shard0" [ (10, block - 1) ] (subranges ~shards:5 ~shard:0 iv);
+  check_ranges "shard1" [ (block, block + 10) ] (subranges ~shards:5 ~shard:1 iv);
+  for shard = 2 to 4 do
+    check_ranges (Printf.sprintf "shard%d empty" shard) [] (subranges ~shards:5 ~shard iv)
+  done;
+  (* shards = 1 never splits, whatever the interval *)
+  let wide = Interval.make 0 (10 * block) in
+  check_ranges "unsharded passthrough" [ (0, 10 * block) ] (subranges ~shards:1 ~shard:0 wide)
 
 let racy_prog () =
   let b = Fj.alloc_f 8 in
@@ -135,6 +183,10 @@ let () =
       ( "sharding",
         [
           Alcotest.test_case "subrange partition" `Quick test_shard_subranges;
+          Alcotest.test_case "subrange straddle" `Quick test_shard_subranges_straddle;
+          Alcotest.test_case "subrange single word" `Quick test_shard_subranges_single_word;
+          Alcotest.test_case "subrange shards>blocks" `Quick
+            test_shard_subranges_more_shards_than_blocks;
           Alcotest.test_case "detects race" `Quick test_sharded_detects_race;
           Alcotest.test_case "random equivalence" `Quick test_sharded_random_equivalence;
           Alcotest.test_case "workloads clean" `Quick test_sharded_workloads_clean;

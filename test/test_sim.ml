@@ -5,8 +5,8 @@
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let config ?(n_workers = 4) ?(seed = 7) ?(actors = []) () =
-  { Sim_exec.default_config with n_workers; seed; actors }
+let config ?(n_workers = 4) ?(seed = 7) ?(stages = []) () =
+  { Sim_exec.default_config with n_workers; seed; stages }
 
 let null_driver _ctx = Hooks.null_hooks
 
@@ -136,11 +136,10 @@ let test_work_conservation () =
 
 let run_sim_detector make_d ?(n_workers = 4) ?(seed = 5) prog =
   let d = make_d () in
-  let actors =
-    match d with `Plain det -> ([], det) | `Pint (p, det) -> (Pint_detector.sim_actors p, det)
+  let stages, det =
+    match d with `Plain det -> ([], det) | `Pint (p, det) -> (Pint_detector.stages p, det)
   in
-  let actors, det = actors in
-  let _ = Sim_exec.run ~config:(config ~n_workers ~seed ~actors ()) ~driver:det.Detector.driver prog in
+  let _ = Sim_exec.run ~config:(config ~n_workers ~seed ~stages ()) ~driver:det.Detector.driver prog in
   Detector.races det
 
 let cracer () = `Plain (Cracer.make ())
@@ -226,7 +225,7 @@ let test_pint_sim_pipeline_stats () =
   let result = ref 0. in
   let r =
     Sim_exec.run
-      ~config:(config ~n_workers:4 ~actors:(Pint_detector.sim_actors p) ())
+      ~config:(config ~n_workers:4 ~stages:(Pint_detector.stages p) ())
       ~driver:det.Detector.driver (sum_squares_prog 512 result)
   in
   Alcotest.(check (float 1e-6)) "computation still correct" (expected 512) !result;
@@ -237,8 +236,12 @@ let test_pint_sim_pipeline_stats () =
   check_int "lreader processed all strands" r.Sim_exec.n_strands (get "l_strands");
   check_int "rreader processed all strands" r.Sim_exec.n_strands (get "r_strands");
   check_bool "multiple traces (steals happened)" true (get "traces" > 4);
-  check_bool "actor clocks advanced" true
-    (List.for_all (fun (_, c) -> c > 0) r.Sim_exec.actor_clocks)
+  check_bool "stage clocks advanced" true
+    (List.for_all (fun (_, c) -> c > 0) r.Sim_exec.stage_clocks);
+  (* the engine's per-stage counters agree with the detector's own tallies *)
+  check_int "writer stage records" (get "writer_strands") (get "stage.writer.records");
+  check_int "lreader stage records" (get "l_strands") (get "stage.lreader.records");
+  check_bool "achieved batch size reported" true (List.mem_assoc "ahq_batch" d)
 
 let test_stack_frames_under_sim () =
   List.iter

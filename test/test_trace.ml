@@ -193,6 +193,73 @@ let test_ahq_concurrent_readers () =
   check_int "R consumed" n (Domain.join dr);
   check_bool "drained" true (Ahq.drained q)
 
+let test_ahq_peek_batch_basic () =
+  let q = Ahq.create ~capacity:8 () in
+  check_int "empty batch" 0 (Array.length (Ahq.peek_batch q Ahq.l));
+  for i = 0 to 4 do
+    ignore (Ahq.try_enqueue q (mk_rec i))
+  done;
+  (* batch larger than available: returns only what is pending *)
+  let b = Ahq.peek_batch ~max:32 q Ahq.l in
+  check_int "clamped to available" 5 (Array.length b);
+  Array.iteri (fun k u -> check_int "batch order" k u.Srec.uid) b;
+  (* max smaller than available: returns exactly max *)
+  let b2 = Ahq.peek_batch ~max:2 q Ahq.l in
+  check_int "clamped to max" 2 (Array.length b2);
+  Ahq.advance_n q Ahq.l 5;
+  check_bool "L drained" true (Ahq.peek q Ahq.l = None);
+  check_int "R unaffected" 5 (Array.length (Ahq.peek_batch q Ahq.r))
+
+let test_ahq_batch_wraparound () =
+  (* drive enough records through a tiny ring that batches straddle the
+     physical end of the buffer many times *)
+  let q = Ahq.create ~capacity:8 () in
+  let n = 100 in
+  let enq = ref 0 and l = ref 0 and r = ref 0 in
+  while !l < n || !r < n do
+    while !enq < n && Ahq.try_enqueue q (mk_rec !enq) do
+      incr enq
+    done;
+    List.iter
+      (fun (side, seen) ->
+        let b = Ahq.peek_batch ~max:5 q side in
+        if Array.length b > 0 then begin
+          Array.iter
+            (fun u ->
+              check_int "wrap order" !seen u.Srec.uid;
+              incr seen)
+            b;
+          Ahq.advance_n q side (Array.length b)
+        end)
+      [ (Ahq.l, l); (Ahq.r, r) ]
+  done;
+  check_bool "drained" true (Ahq.drained q)
+
+let test_ahq_batch_recycling () =
+  (* a slot freed by a batch advance is recycled only once BOTH readers have
+     passed it *)
+  let q = Ahq.create ~capacity:4 () in
+  for i = 0 to 3 do
+    check_bool "fill" true (Ahq.try_enqueue q (mk_rec i))
+  done;
+  check_bool "full" false (Ahq.try_enqueue q (mk_rec 99));
+  Ahq.advance_n q Ahq.l 3;
+  check_bool "still full (R behind)" false (Ahq.try_enqueue q (mk_rec 99));
+  Ahq.advance_n q Ahq.r 2;
+  (* min(3, 2) = 2 slots past both readers *)
+  check_bool "slot 0 recycled" true (Ahq.try_enqueue q (mk_rec 4));
+  check_bool "slot 1 recycled" true (Ahq.try_enqueue q (mk_rec 5));
+  check_bool "slot 2 not recycled (R at 2)" false (Ahq.try_enqueue q (mk_rec 99));
+  Ahq.advance_n q Ahq.r 2;
+  check_bool "catches up" true (Ahq.try_enqueue q (mk_rec 6))
+
+let test_ahq_advance_n_too_far_fails () =
+  let q = Ahq.create ~capacity:8 () in
+  ignore (Ahq.try_enqueue q (mk_rec 0));
+  ignore (Ahq.try_enqueue q (mk_rec 1));
+  Alcotest.check_raises "advance past pending" (Failure "Ahq.advance: nothing pending")
+    (fun () -> Ahq.advance_n q Ahq.l 3)
+
 let () =
   Alcotest.run "pint_trace"
     [
@@ -213,5 +280,9 @@ let () =
           Alcotest.test_case "fifo order" `Quick test_ahq_fifo_order;
           Alcotest.test_case "advance empty" `Quick test_ahq_advance_empty_fails;
           Alcotest.test_case "concurrent readers" `Quick test_ahq_concurrent_readers;
+          Alcotest.test_case "peek_batch basic" `Quick test_ahq_peek_batch_basic;
+          Alcotest.test_case "batch wraparound" `Quick test_ahq_batch_wraparound;
+          Alcotest.test_case "batch recycling" `Quick test_ahq_batch_recycling;
+          Alcotest.test_case "advance_n too far" `Quick test_ahq_advance_n_too_far_fails;
         ] );
     ]

@@ -54,7 +54,7 @@ let test_racy_detected name () =
       let p = Pint_detector.make () in
       let det = Pint_detector.detector p in
       let config =
-        { Sim_exec.default_config with n_workers = 4; actors = Pint_detector.sim_actors p }
+        { Sim_exec.default_config with n_workers = 4; stages = Pint_detector.stages p }
       in
       let _ = Sim_exec.run ~config ~driver:det.Detector.driver inst.Workload.run in
       check_bool (name ^ " racy variant detected by pint/sim") true (Detector.races det <> [])
@@ -68,7 +68,7 @@ let test_sim_pint_clean name () =
       let p = Pint_detector.make () in
       let det = Pint_detector.detector p in
       let config =
-        { Sim_exec.default_config with n_workers; seed = 3; actors = Pint_detector.sim_actors p }
+        { Sim_exec.default_config with n_workers; seed = 3; stages = Pint_detector.stages p }
       in
       let r = Sim_exec.run ~config ~driver:det.Detector.driver inst.Workload.run in
       check_bool
@@ -96,14 +96,7 @@ let test_par_spot name () =
   let inst = w.Workload.make ~size ~base in
   let p = Pint_detector.make () in
   let det = Pint_detector.detector p in
-  let aux =
-    [
-      ("writer", fun () -> (Pint_detector.writer_step p :> [ `Worked of int | `Idle | `Done ]));
-      ("lreader", fun () -> (Pint_detector.lreader_step p :> [ `Worked of int | `Idle | `Done ]));
-      ("rreader", fun () -> (Pint_detector.rreader_step p :> [ `Worked of int | `Idle | `Done ]));
-    ]
-  in
-  let config = { Par_exec.default_config with n_workers = 3; aux } in
+  let config = { Par_exec.default_config with n_workers = 3; stages = Pint_detector.stages p } in
   let _ = Par_exec.run ~config ~driver:det.Detector.driver inst.Workload.run in
   check_bool (name ^ " correct under par/pint") true (inst.Workload.check ());
   check_int (name ^ " race-free under par/pint") 0 (List.length (Detector.races det))
