@@ -1,12 +1,18 @@
 (* Benchmark executable.
 
-   Two parts:
+   Three parts:
    1. Regenerates every evaluation table of the paper (Figures 1-4) from the
       virtual-time harness — these are the rows EXPERIMENTS.md quotes.
    2. Bechamel wall-clock microbenchmarks of the real data structures and
       detectors (one Test.make group per figure plus the substrate ops), so
       the actual OCaml implementation cost of each component is measured,
-      not simulated. *)
+      not simulated.
+   3. A machine-readable mode (`--json PATH`, optionally `--runs N`) that
+      times one representative configuration per figure with a plain
+      wall-clock stopwatch and writes per-case medians plus key detector
+      diagnostics (treap visits, fast-path hit rate) as JSON.  The committed
+      BENCH_2.json is generated this way, giving successive PRs a perf
+      trajectory to diff against. *)
 
 open Bechamel
 open Toolkit
@@ -230,7 +236,7 @@ let print_stage_diagnostics () =
       then Printf.printf "  %-28s %12.1f\n" k v)
     (d.Detector.diagnostics ())
 
-let () =
+let default_main () =
   print_endline "=== PINT evaluation tables (virtual-time harness) ===";
   print_newline ();
   let _, f1 = Figures.fig1 () in
@@ -249,3 +255,165 @@ let () =
   print_newline ();
   print_endline "=== Bechamel wall-clock benchmarks (real implementation) ===";
   List.iter report [ fig1_tests; fig2_tests; fig3_tests; fig4_tests; substrate_tests ]
+
+(* ------------------------------------------------- machine-readable mode *)
+
+(* One run of a (workload, detector) configuration; returns the detector's
+   diagnostics so the JSON can carry treap visits / fast-path rates next to
+   the wall-clock numbers. *)
+let detector_run ~workload ~size ~base ~workers det () =
+  let w = Registry.find workload in
+  let inst = w.Workload.make ~size ~base in
+  match det with
+  | `Baseline ->
+      let d = Nodetect.make () in
+      let config = { Sim_exec.default_config with n_workers = workers } in
+      ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run);
+      d.Detector.diagnostics ()
+  | `Stint ->
+      let d = Stint.make () in
+      ignore (Seq_exec.run ~driver:d.Detector.driver inst.Workload.run);
+      d.Detector.diagnostics ()
+  | `Cracer ->
+      let d = Cracer.make () in
+      let config = { Sim_exec.default_config with n_workers = workers } in
+      ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run);
+      d.Detector.diagnostics ()
+  | `Pint ->
+      let p = Pint_detector.make () in
+      let d = Pint_detector.detector p in
+      let config =
+        { Sim_exec.default_config with n_workers = workers; stages = Pint_detector.stages p }
+      in
+      ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run);
+      d.Detector.drain ();
+      d.Detector.diagnostics ()
+
+(* The representative case list: one group per paper figure, mirroring the
+   bechamel groups above but sized to finish in seconds so CI can smoke it. *)
+let json_cases =
+  [
+    ( "fig1:heat48",
+      [
+        ("baseline", detector_run ~workload:"heat" ~size:small ~base:8 ~workers:4 `Baseline);
+        ("stint", detector_run ~workload:"heat" ~size:small ~base:8 ~workers:1 `Stint);
+        ("pint", detector_run ~workload:"heat" ~size:small ~base:8 ~workers:4 `Pint);
+        ("cracer", detector_run ~workload:"heat" ~size:small ~base:8 ~workers:4 `Cracer);
+      ] );
+    ( "fig2:pint-pipeline",
+      [
+        ("sort4096/b64", detector_run ~workload:"sort" ~size:4096 ~base:64 ~workers:4 `Pint);
+        ("sort4096/b256", detector_run ~workload:"sort" ~size:4096 ~base:256 ~workers:4 `Pint);
+      ] );
+    ( "fig3:strong-scaling",
+      [
+        ("mmul/p1", detector_run ~workload:"mmul" ~size:small ~base:8 ~workers:1 `Pint);
+        ("mmul/p8", detector_run ~workload:"mmul" ~size:small ~base:8 ~workers:8 `Pint);
+        ("mmul/p32", detector_run ~workload:"mmul" ~size:small ~base:8 ~workers:32 `Pint);
+      ] );
+    ( "fig4:weak-scaling",
+      [
+        ("heat32/p1", detector_run ~workload:"heat" ~size:32 ~base:8 ~workers:1 `Pint);
+        ("heat64/p4", detector_run ~workload:"heat" ~size:64 ~base:8 ~workers:4 `Pint);
+        ("heat128/p16", detector_run ~workload:"heat" ~size:128 ~base:8 ~workers:16 `Pint);
+      ] );
+  ]
+
+(* Diagnostics worth tracking release-over-release; anything absent for a
+   given detector is simply omitted from its JSON object. *)
+let tracked_diags =
+  [
+    "writer_visits";
+    "lreader_visits";
+    "rreader_visits";
+    "reader_visits";
+    "fastpath_hits";
+    "slowpath_hits";
+    "fastpath_rate";
+    "scratch_reuse";
+    "coal_sort_skips";
+    "coal_sorts";
+    "queue_min_rescans";
+    "collected";
+    "writer_stalls";
+    "ahq_batch";
+    "intervals";
+    "raw_events";
+  ]
+
+let median samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let json_mode ~path ~runs =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": 2,\n";
+  add "  \"generated_by\": \"bench/main.exe --json\",\n";
+  add "  \"runs\": %d,\n" runs;
+  add "  \"figures\": {\n";
+  List.iteri
+    (fun gi (group, cases) ->
+      add "    %S: {\n" group;
+      List.iteri
+        (fun ci (case, run) ->
+          Printf.printf "  %s / %s ...%!" group case;
+          let samples = ref [] and diags = ref [] in
+          for _ = 1 to runs do
+            let t0 = Unix.gettimeofday () in
+            diags := run ();
+            samples := (Unix.gettimeofday () -. t0) :: !samples
+          done;
+          let med = median !samples in
+          Printf.printf " %.3fs median\n%!" med;
+          add "      %S: {\n" case;
+          add "        \"median_s\": %.6f,\n" med;
+          add "        \"samples_s\": [%s],\n"
+            (String.concat ", " (List.rev_map (Printf.sprintf "%.6f") !samples));
+          let kept =
+            List.filter (fun (k, _) -> List.mem k tracked_diags) !diags
+          in
+          add "        \"diagnostics\": {%s}\n"
+            (String.concat ", "
+               (List.map (fun (k, v) -> Printf.sprintf "%S: %.3f" k v) kept));
+          add "      }%s\n" (if ci = List.length cases - 1 then "" else ",")
+          )
+        cases;
+      add "    }%s\n" (if gi = List.length json_cases - 1 then "" else ","))
+    json_cases;
+  add "  }\n";
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let () =
+  let argv = Sys.argv in
+  let n = Array.length argv in
+  let json_path = ref None and runs = ref 5 in
+  let i = ref 1 in
+  while !i < n do
+    (match argv.(!i) with
+    | "--json" ->
+        if !i + 1 < n && String.length argv.(!i + 1) > 0 && argv.(!i + 1).[0] <> '-' then begin
+          incr i;
+          json_path := Some argv.(!i)
+        end
+        else json_path := Some "BENCH_2.json"
+    | "--runs" when !i + 1 < n ->
+        incr i;
+        runs := int_of_string argv.(!i)
+    | a ->
+        Printf.eprintf "bench: unknown argument %s (supported: --json [PATH] --runs N)\n" a;
+        exit 2);
+    incr i
+  done;
+  match !json_path with
+  | Some path -> json_mode ~path ~runs:!runs
+  | None -> default_main ()

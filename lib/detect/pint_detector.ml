@@ -27,6 +27,7 @@ type run = {
   registry : Trace.t Vec.t; (* active traces, writer-side scanned *)
   reg_lock : Mutex.t;
   ahq : Ahq.t;
+  reader_bufs : Srec.t array array; (* per queue-reader reusable batch buffer *)
   writer : Sp_order.strand Itreap.t;
   lreaders : Sp_order.strand Itreap.t array; (* one per shard *)
   rreaders : Sp_order.strand Itreap.t array;
@@ -54,6 +55,13 @@ type t = {
 }
 
 let dummy_trace = Trace.create ~id:(-1) ~owner:(-1)
+
+(* Placeholder filling the reusable batch buffers before their first use;
+   never processed (peek_batch_into reports how many slots are live). *)
+let dummy_srec =
+  lazy
+    (let _, root = Sp_order.create () in
+     Srec.make ~uid:(-1) root)
 
 let make ?(seed = 4242) ?(queue_capacity = 4096) ?(reader_shards = 1)
     ?(batch = Ahq.default_batch) () =
@@ -95,6 +103,7 @@ let driver t (ctx : Hooks.ctx) =
       registry = Vec.create ~capacity:64 dummy_trace;
       reg_lock = Mutex.create ();
       ahq = Ahq.create ~capacity:t.queue_capacity ~readers:(2 * s) ();
+      reader_bufs = Array.init (2 * s) (fun _ -> Array.make t.batch (Lazy.force dummy_srec));
       writer = Itreap.create ~seed:t.seed ~owner_eq ();
       lreaders = Array.init s (fun k -> Itreap.create ~seed:(t.seed + 1 + k) ~owner_eq ());
       rreaders = Array.init s (fun k -> Itreap.create ~seed:(t.seed + 101 + k) ~owner_eq ());
@@ -273,19 +282,20 @@ let writer_step t : Step.t =
   end
 
 (* Readers consume the queue in batches: one cursor update and one
-   slot-recycling scan per batch instead of per record. *)
+   slot-recycling scan per batch instead of per record, through a reusable
+   per-reader buffer so the batch itself allocates nothing. *)
 let reader_step_idx t idx : Step.t =
   let r = active t in
-  let batch = Ahq.peek_batch ~max:t.batch r.ahq idx in
-  let n = Array.length batch in
+  let buf = r.reader_bufs.(idx) in
+  let n = Ahq.peek_batch_into r.ahq idx buf in
   if n = 0 then if Atomic.get r.writer_done then Step.finished else Step.idle
   else begin
     let visits = ref 0 in
-    Array.iter
-      (fun u ->
-        visits := !visits + process_reader t r idx u;
-        ignore (Atomic.fetch_and_add u.Srec.done_count 1))
-      batch;
+    for k = 0 to n - 1 do
+      let u = buf.(k) in
+      visits := !visits + process_reader t r idx u;
+      ignore (Atomic.fetch_and_add u.Srec.done_count 1)
+    done;
     Ahq.advance_n r.ahq idx n;
     Step.worked ~records:n !visits
   end
@@ -347,7 +357,21 @@ let diagnostics t () =
   | None -> t.last_diags
   | Some r ->
       let sum f arr = Array.fold_left (fun acc x -> acc +. f x) 0. arr in
+      let sum_treaps f =
+        f r.writer
+        + Array.fold_left (fun a tr -> a + f tr) 0 r.lreaders
+        + Array.fold_left (fun a tr -> a + f tr) 0 r.rreaders
+      in
+      let fast = sum_treaps Itreap.fastpath_hits and slow = sum_treaps Itreap.slowpath_hits in
       [
+        ("fastpath_hits", float_of_int fast);
+        ("slowpath_hits", float_of_int slow);
+        ("fastpath_rate", float_of_int fast /. float_of_int (max 1 (fast + slow)));
+        ("scratch_reuse", float_of_int (sum_treaps Itreap.scratch_reuse));
+        ("queue_min_rescans", float_of_int (Ahq.min_rescans r.ahq));
+        ( "coal_sort_skips",
+          sum (fun c -> float_of_int (fst (Coalescer.sort_stats c))) r.coals );
+        ("coal_sorts", sum (fun c -> float_of_int (snd (Coalescer.sort_stats c))) r.coals);
         ("collected", float_of_int r.n_collected);
         ("writer_strands", float_of_int r.writer_strands);
         ( "l_strands",

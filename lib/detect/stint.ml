@@ -65,6 +65,8 @@ let make ?(seed = 2022) () =
           process u);
       on_done =
         (fun () ->
+          let fast = Itreap.fastpath_hits writer + Itreap.fastpath_hits reader in
+          let slow = Itreap.slowpath_hits writer + Itreap.slowpath_hits reader in
           diags :=
             [
               ("strands", float_of_int !strands);
@@ -75,6 +77,13 @@ let make ?(seed = 2022) () =
               ("reader_visits", float_of_int (Itreap.visits reader));
               ("writer_size", float_of_int (Itreap.size writer));
               ("reader_size", float_of_int (Itreap.size reader));
+              ("fastpath_hits", float_of_int fast);
+              ("slowpath_hits", float_of_int slow);
+              ("fastpath_rate", float_of_int fast /. float_of_int (max 1 (fast + slow)));
+              ( "scratch_reuse",
+                float_of_int (Itreap.scratch_reuse writer + Itreap.scratch_reuse reader) );
+              ("coal_sort_skips", float_of_int (fst (Coalescer.sort_stats coal)));
+              ("coal_sorts", float_of_int (snd (Coalescer.sort_stats coal)));
             ]);
     }
   in

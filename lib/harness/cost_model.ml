@@ -14,7 +14,11 @@ type t = {
   c_steal_fail : int;
 }
 
-(* Calibrated once against heat's Figure-1 magnitudes, then frozen. *)
+(* Calibrated once against heat's Figure-1 magnitudes, then frozen.
+   One recalibration since: [c_treap_visit] 14 -> 12 when the treap nodes
+   started carrying their endpoints as immediate int fields — a visit now
+   reads two ints out of the node block instead of dereferencing a boxed
+   interval, and the constant models exactly that per-visit touch. *)
 let default =
   {
     c_flop = 1;
@@ -26,7 +30,7 @@ let default =
     c_instr_event = 190;
     c_trace_push = 150;
     c_hash_word = 250;
-    c_treap_visit = 14;
+    c_treap_visit = 12;
     c_treap_strand = 120;
     c_steal = 1500;
     c_steal_fail = 300;

@@ -2,15 +2,33 @@
 type side = {
   buf : Interval.t Vec.t;
   mutable raw : int;
+  (* True while the buffer is already in canonical form: sorted by [lo] with
+     pairwise-disjoint, non-adjacent entries.  Holds as long as every access
+     lands at or after the last recorded interval (the monotone sweep of a
+     loop nest): merges then only ever extend the last entry's [hi], and an
+     entry's gap to its predecessor is fixed at push time.  The flag drops
+     the moment an access starts before the last entry's [lo] — a merge that
+     extends [lo] leftwards can create adjacency with the predecessor, and an
+     out-of-order push breaks sortedness outright. *)
+  mutable canonical : bool;
 }
 
-type t = { reads : side; writes : side }
+type t = {
+  reads : side;
+  writes : side;
+  mutable sorts : int;
+  mutable sort_skips : int;
+}
 
 let dummy = Interval.point 0
 
 let create () =
-  { reads = { buf = Vec.create ~capacity:64 dummy; raw = 0 };
-    writes = { buf = Vec.create ~capacity:64 dummy; raw = 0 } }
+  {
+    reads = { buf = Vec.create ~capacity:64 dummy; raw = 0; canonical = true };
+    writes = { buf = Vec.create ~capacity:64 dummy; raw = 0; canonical = true };
+    sorts = 0;
+    sort_skips = 0;
+  }
 
 let add side ~addr ~len =
   if len <= 0 then invalid_arg "Coalescer.add: len must be positive";
@@ -19,6 +37,7 @@ let add side ~addr ~len =
   if Vec.is_empty side.buf then Vec.push side.buf iv
   else begin
     let last = Vec.peek side.buf in
+    if iv.Interval.lo < last.Interval.lo then side.canonical <- false;
     if Interval.adjacent_or_overlapping last iv then
       Vec.set side.buf (Vec.length side.buf - 1) (Interval.hull last iv)
     else Vec.push side.buf iv
@@ -29,10 +48,17 @@ let add_write t = add t.writes
 
 let raw_counts t = (t.reads.raw, t.writes.raw)
 
-let canonicalize side =
+let canonicalize t side =
   let n = Vec.length side.buf in
   if n = 0 then [||]
+  else if side.canonical then begin
+    (* Already sorted, disjoint and non-adjacent — the monotone common case
+       skips both the sort and the re-merge pass. *)
+    t.sort_skips <- t.sort_skips + 1;
+    Vec.to_array side.buf
+  end
   else begin
+    t.sorts <- t.sorts + 1;
     Vec.sort Interval.compare side.buf;
     let out = Vec.create ~capacity:n dummy in
     Vec.iter
@@ -48,12 +74,16 @@ let canonicalize side =
   end
 
 let finish t =
-  let reads = canonicalize t.reads in
-  let writes = canonicalize t.writes in
+  let reads = canonicalize t t.reads in
+  let writes = canonicalize t t.writes in
   Vec.clear t.reads.buf;
   Vec.clear t.writes.buf;
   t.reads.raw <- 0;
   t.writes.raw <- 0;
+  t.reads.canonical <- true;
+  t.writes.canonical <- true;
   (reads, writes)
+
+let sort_stats t = (t.sort_skips, t.sorts)
 
 let pending t = (Vec.length t.reads.buf, Vec.length t.writes.buf)

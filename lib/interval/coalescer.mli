@@ -11,7 +11,11 @@
     - a fast path merges an access that overlaps or extends the most recently
       recorded interval of the same kind (the overwhelmingly common case in
       loop nests);
-    - [finish] sort-merges whatever remains into canonical disjoint sets.
+    - [finish] sort-merges whatever remains into canonical disjoint sets —
+      unless the stream was monotone, in which case the buffer is already
+      canonical and the sort + re-merge pass is skipped entirely (tracked by
+      a per-side flag that drops on the first access starting before the
+      last recorded interval).
 
     The total number of raw accesses observed is tracked separately from the
     number of resulting intervals: the ratio between the two is what makes
@@ -31,6 +35,11 @@ val raw_counts : t -> int * int
     resets the coalescer for the next strand.  Each returned array is sorted
     by [lo] with pairwise-disjoint, non-adjacent members. *)
 val finish : t -> Interval.t array * Interval.t array
+
+(** [(skipped, sorted)] — cumulative count of [finish]-time canonicalization
+    passes that skipped the sort because the access stream was monotone,
+    vs. those that had to sort + re-merge.  Not reset by [finish]. *)
+val sort_stats : t -> int * int
 
 (** Pending (uncoalesced-buffer) sizes — test/diagnostic aid. *)
 val pending : t -> int * int

@@ -8,6 +8,14 @@ type t = {
   cap : int;
   head : int Atomic.t; (* total enqueued; writer-owned *)
   cursors : int Atomic.t array; (* total processed, per reader *)
+  (* Writer-private cache of the last observed minimum cursor.  Cursors only
+     move forward, so any value once read stays a valid lower bound: while
+     [head - cached_min < cap] the ring provably has room and the enqueue
+     can skip the cursor scan entirely.  Only rescanned when the cached
+     bound would reject the enqueue.  Written solely by the (single) writer,
+     hence no atomic needed. *)
+  mutable cached_min : int;
+  mutable min_rescans : int;
 }
 
 let create ?(capacity = 4096) ?(readers = 2) () =
@@ -18,6 +26,8 @@ let create ?(capacity = 4096) ?(readers = 2) () =
     cap = capacity;
     head = Atomic.make 0;
     cursors = Array.init readers (fun _ -> Atomic.make 0);
+    cached_min = 0;
+    min_rescans = 0;
   }
 
 let n_readers t = Array.length t.cursors
@@ -27,7 +37,15 @@ let min_cursor t =
 
 let try_enqueue t s =
   let h = Atomic.get t.head in
-  if h - min_cursor t >= t.cap then false
+  let has_room =
+    h - t.cached_min < t.cap
+    || begin
+         t.min_rescans <- t.min_rescans + 1;
+         t.cached_min <- min_cursor t;
+         h - t.cached_min < t.cap
+       end
+  in
+  if not has_room then false
   else begin
     t.slots.(h mod t.cap) <- Some s;
     Atomic.incr t.head;
@@ -54,6 +72,19 @@ let peek_batch ?(max = default_batch) t i =
   let pos = Atomic.get (cursor t i) in
   let n = min (Atomic.get t.head - pos) max in
   if n <= 0 then [||] else Array.init n (fun k -> slot_at t (pos + k))
+
+let peek_batch_into t i buf =
+  let cap = Array.length buf in
+  if cap = 0 then invalid_arg "Ahq.peek_batch_into: empty buffer";
+  let pos = Atomic.get (cursor t i) in
+  let n = min (Atomic.get t.head - pos) cap in
+  if n <= 0 then 0
+  else begin
+    for k = 0 to n - 1 do
+      buf.(k) <- slot_at t (pos + k)
+    done;
+    n
+  end
 
 let advance_n t i n =
   if n <= 0 then invalid_arg "Ahq.advance_n: n must be positive";
@@ -82,6 +113,7 @@ let advance t i = advance_n t i 1
 
 let enqueued t = Atomic.get t.head
 let processed t i = Atomic.get (cursor t i)
+let min_rescans t = t.min_rescans
 
 let drained t =
   let h = Atomic.get t.head in

@@ -29,7 +29,11 @@ val n_readers : t -> int
 
 (** {2 Writer treap worker} *)
 
-(** [try_enqueue t s] — false iff the ring is full. *)
+(** [try_enqueue t s] — false iff the ring is full.  Occupancy is checked
+    against a cached lower bound on the minimum reader cursor (cursors only
+    advance, so the bound stays valid); the cursors are rescanned only when
+    the cached bound would reject the enqueue, making the common
+    ring-not-near-full enqueue O(1) in the reader count. *)
 val try_enqueue : t -> Srec.t -> bool
 
 (** {2 Reader treap workers} *)
@@ -52,6 +56,14 @@ val default_batch : int
     [advance_n t i (Array.length batch)]. *)
 val peek_batch : ?max:int -> t -> reader -> Srec.t array
 
+(** [peek_batch_into t i buf] — like {!peek_batch} with [max = Array.length
+    buf], but fills the caller-provided buffer instead of allocating a fresh
+    array, and returns the number of records written (0 when none pending).
+    The reader owns [buf] and reuses it across steps; entries past the
+    returned count are stale leftovers from earlier batches.
+    @raise Invalid_argument if [buf] is empty. *)
+val peek_batch_into : t -> reader -> Srec.t array -> int
+
 (** Advance reader [i]'s cursor by [n] records, recycling every slot all
     other readers have already passed, with a single scan of the other
     cursors for the whole batch.
@@ -62,6 +74,10 @@ val advance_n : t -> reader -> int -> unit
 
 val enqueued : t -> int
 val processed : t -> reader -> int
+
+(** Number of times {!try_enqueue} had to rescan the reader cursors because
+    the cached minimum-cursor bound would have rejected the enqueue. *)
+val min_rescans : t -> int
 
 (** All readers fully caught up with the writer. *)
 val drained : t -> bool

@@ -1,25 +1,95 @@
 
+(* Nodes carry the interval endpoints as immediate [int] fields rather than
+   a boxed [Interval.t]: a descent reads [lo]/[hi] straight out of the node
+   block and touches no heap beyond the spine itself. *)
 type 'o node =
   | Leaf
-  | Node of { left : 'o node; right : 'o node; iv : Interval.t; owner : 'o; prio : int }
+  | Node of { left : 'o node; right : 'o node; lo : int; hi : int; owner : 'o; prio : int }
+
+(* Reusable slow-path buffer: parallel arrays instead of an entry record or
+   tuple list, so pushing a piece allocates nothing once the arrays have
+   grown to the working-set size.  Two live per treap ([ovl] for detached
+   overlap entries, [pieces] for their replacement) — treaps are
+   single-owner by design (paper §III: each treap worker owns exactly one
+   treap, nothing here is thread-safe), so the buffers can never be in use
+   by two operations at once. *)
+type 'o scratch = {
+  mutable s_lo : int array;
+  mutable s_hi : int array;
+  mutable s_own : 'o array;
+  mutable s_len : int;
+}
 
 type 'o t = {
   mutable root : 'o node;
   mutable size : int;
   mutable visits : int;
   mutable covered : int;
+  mutable fastpath_hits : int;
+  mutable slowpath_hits : int;
+  mutable scratch_reuse : int;
+  ovl : 'o scratch;
+  pieces : 'o scratch;
   rng : Rng.t;
   owner_eq : 'o -> 'o -> bool;
 }
 
+let scratch () = { s_lo = [||]; s_hi = [||]; s_own = [||]; s_len = 0 }
+
 let create ~seed ~owner_eq () =
-  { root = Leaf; size = 0; visits = 0; covered = 0; rng = Rng.create seed; owner_eq }
+  {
+    root = Leaf;
+    size = 0;
+    visits = 0;
+    covered = 0;
+    fastpath_hits = 0;
+    slowpath_hits = 0;
+    scratch_reuse = 0;
+    ovl = scratch ();
+    pieces = scratch ();
+    rng = Rng.create seed;
+    owner_eq;
+  }
 
 let size t = t.size
 let visits t = t.visits
 let covered t = t.covered
+let fastpath_hits t = t.fastpath_hits
+let slowpath_hits t = t.slowpath_hits
+let scratch_reuse t = t.scratch_reuse
 
 let visit t = t.visits <- t.visits + 1
+
+(* ------------------------------------------------------- scratch buffers *)
+
+let s_clear s = s.s_len <- 0
+
+(* Growth needs no dummy element: the pushed [own] seeds the new array. *)
+let s_push s lo hi own =
+  let cap = Array.length s.s_lo in
+  if s.s_len = cap then begin
+    let ncap = if cap = 0 then 8 else 2 * cap in
+    let nlo = Array.make ncap 0 and nhi = Array.make ncap 0 and nown = Array.make ncap own in
+    Array.blit s.s_lo 0 nlo 0 s.s_len;
+    Array.blit s.s_hi 0 nhi 0 s.s_len;
+    Array.blit s.s_own 0 nown 0 s.s_len;
+    s.s_lo <- nlo;
+    s.s_hi <- nhi;
+    s.s_own <- nown
+  end;
+  s.s_lo.(s.s_len) <- lo;
+  s.s_hi.(s.s_len) <- hi;
+  s.s_own.(s.s_len) <- own;
+  s.s_len <- s.s_len + 1
+
+(* Pieces are generated in address order and never overlap, so keeping them
+   coalesced only needs an adjacency check against the top entry. *)
+let s_push_coalesce t s lo hi own =
+  if s.s_len > 0 && t.owner_eq s.s_own.(s.s_len - 1) own && s.s_hi.(s.s_len - 1) + 1 = lo then
+    s.s_hi.(s.s_len - 1) <- hi
+  else s_push s lo hi own
+
+(* ---------------------------------------------------------- tree plumbing *)
 
 (* [split t k n] partitions by low endpoint into (lo < k, lo >= k). *)
 let rec split t k n =
@@ -27,7 +97,7 @@ let rec split t k n =
   | Leaf -> (Leaf, Leaf)
   | Node nd ->
       visit t;
-      if nd.iv.Interval.lo < k then begin
+      if nd.lo < k then begin
         let a, b = split t k nd.right in
         (Node { nd with right = a }, b)
       end
@@ -45,6 +115,68 @@ let rec join t a b =
       if na.prio > nb.prio then Node { na with right = join t na.right b }
       else Node { nb with left = join t a nb.left }
 
+let mk_node t lo hi owner = Node { left = Leaf; right = Leaf; lo; hi; owner; prio = Rng.next t.rng }
+
+exception Overlap
+
+(* [split_probe t qlo qhi k n] is [split t k n] fused with an intersection
+   probe against [qlo, qhi]: it raises [Overlap] (before allocating any path
+   copies) the moment a visited node intersects the probe range.  Reaching
+   the leaf proves the whole treap is clear of [qlo, qhi]: stored intervals
+   are disjoint, so at any non-intersecting node the subtree we skip lies
+   entirely outside the probe range (went left => skipped keys all exceed
+   [qhi]; went right => skipped intervals all end before the node, hence
+   before [qlo]).  The probe and the insert-position split are therefore the
+   same single descent. *)
+let rec split_probe t qlo qhi k n =
+  match n with
+  | Leaf -> (Leaf, Leaf)
+  | Node nd ->
+      visit t;
+      if nd.hi >= qlo && nd.lo <= qhi then raise_notrace Overlap;
+      if nd.lo < k then begin
+        let a, b = split_probe t qlo qhi k nd.right in
+        (Node { nd with right = a }, b)
+      end
+      else begin
+        let a, b = split_probe t qlo qhi k nd.left in
+        (a, Node { nd with left = b })
+      end
+
+(* Three-way join: every key in [a] < [lo, hi] < every key in [b].  Descends
+   from the higher-priority side until the fresh node's priority dominates,
+   then roots it there with [a]/[b] remainders as children — the fresh node
+   sinks straight to its heap position instead of two spine-walking
+   two-way joins. *)
+let join_mid t a b lo hi owner =
+  let prio = Rng.next t.rng in
+  let rec go a b =
+    match (a, b) with
+    | Node na, _ when na.prio > prio && (match b with Node nb -> na.prio > nb.prio | Leaf -> true)
+      ->
+        visit t;
+        Node { na with right = go na.right b }
+    | _, Node nb when nb.prio > prio ->
+        visit t;
+        Node { nb with left = go a nb.left }
+    | _ ->
+        visit t;
+        Node { left = a; right = b; lo; hi; owner; prio }
+  in
+  go a b
+
+(* Does any stored interval intersect [qlo, qhi]?  Stored intervals are
+   disjoint, so low and high endpoints induce the same order and a single
+   find-style descent decides. *)
+let rec intersects t qlo qhi n =
+  match n with
+  | Leaf -> false
+  | Node nd ->
+      visit t;
+      if nd.lo > qhi then intersects t qlo qhi nd.left
+      else if nd.hi < qlo then intersects t qlo qhi nd.right
+      else true
+
 (* Smallest low endpoint among nodes whose interval reaches [lo0] or beyond.
    Stored intervals are disjoint, so both endpoints increase with the key and
    a single descent suffices. *)
@@ -53,169 +185,196 @@ let rec first_overlap_lo t lo0 n =
   | Leaf -> None
   | Node nd ->
       visit t;
-      if nd.iv.Interval.hi >= lo0 then begin
+      if nd.hi >= lo0 then begin
         match first_overlap_lo t lo0 nd.left with
         | Some _ as found -> found
-        | None -> Some nd.iv.Interval.lo
+        | None -> Some nd.lo
       end
       else first_overlap_lo t lo0 nd.right
+
+(* Read-only boundary probes: return the extreme node itself (no removal,
+   no path copying); [remove_max]/[remove_min] rebuild only when a boundary
+   merge actually happens. *)
+let rec max_node t n =
+  match n with
+  | Leaf -> Leaf
+  | Node nd -> ( visit t; match nd.right with Leaf -> n | _ -> max_node t nd.right)
+
+let rec min_node t n =
+  match n with
+  | Leaf -> Leaf
+  | Node nd -> ( visit t; match nd.left with Leaf -> n | _ -> min_node t nd.left)
+
+let rec remove_max t n =
+  match n with
+  | Leaf -> Leaf
+  | Node nd -> (
+      visit t;
+      match nd.right with Leaf -> nd.left | _ -> Node { nd with right = remove_max t nd.right })
+
+let rec remove_min t n =
+  match n with
+  | Leaf -> Leaf
+  | Node nd -> (
+      visit t;
+      match nd.left with Leaf -> nd.right | _ -> Node { nd with left = remove_min t nd.left })
 
 let rec in_order n acc =
   match n with
   | Leaf -> acc
-  | Node nd -> in_order nd.left ((nd.iv, nd.owner) :: in_order nd.right acc)
+  | Node nd ->
+      in_order nd.left (({ Interval.lo = nd.lo; hi = nd.hi }, nd.owner) :: in_order nd.right acc)
 
-(* Detach all stored intervals overlapping [iv]: returns the tree of
-   everything strictly left, the overlapping entries in address order, and
-   the tree of everything strictly right. *)
-let extract_overlaps t iv =
-  let a, right = split t (iv.Interval.hi + 1) t.root in
-  match first_overlap_lo t iv.Interval.lo a with
-  | None -> (a, [], right)
-  | Some lo -> begin
-      let left, ovl = split t lo a in
-      (left, in_order ovl [], right)
-    end
-
-let rec remove_max t n =
+let rec fill_ovl t n =
   match n with
-  | Leaf -> (Leaf, None)
-  | Node nd -> begin
-      visit t;
-      match nd.right with
-      | Leaf -> (nd.left, Some (nd.iv, nd.owner))
-      | _ ->
-          let right, m = remove_max t nd.right in
-          (Node { nd with right }, m)
-    end
+  | Leaf -> ()
+  | Node nd ->
+      fill_ovl t nd.left;
+      s_push t.ovl nd.lo nd.hi nd.owner;
+      fill_ovl t nd.right
 
-let rec remove_min t n =
-  match n with
-  | Leaf -> (Leaf, None)
-  | Node nd -> begin
-      visit t;
-      match nd.left with
-      | Leaf -> (nd.right, Some (nd.iv, nd.owner))
-      | _ ->
-          let left, m = remove_min t nd.left in
-          (Node { nd with left }, m)
-    end
+(* ---------------------------------------------------------- fast paths *)
 
-let singleton t iv owner =
-  Node { left = Leaf; right = Leaf; iv; owner; prio = Rng.next t.rng }
+(* Insert an interval the caller has just proven (via [split_probe]) to
+   overlap nothing stored and to touch no same-owner neighbour: the probe
+   descent already produced the split halves, so all that is left is the
+   three-way join — no overlap bookkeeping, no extra descent. *)
+let insert_disjoint t a b lo hi owner =
+  t.fastpath_hits <- t.fastpath_hits + 1;
+  t.root <- join_mid t a b lo hi owner;
+  t.size <- t.size + 1;
+  t.covered <- t.covered + (hi - lo + 1)
 
-(* Coalesce a sorted piece list, merging adjacent pieces with equal owners. *)
-let coalesce_pieces t pieces =
-  let out = ref [] in
-  List.iter
-    (fun (iv, o) ->
-      match !out with
-      | (iv', o') :: rest
-        when t.owner_eq o o' && Interval.adjacent_or_overlapping iv' iv ->
-          out := (Interval.hull iv' iv, o') :: rest
-      | _ -> out := (iv, o) :: !out)
-    pieces;
-  List.rev !out
+let note_slow t =
+  t.slowpath_hits <- t.slowpath_hits + 1;
+  if Array.length t.pieces.s_lo > 0 then t.scratch_reuse <- t.scratch_reuse + 1
 
-(* Replace the overlap region: remove [ovl]-entries, install [pieces]
-   (sorted, already internally coalesced), merging with the boundary
-   neighbours in [left]/[right] when owners match and intervals touch.
-   Maintains size/covered ledgers. *)
-let commit t left ovl pieces right =
-  let removed_w = List.fold_left (fun w (iv, _) -> w + Interval.width iv) 0 ovl in
-  let removed_n = List.length ovl in
-  let pieces, left, removed_w, removed_n =
-    match pieces with
-    | (p0, o0) :: rest -> begin
-        let left', m = remove_max t left in
-        match m with
-        | Some (jv, u) when t.owner_eq u o0 && jv.Interval.hi + 1 = p0.Interval.lo ->
-            ( (Interval.hull jv p0, o0) :: rest,
-              left',
-              removed_w + Interval.width jv,
-              removed_n + 1 )
-        | _ -> (pieces, left, removed_w, removed_n)
-      end
-    | [] -> (pieces, left, removed_w, removed_n)
-  in
-  let pieces, right, removed_w, removed_n =
-    match List.rev pieces with
-    | (pl, ol) :: rev_rest -> begin
-        let right', m = remove_min t right in
-        match m with
-        | Some (jv, u) when t.owner_eq u ol && pl.Interval.hi + 1 = jv.Interval.lo ->
-            ( List.rev ((Interval.hull pl jv, ol) :: rev_rest),
-              right',
-              removed_w + Interval.width jv,
-              removed_n + 1 )
-        | _ -> (pieces, right, removed_w, removed_n)
-      end
-    | [] -> (pieces, right, removed_w, removed_n)
-  in
-  let added_w = List.fold_left (fun w (iv, _) -> w + Interval.width iv) 0 pieces in
-  let added_n = List.length pieces in
-  let middle =
-    List.fold_left (fun acc (iv, o) -> join t acc (singleton t iv o)) Leaf pieces
-  in
-  t.root <- join t (join t left middle) right;
-  t.size <- t.size + added_n - removed_n;
-  t.covered <- t.covered + added_w - removed_w
+(* ---------------------------------------------------------- slow path *)
 
-let stickout_left iv = function
-  | (jv, u) :: _ when jv.Interval.lo < iv.Interval.lo ->
-      [ (Interval.make jv.Interval.lo (iv.Interval.lo - 1), u) ]
-  | _ -> []
+(* Detach all stored intervals overlapping [lo, hi] into [t.ovl] (in address
+   order); returns the trees of everything strictly left / strictly right. *)
+let slow_extract t lo hi =
+  let a, right = split t (hi + 1) t.root in
+  s_clear t.ovl;
+  match first_overlap_lo t lo a with
+  | None -> (a, right)
+  | Some flo ->
+      let left, mid = split t flo a in
+      fill_ovl t mid;
+      (left, right)
 
-let rec last_entry = function
-  | [] -> None
-  | [ x ] -> Some x
-  | _ :: rest -> last_entry rest
+(* Replace the overlap region between [left] and [right]: the detached
+   entries sit in [t.ovl], their replacement (sorted, already internally
+   coalesced) in [t.pieces].  Merges with the boundary neighbours when
+   owners match and intervals touch.  Maintains the size/covered ledgers. *)
+let commit t left right =
+  let ovl = t.ovl and ps = t.pieces in
+  let removed_w = ref 0 in
+  for i = 0 to ovl.s_len - 1 do
+    removed_w := !removed_w + (ovl.s_hi.(i) - ovl.s_lo.(i) + 1)
+  done;
+  let removed_n = ref ovl.s_len in
+  let left = ref left and right = ref right in
+  if ps.s_len > 0 then begin
+    (match max_node t !left with
+    | Node m when t.owner_eq m.owner ps.s_own.(0) && m.hi + 1 = ps.s_lo.(0) ->
+        ps.s_lo.(0) <- m.lo;
+        left := remove_max t !left;
+        removed_w := !removed_w + (m.hi - m.lo + 1);
+        incr removed_n
+    | _ -> ());
+    let lst = ps.s_len - 1 in
+    match min_node t !right with
+    | Node m when t.owner_eq m.owner ps.s_own.(lst) && ps.s_hi.(lst) + 1 = m.lo ->
+        ps.s_hi.(lst) <- m.hi;
+        right := remove_min t !right;
+        removed_w := !removed_w + (m.hi - m.lo + 1);
+        incr removed_n
+    | _ -> ()
+  end;
+  let added_w = ref 0 and middle = ref Leaf in
+  for i = 0 to ps.s_len - 1 do
+    added_w := !added_w + (ps.s_hi.(i) - ps.s_lo.(i) + 1);
+    middle := join t !middle (mk_node t ps.s_lo.(i) ps.s_hi.(i) ps.s_own.(i))
+  done;
+  t.root <- join t (join t !left !middle) !right;
+  t.size <- t.size + ps.s_len - !removed_n;
+  t.covered <- t.covered + !added_w - !removed_w
 
-let stickout_right iv ovl =
-  match last_entry ovl with
-  | Some (jv, u) when jv.Interval.hi > iv.Interval.hi ->
-      [ (Interval.make (iv.Interval.hi + 1) jv.Interval.hi, u) ]
-  | _ -> []
+(* ---------------------------------------------------------- operations *)
 
 let insert_replace t iv owner =
-  let left, ovl, right = extract_overlaps t iv in
-  let pieces = stickout_left iv ovl @ ((iv, owner) :: stickout_right iv ovl) in
-  commit t left ovl (coalesce_pieces t pieces) right
+  let lo = iv.Interval.lo and hi = iv.Interval.hi in
+  (* The probe extends one address each way: a hit on [lo-1] or [hi+1] means
+     a neighbour touches the new interval and may have to coalesce with it,
+     which only the general path handles. *)
+  match split_probe t (lo - 1) (hi + 1) lo t.root with
+  | a, b -> insert_disjoint t a b lo hi owner
+  | exception Overlap ->
+    note_slow t;
+    let left, right = slow_extract t lo hi in
+    let ovl = t.ovl and ps = t.pieces in
+    s_clear ps;
+    if ovl.s_len > 0 && ovl.s_lo.(0) < lo then s_push ps ovl.s_lo.(0) (lo - 1) ovl.s_own.(0);
+    s_push_coalesce t ps lo hi owner;
+    if ovl.s_len > 0 && ovl.s_hi.(ovl.s_len - 1) > hi then
+      s_push_coalesce t ps (hi + 1) ovl.s_hi.(ovl.s_len - 1) ovl.s_own.(ovl.s_len - 1);
+    commit t left right
 
 let insert_merge t iv owner ~keep =
-  let left, ovl, right = extract_overlaps t iv in
-  let pieces = Vec.create (iv, owner) in
-  (match stickout_left iv ovl with [ p ] -> Vec.push pieces p | _ -> ());
-  let cur = ref iv.Interval.lo in
-  List.iter
-    (fun (jv, u) ->
-      let clip = Interval.inter jv iv in
-      if !cur < clip.Interval.lo then
-        Vec.push pieces (Interval.make !cur (clip.Interval.lo - 1), owner);
-      let seg_owner = match keep ~incumbent:u with `Keep -> u | `Replace -> owner in
-      Vec.push pieces (clip, seg_owner);
-      cur := clip.Interval.hi + 1)
-    ovl;
-  if !cur <= iv.Interval.hi then Vec.push pieces (Interval.make !cur iv.Interval.hi, owner);
-  (match stickout_right iv ovl with [ p ] -> Vec.push pieces p | _ -> ());
-  commit t left ovl (coalesce_pieces t (Array.to_list (Vec.to_array pieces))) right
+  let lo = iv.Interval.lo and hi = iv.Interval.hi in
+  (* On the no-overlap path the whole range is one uncovered gap: it goes to
+     the new strand, same as insert_replace. *)
+  match split_probe t (lo - 1) (hi + 1) lo t.root with
+  | a, b -> insert_disjoint t a b lo hi owner
+  | exception Overlap ->
+    note_slow t;
+    let left, right = slow_extract t lo hi in
+    let ovl = t.ovl and ps = t.pieces in
+    s_clear ps;
+    if ovl.s_len > 0 && ovl.s_lo.(0) < lo then s_push ps ovl.s_lo.(0) (lo - 1) ovl.s_own.(0);
+    let cur = ref lo in
+    for k = 0 to ovl.s_len - 1 do
+      let clo = max ovl.s_lo.(k) lo and chi = min ovl.s_hi.(k) hi in
+      if !cur < clo then s_push_coalesce t ps !cur (clo - 1) owner;
+      let incumbent = ovl.s_own.(k) in
+      let seg_owner = match keep ~incumbent with `Keep -> incumbent | `Replace -> owner in
+      s_push_coalesce t ps clo chi seg_owner;
+      cur := chi + 1
+    done;
+    if !cur <= hi then s_push_coalesce t ps !cur hi owner;
+    if ovl.s_len > 0 && ovl.s_hi.(ovl.s_len - 1) > hi then
+      s_push_coalesce t ps (hi + 1) ovl.s_hi.(ovl.s_len - 1) ovl.s_own.(ovl.s_len - 1);
+    commit t left right
 
 let clear_range t iv =
-  let left, ovl, right = extract_overlaps t iv in
-  let pieces = stickout_left iv ovl @ stickout_right iv ovl in
-  commit t left ovl pieces right
+  let lo = iv.Interval.lo and hi = iv.Interval.hi in
+  (* No extension here: an interval merely touching the cleared range is
+     left alone, so "nothing stored intersects" means "nothing to do". *)
+  if not (intersects t lo hi t.root) then t.fastpath_hits <- t.fastpath_hits + 1
+  else begin
+    note_slow t;
+    let left, right = slow_extract t lo hi in
+    let ovl = t.ovl and ps = t.pieces in
+    s_clear ps;
+    if ovl.s_len > 0 && ovl.s_lo.(0) < lo then s_push ps ovl.s_lo.(0) (lo - 1) ovl.s_own.(0);
+    if ovl.s_len > 0 && ovl.s_hi.(ovl.s_len - 1) > hi then
+      s_push ps (hi + 1) ovl.s_hi.(ovl.s_len - 1) ovl.s_own.(ovl.s_len - 1);
+    commit t left right
+  end
 
 let query t iv ~f =
+  let qlo = iv.Interval.lo and qhi = iv.Interval.hi in
   let rec go n =
     match n with
     | Leaf -> ()
     | Node nd ->
         visit t;
-        if nd.iv.Interval.lo > iv.Interval.hi then go nd.left
-        else if nd.iv.Interval.hi < iv.Interval.lo then go nd.right
+        if nd.lo > qhi then go nd.left
+        else if nd.hi < qlo then go nd.right
         else begin
           go nd.left;
-          f nd.iv nd.owner;
+          f { Interval.lo = nd.lo; hi = nd.hi } nd.owner;
           go nd.right
         end
   in
@@ -227,9 +386,9 @@ let find t addr =
     | Leaf -> None
     | Node nd ->
         visit t;
-        if addr < nd.iv.Interval.lo then go nd.left
-        else if addr > nd.iv.Interval.hi then go nd.right
-        else Some (nd.iv, nd.owner)
+        if addr < nd.lo then go nd.left
+        else if addr > nd.hi then go nd.right
+        else Some ({ Interval.lo = nd.lo; hi = nd.hi }, nd.owner)
   in
   go t.root
 
@@ -239,7 +398,9 @@ let to_list t = in_order t.root []
 let reset t =
   t.root <- Leaf;
   t.size <- 0;
-  t.covered <- 0
+  t.covered <- 0;
+  s_clear t.ovl;
+  s_clear t.pieces
 
 let validate t =
   let fail fmt = Printf.ksprintf failwith fmt in
@@ -258,14 +419,31 @@ let validate t =
     | _ -> ()
   in
   check_pairs entries;
+  (* Structural BST check with propagated bounds: the fast path inserts via
+     split/join while the slow path rebuilds through commit, and both must
+     land keys in the same positions for later descents to find them. *)
+  let rec check_bst lo_b hi_b = function
+    | Leaf -> ()
+    | Node nd ->
+        if nd.hi < nd.lo then fail "malformed interval [%d,%d]" nd.lo nd.hi;
+        (match lo_b with
+        | Some b when nd.lo <= b -> fail "BST violation (left bound) at %d" nd.lo
+        | _ -> ());
+        (match hi_b with
+        | Some b when nd.lo >= b -> fail "BST violation (right bound) at %d" nd.lo
+        | _ -> ());
+        check_bst lo_b (Some nd.lo) nd.left;
+        check_bst (Some nd.lo) hi_b nd.right
+  in
+  check_bst None None t.root;
   let rec check_heap = function
     | Leaf -> ()
     | Node nd ->
         (match nd.left with
-        | Node l when l.prio > nd.prio -> fail "heap violation (left) at %d" nd.iv.Interval.lo
+        | Node l when l.prio > nd.prio -> fail "heap violation (left) at %d" nd.lo
         | _ -> ());
         (match nd.right with
-        | Node r when r.prio > nd.prio -> fail "heap violation (right) at %d" nd.iv.Interval.lo
+        | Node r when r.prio > nd.prio -> fail "heap violation (right) at %d" nd.lo
         | _ -> ());
         check_heap nd.left;
         check_heap nd.right

@@ -23,10 +23,18 @@
     and delayed heap frees.
 
     Each treap instance is owned by exactly one worker (this is the whole
-    point of PINT's design) so nothing here is thread-safe.
+    point of PINT's design) so nothing here is thread-safe.  Single
+    ownership is also what makes the allocation discipline safe: every
+    mutating operation first probes for an overlap with one read-only
+    descent and, in the (dominant) no-overlap case, inserts with a single
+    split+join and no intermediate structures at all; the general path
+    stages overlap entries and replacement pieces in two scratch buffers
+    owned by the treap and reused across operations (see DESIGN.md §8).
 
     Node visits are counted in an internal ledger so the benchmark harness
-    can charge virtual cycles proportional to real structural work. *)
+    can charge virtual cycles proportional to real structural work; the
+    fast/slow path split is counted too so detectors can report how often
+    the coalesced interval stream let them skip the overlap machinery. *)
 
 type 'o t
 
@@ -42,6 +50,20 @@ val visits : 'o t -> int
 
 (** Total addresses covered by stored intervals. *)
 val covered : 'o t -> int
+
+(** Mutating operations ({!insert_replace}, {!insert_merge}, {!clear_range})
+    that found no stored interval intersecting the operand (including, for
+    inserts, its one-address neighbourhood) and took the single-descent
+    no-overlap path. *)
+val fastpath_hits : 'o t -> int
+
+(** Mutating operations that found an overlap (or a touching neighbour) and
+    ran the general extract/commit machinery. *)
+val slowpath_hits : 'o t -> int
+
+(** Slow-path operations that ran entirely inside previously grown scratch
+    buffers (no fresh allocation for overlap/piece staging). *)
+val scratch_reuse : 'o t -> int
 
 (** [query t iv f] calls [f stored owner] for every stored interval
     overlapping [iv], in increasing address order. *)

@@ -100,6 +100,46 @@ let test_add_invalid_len () =
   Alcotest.check_raises "len 0" (Invalid_argument "Coalescer.add: len must be positive")
     (fun () -> Coalescer.add_read c ~addr:0 ~len:0)
 
+let ivs arr = Array.to_list (Array.map (fun r -> (r.Interval.lo, r.Interval.hi)) arr)
+
+let test_sort_skip_monotone () =
+  let c = Coalescer.create () in
+  Coalescer.add_read c ~addr:0 ~len:4;
+  Coalescer.add_read c ~addr:10 ~len:4;
+  Coalescer.add_read c ~addr:14 ~len:2 (* extends [10,13] rightwards: still monotone *);
+  let reads, _ = Coalescer.finish c in
+  check_bool "intervals" true (ivs reads = [ (0, 3); (10, 15) ]);
+  check_bool "monotone stream skipped the sort" true (Coalescer.sort_stats c = (1, 0))
+
+let test_sort_skip_out_of_order () =
+  let c = Coalescer.create () in
+  Coalescer.add_write c ~addr:20 ~len:2;
+  Coalescer.add_write c ~addr:0 ~len:2;
+  let _, writes = Coalescer.finish c in
+  check_bool "sorted" true (ivs writes = [ (0, 1); (20, 21) ]);
+  check_bool "out-of-order stream sorted" true (Coalescer.sort_stats c = (0, 1))
+
+let test_sort_skip_leftward_merge () =
+  (* The subtle case: the merge target is the LAST entry but the access
+     extends its [lo] leftwards, creating adjacency with the previous entry
+     that only the sort+re-merge pass repairs. *)
+  let c = Coalescer.create () in
+  Coalescer.add_read c ~addr:0 ~len:5;
+  Coalescer.add_read c ~addr:6 ~len:4;
+  Coalescer.add_read c ~addr:5 ~len:2 (* hulls with [6,9] -> [5,9], adjacent to [0,4] *);
+  let reads, _ = Coalescer.finish c in
+  check_bool "re-merged into one" true (ivs reads = [ (0, 9) ]);
+  check_bool "leftward merge forced the sort" true (Coalescer.sort_stats c = (0, 1))
+
+let test_sort_stats_accumulate () =
+  let c = Coalescer.create () in
+  Coalescer.add_read c ~addr:0 ~len:1;
+  ignore (Coalescer.finish c);
+  Coalescer.add_read c ~addr:9 ~len:1;
+  Coalescer.add_read c ~addr:0 ~len:1;
+  ignore (Coalescer.finish c);
+  check_bool "stats survive finish, flag resets" true (Coalescer.sort_stats c = (1, 1))
+
 (* Property: finish produces a canonical disjoint cover of exactly the
    accessed addresses. *)
 let coalescer_canonical_prop =
@@ -157,6 +197,10 @@ let () =
           Alcotest.test_case "reads vs writes" `Quick test_reads_writes_separate;
           Alcotest.test_case "raw counts & reset" `Quick test_raw_counts_and_reset;
           Alcotest.test_case "invalid len" `Quick test_add_invalid_len;
+          Alcotest.test_case "sort skip: monotone" `Quick test_sort_skip_monotone;
+          Alcotest.test_case "sort skip: out of order" `Quick test_sort_skip_out_of_order;
+          Alcotest.test_case "sort skip: leftward merge" `Quick test_sort_skip_leftward_merge;
+          Alcotest.test_case "sort stats accumulate" `Quick test_sort_stats_accumulate;
           QCheck_alcotest.to_alcotest coalescer_canonical_prop;
         ] );
     ]

@@ -253,6 +253,74 @@ let test_ahq_batch_recycling () =
   Ahq.advance_n q Ahq.r 2;
   check_bool "catches up" true (Ahq.try_enqueue q (mk_rec 6))
 
+let test_ahq_cached_min () =
+  (* The writer only rescans the reader cursors when the cached lower bound
+     on the minimum cursor would reject the enqueue. *)
+  let q = Ahq.create ~capacity:4 () in
+  for i = 0 to 3 do
+    check_bool "fill" true (Ahq.try_enqueue q (mk_rec i))
+  done;
+  check_int "filling an empty ring never rescans" 0 (Ahq.min_rescans q);
+  check_bool "full" false (Ahq.try_enqueue q (mk_rec 99));
+  check_int "full ring forces a rescan" 1 (Ahq.min_rescans q);
+  Ahq.advance q Ahq.l;
+  Ahq.advance q Ahq.r;
+  (* progress is invisible until the stale cached bound rejects again *)
+  check_bool "admitted after rescan" true (Ahq.try_enqueue q (mk_rec 4));
+  check_int "rescan found the new minimum" 2 (Ahq.min_rescans q);
+  check_bool "full again" false (Ahq.try_enqueue q (mk_rec 99));
+  check_int "rejection rescans" 3 (Ahq.min_rescans q);
+  (* one reader alone does not free a slot: the minimum governs *)
+  Ahq.advance q Ahq.l;
+  check_bool "still full (R is the minimum)" false (Ahq.try_enqueue q (mk_rec 99));
+  check_int "rescanned for the laggard" 4 (Ahq.min_rescans q);
+  Ahq.advance q Ahq.r;
+  check_bool "admitted once both moved" true (Ahq.try_enqueue q (mk_rec 5));
+  check_int "final rescan count" 5 (Ahq.min_rescans q)
+
+let test_ahq_peek_batch_into () =
+  let q = Ahq.create ~capacity:8 () in
+  let buf = Array.make 3 (mk_rec (-1)) in
+  check_int "nothing pending" 0 (Ahq.peek_batch_into q Ahq.l buf);
+  check_int "buffer untouched" (-1) buf.(0).Srec.uid;
+  for i = 0 to 4 do
+    ignore (Ahq.try_enqueue q (mk_rec i))
+  done;
+  check_int "clamped to buffer size" 3 (Ahq.peek_batch_into q Ahq.l buf);
+  Array.iteri (fun k u -> check_int "batch order" k u.Srec.uid) buf;
+  Ahq.advance_n q Ahq.l 3;
+  check_int "remainder" 2 (Ahq.peek_batch_into q Ahq.l buf);
+  check_int "first of remainder" 3 buf.(0).Srec.uid;
+  check_int "second of remainder" 4 buf.(1).Srec.uid;
+  check_int "stale leftover past the count" 2 buf.(2).Srec.uid;
+  check_int "R unaffected" 3 (Ahq.peek_batch_into q Ahq.r buf);
+  Alcotest.check_raises "empty buffer"
+    (Invalid_argument "Ahq.peek_batch_into: empty buffer") (fun () ->
+      ignore (Ahq.peek_batch_into q Ahq.l [||]))
+
+let test_ahq_peek_batch_into_wraparound () =
+  (* same as the peek_batch wraparound test, through the reusable buffer *)
+  let q = Ahq.create ~capacity:8 () in
+  let n = 100 in
+  let bufs = [| Array.make 5 (mk_rec (-1)); Array.make 5 (mk_rec (-1)) |] in
+  let enq = ref 0 and l = ref 0 and r = ref 0 in
+  while !l < n || !r < n do
+    while !enq < n && Ahq.try_enqueue q (mk_rec !enq) do
+      incr enq
+    done;
+    List.iter
+      (fun (side, seen) ->
+        let buf = bufs.(side) in
+        let k = Ahq.peek_batch_into q side buf in
+        for j = 0 to k - 1 do
+          check_int "wrap order" !seen buf.(j).Srec.uid;
+          incr seen
+        done;
+        if k > 0 then Ahq.advance_n q side k)
+      [ (Ahq.l, l); (Ahq.r, r) ]
+  done;
+  check_bool "drained" true (Ahq.drained q)
+
 let test_ahq_advance_n_too_far_fails () =
   let q = Ahq.create ~capacity:8 () in
   ignore (Ahq.try_enqueue q (mk_rec 0));
@@ -283,6 +351,9 @@ let () =
           Alcotest.test_case "peek_batch basic" `Quick test_ahq_peek_batch_basic;
           Alcotest.test_case "batch wraparound" `Quick test_ahq_batch_wraparound;
           Alcotest.test_case "batch recycling" `Quick test_ahq_batch_recycling;
+          Alcotest.test_case "cached min rescans" `Quick test_ahq_cached_min;
+          Alcotest.test_case "peek_batch_into" `Quick test_ahq_peek_batch_into;
+          Alcotest.test_case "peek_batch_into wraparound" `Quick test_ahq_peek_batch_into_wraparound;
           Alcotest.test_case "advance_n too far" `Quick test_ahq_advance_n_too_far_fails;
         ] );
     ]

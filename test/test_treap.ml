@@ -286,6 +286,103 @@ let treap_query_model_prop =
       done;
       !ok)
 
+(* Naive sorted-list reference: the canonical entry list itself, maintained
+   with brute-force erase/renormalize.  Where the per-address model above
+   checks ownership, this one checks the exact stored representation —
+   interval boundaries, coalescing, and entry count — after every op, which
+   is what the fast/slow path split could plausibly get wrong. *)
+module ListModel = struct
+  type t = (int * int * int) list ref (* sorted by lo; disjoint; canonical *)
+
+  let create () : t = ref []
+
+  let erase l h es =
+    List.concat_map
+      (fun (lo, hi, o) ->
+        if hi < l || lo > h then [ (lo, hi, o) ]
+        else
+          (if lo < l then [ (lo, l - 1, o) ] else [])
+          @ if hi > h then [ (h + 1, hi, o) ] else [])
+      es
+
+  let normalize es =
+    let rec merge = function
+      | (l1, h1, o1) :: (l2, h2, o2) :: rest when o1 = o2 && h1 + 1 = l2 ->
+          merge ((l1, h2, o1) :: rest)
+      | e :: rest -> e :: merge rest
+      | [] -> []
+    in
+    merge (List.sort compare es)
+
+  let insert_replace m l h o = m := normalize ((l, h, o) :: erase l h !m)
+
+  let insert_merge m l h o ~keep =
+    let covered =
+      List.filter_map
+        (fun (lo, hi, u) ->
+          let cl = max lo l and ch = min hi h in
+          if cl > ch then None
+          else Some (cl, ch, match keep ~incumbent:u with `Keep -> u | `Replace -> o))
+        !m
+    in
+    let covered = List.sort compare covered in
+    let rec gaps cur = function
+      | [] -> if cur <= h then [ (cur, h, o) ] else []
+      | (cl, ch, _) :: rest ->
+          (if cur < cl then [ (cur, cl - 1, o) ] else []) @ gaps (ch + 1) rest
+    in
+    m := normalize (erase l h !m @ covered @ gaps l covered)
+
+  let clear m l h = m := normalize (erase l h !m)
+end
+
+let treap_list_model_prop =
+  QCheck.Test.make ~name:"treap entries match sorted-list model" ~count:400
+    (QCheck.make
+       ~print:QCheck.Print.(list op_print)
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 1 40) op_gen))
+    (fun ops ->
+      let t = make_treap ~seed:13 () in
+      let m = ListModel.create () in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Replace (l, h, o) ->
+              Itreap.insert_replace t (iv l h) o;
+              ListModel.insert_replace m l h o
+          | Merge (l, h, o) ->
+              Itreap.insert_merge t (iv l h) o ~keep:(policy ~new_owner:o);
+              ListModel.insert_merge m l h o ~keep:(policy ~new_owner:o)
+          | Clear (l, h) ->
+              Itreap.clear_range t (iv l h);
+              ListModel.clear m l h);
+          Itreap.validate t;
+          entries t = !m)
+        ops)
+
+let test_path_counters () =
+  let t = make_treap () in
+  Itreap.insert_replace t (iv 0 4) 1;
+  Itreap.insert_replace t (iv 10 14) 2;
+  Itreap.insert_merge t (iv 20 24) 3 ~keep:(fun ~incumbent:_ -> `Keep);
+  check_int "disjoint inserts take the fast path" 3 (Itreap.fastpath_hits t);
+  check_int "no slow ops yet" 0 (Itreap.slowpath_hits t);
+  Itreap.insert_replace t (iv 3 12) 4;
+  check_int "overlap goes slow" 1 (Itreap.slowpath_hits t);
+  check_int "first slow op grows the scratch" 0 (Itreap.scratch_reuse t);
+  Itreap.insert_replace t (iv 0 30) 5;
+  check_int "second slow op reuses it" 1 (Itreap.scratch_reuse t);
+  (* Touching (not overlapping) a same-owner neighbour must still go slow:
+     canonical form requires the coalescing only the general path does. *)
+  Itreap.insert_replace t (iv 31 35) 5;
+  check_int "adjacency goes slow" 3 (Itreap.slowpath_hits t);
+  Alcotest.check entry_t "coalesced across the boundary" [ (0, 35, 5) ] (entries t);
+  let f0 = Itreap.fastpath_hits t in
+  Itreap.clear_range t (iv 100 200);
+  check_int "clear of untouched range is a fast no-op" (f0 + 1) (Itreap.fastpath_hits t);
+  Alcotest.check entry_t "still intact" [ (0, 35, 5) ] (entries t);
+  Itreap.validate t
+
 let test_big_sequential_build () =
   (* A large build keeps expected-logarithmic depth: visits per op should be
      far below size. *)
@@ -324,11 +421,13 @@ let () =
           Alcotest.test_case "merge mixed policy" `Quick test_insert_merge_mixed_policy;
           Alcotest.test_case "reset" `Quick test_reset;
           Alcotest.test_case "visits counted" `Quick test_visits_counted;
+          Alcotest.test_case "path counters" `Quick test_path_counters;
           Alcotest.test_case "big sequential build" `Quick test_big_sequential_build;
         ] );
       ( "model",
         [
           QCheck_alcotest.to_alcotest treap_model_prop;
           QCheck_alcotest.to_alcotest treap_query_model_prop;
+          QCheck_alcotest.to_alcotest treap_list_model_prop;
         ] );
     ]
