@@ -19,37 +19,28 @@ open Toolkit
 
 let small = 48 (* small workload size so each bechamel sample is a full run *)
 
+(* All detector construction goes through the shared factory so bench,
+   pint_run and pint_replay agree on what each name means. *)
+let make_det name = Option.get (Systems.make_detector name)
+
 let run_detector_once name workers detector () =
   let w = Registry.find name in
   let inst = w.Workload.make ~size:small ~base:8 in
+  let d, stages = make_det detector in
   match detector with
-  | `Baseline ->
-      let d = Nodetect.make () in
-      let config = { Sim_exec.default_config with n_workers = workers } in
-      ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run)
-  | `Stint ->
-      let d = Stint.make () in
-      ignore (Seq_exec.run ~driver:d.Detector.driver inst.Workload.run)
-  | `Cracer ->
-      let d = Cracer.make () in
-      let config = { Sim_exec.default_config with n_workers = workers } in
-      ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run)
-  | `Pint ->
-      let p = Pint_detector.make () in
-      let d = Pint_detector.detector p in
-      let config =
-        { Sim_exec.default_config with n_workers = workers; stages = Pint_detector.stages p }
-      in
+  | "stint" -> ignore (Seq_exec.run ~driver:d.Detector.driver inst.Workload.run)
+  | _ ->
+      let config = { Sim_exec.default_config with n_workers = workers; stages } in
       ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run)
 
 (* Figure 1 group: full detector runs on a small heat instance. *)
 let fig1_tests =
   Test.make_grouped ~name:"fig1:heat48"
     [
-      Test.make ~name:"baseline" (Staged.stage (run_detector_once "heat" 4 `Baseline));
-      Test.make ~name:"stint" (Staged.stage (run_detector_once "heat" 4 `Stint));
-      Test.make ~name:"pint" (Staged.stage (run_detector_once "heat" 4 `Pint));
-      Test.make ~name:"cracer" (Staged.stage (run_detector_once "heat" 4 `Cracer));
+      Test.make ~name:"baseline" (Staged.stage (run_detector_once "heat" 4 "none"));
+      Test.make ~name:"stint" (Staged.stage (run_detector_once "heat" 4 "stint"));
+      Test.make ~name:"pint" (Staged.stage (run_detector_once "heat" 4 "pint"));
+      Test.make ~name:"cracer" (Staged.stage (run_detector_once "heat" 4 "cracer"));
     ]
 
 (* Figure 2 group: the PINT pipeline at two base-case granularities (the
@@ -58,11 +49,8 @@ let fig2_tests =
   let go base () =
     let w = Registry.find "sort" in
     let inst = w.Workload.make ~size:4096 ~base in
-    let p = Pint_detector.make () in
-    let d = Pint_detector.detector p in
-    let config =
-      { Sim_exec.default_config with n_workers = 4; stages = Pint_detector.stages p }
-    in
+    let d, stages = make_det "pint" in
+    let config = { Sim_exec.default_config with n_workers = 4; stages } in
     ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run)
   in
   Test.make_grouped ~name:"fig2:pint-pipeline"
@@ -75,9 +63,9 @@ let fig2_tests =
 let fig3_tests =
   Test.make_grouped ~name:"fig3:strong-scaling"
     [
-      Test.make ~name:"mmul/p1" (Staged.stage (run_detector_once "mmul" 1 `Pint));
-      Test.make ~name:"mmul/p8" (Staged.stage (run_detector_once "mmul" 8 `Pint));
-      Test.make ~name:"mmul/p32" (Staged.stage (run_detector_once "mmul" 32 `Pint));
+      Test.make ~name:"mmul/p1" (Staged.stage (run_detector_once "mmul" 1 "pint"));
+      Test.make ~name:"mmul/p8" (Staged.stage (run_detector_once "mmul" 8 "pint"));
+      Test.make ~name:"mmul/p32" (Staged.stage (run_detector_once "mmul" 32 "pint"));
     ]
 
 (* Figure 4 group: weak-scaling step (size grows with workers). *)
@@ -85,11 +73,8 @@ let fig4_tests =
   let go size p () =
     let w = Registry.find "heat" in
     let inst = w.Workload.make ~size ~base:8 in
-    let pd = Pint_detector.make () in
-    let d = Pint_detector.detector pd in
-    let config =
-      { Sim_exec.default_config with n_workers = p; stages = Pint_detector.stages pd }
-    in
+    let d, stages = make_det "pint" in
+    let config = { Sim_exec.default_config with n_workers = p; stages } in
     ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run)
   in
   Test.make_grouped ~name:"fig4:weak-scaling"
@@ -97,6 +82,34 @@ let fig4_tests =
       Test.make ~name:"heat32/p1" (Staged.stage (go 32 1));
       Test.make ~name:"heat64/p4" (Staged.stage (go 64 4));
       Test.make ~name:"heat128/p16" (Staged.stage (go 128 16));
+    ]
+
+(* Replay-driven timing: one shared capture of the heat workload, then each
+   detector is timed on the identical recorded strand stream.  This isolates
+   the detector's own cost — no executor, no workload execution, no
+   schedule variance — so detector-vs-detector deltas here are pure
+   access-history work. *)
+let replay_trace =
+  lazy
+    (let w = Registry.find "heat" in
+     let inst = w.Workload.make ~size:small ~base:8 in
+     let d, _ = make_det "none" in
+     let driver, finished = Tracefile.capturing d.Detector.driver in
+     ignore (Seq_exec.run ~driver inst.Workload.run);
+     finished ())
+
+let replay_run det () =
+  let t = Lazy.force replay_trace in
+  let d, _ = make_det det in
+  (Replay.run t d).Replay.diagnostics
+
+let replay_tests =
+  let go det () = ignore (replay_run det ()) in
+  Test.make_grouped ~name:"replay:heat48"
+    [
+      Test.make ~name:"stint" (Staged.stage (go "stint"));
+      Test.make ~name:"pint" (Staged.stage (go "pint"));
+      Test.make ~name:"cracer" (Staged.stage (go "cracer"));
     ]
 
 (* Substrate microbenchmarks: the individual data structures. *)
@@ -220,11 +233,8 @@ let report tests =
 let print_stage_diagnostics () =
   let w = Registry.find "heat" in
   let inst = w.Workload.make ~size:small ~base:8 in
-  let p = Pint_detector.make () in
-  let d = Pint_detector.detector p in
-  let config =
-    { Sim_exec.default_config with n_workers = 4; stages = Pint_detector.stages p }
-  in
+  let d, stages = make_det "pint" in
+  let config = { Sim_exec.default_config with n_workers = 4; stages } in
   ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run);
   d.Detector.drain ();
   print_endline "=== PINT per-stage pipeline diagnostics (heat48, 4 workers) ===";
@@ -254,7 +264,8 @@ let default_main () =
   print_stage_diagnostics ();
   print_newline ();
   print_endline "=== Bechamel wall-clock benchmarks (real implementation) ===";
-  List.iter report [ fig1_tests; fig2_tests; fig3_tests; fig4_tests; substrate_tests ]
+  List.iter report
+    [ fig1_tests; fig2_tests; fig3_tests; fig4_tests; replay_tests; substrate_tests ]
 
 (* ------------------------------------------------- machine-readable mode *)
 
@@ -264,30 +275,14 @@ let default_main () =
 let detector_run ~workload ~size ~base ~workers det () =
   let w = Registry.find workload in
   let inst = w.Workload.make ~size ~base in
-  match det with
-  | `Baseline ->
-      let d = Nodetect.make () in
-      let config = { Sim_exec.default_config with n_workers = workers } in
-      ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run);
-      d.Detector.diagnostics ()
-  | `Stint ->
-      let d = Stint.make () in
-      ignore (Seq_exec.run ~driver:d.Detector.driver inst.Workload.run);
-      d.Detector.diagnostics ()
-  | `Cracer ->
-      let d = Cracer.make () in
-      let config = { Sim_exec.default_config with n_workers = workers } in
-      ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run);
-      d.Detector.diagnostics ()
-  | `Pint ->
-      let p = Pint_detector.make () in
-      let d = Pint_detector.detector p in
-      let config =
-        { Sim_exec.default_config with n_workers = workers; stages = Pint_detector.stages p }
-      in
-      ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run);
-      d.Detector.drain ();
-      d.Detector.diagnostics ()
+  let d, stages = make_det det in
+  (match det with
+  | "stint" -> ignore (Seq_exec.run ~driver:d.Detector.driver inst.Workload.run)
+  | _ ->
+      let config = { Sim_exec.default_config with n_workers = workers; stages } in
+      ignore (Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run));
+  d.Detector.drain ();
+  d.Detector.diagnostics ()
 
 (* The representative case list: one group per paper figure, mirroring the
    bechamel groups above but sized to finish in seconds so CI can smoke it. *)
@@ -295,27 +290,33 @@ let json_cases =
   [
     ( "fig1:heat48",
       [
-        ("baseline", detector_run ~workload:"heat" ~size:small ~base:8 ~workers:4 `Baseline);
-        ("stint", detector_run ~workload:"heat" ~size:small ~base:8 ~workers:1 `Stint);
-        ("pint", detector_run ~workload:"heat" ~size:small ~base:8 ~workers:4 `Pint);
-        ("cracer", detector_run ~workload:"heat" ~size:small ~base:8 ~workers:4 `Cracer);
+        ("baseline", detector_run ~workload:"heat" ~size:small ~base:8 ~workers:4 "none");
+        ("stint", detector_run ~workload:"heat" ~size:small ~base:8 ~workers:1 "stint");
+        ("pint", detector_run ~workload:"heat" ~size:small ~base:8 ~workers:4 "pint");
+        ("cracer", detector_run ~workload:"heat" ~size:small ~base:8 ~workers:4 "cracer");
       ] );
     ( "fig2:pint-pipeline",
       [
-        ("sort4096/b64", detector_run ~workload:"sort" ~size:4096 ~base:64 ~workers:4 `Pint);
-        ("sort4096/b256", detector_run ~workload:"sort" ~size:4096 ~base:256 ~workers:4 `Pint);
+        ("sort4096/b64", detector_run ~workload:"sort" ~size:4096 ~base:64 ~workers:4 "pint");
+        ("sort4096/b256", detector_run ~workload:"sort" ~size:4096 ~base:256 ~workers:4 "pint");
       ] );
     ( "fig3:strong-scaling",
       [
-        ("mmul/p1", detector_run ~workload:"mmul" ~size:small ~base:8 ~workers:1 `Pint);
-        ("mmul/p8", detector_run ~workload:"mmul" ~size:small ~base:8 ~workers:8 `Pint);
-        ("mmul/p32", detector_run ~workload:"mmul" ~size:small ~base:8 ~workers:32 `Pint);
+        ("mmul/p1", detector_run ~workload:"mmul" ~size:small ~base:8 ~workers:1 "pint");
+        ("mmul/p8", detector_run ~workload:"mmul" ~size:small ~base:8 ~workers:8 "pint");
+        ("mmul/p32", detector_run ~workload:"mmul" ~size:small ~base:8 ~workers:32 "pint");
       ] );
     ( "fig4:weak-scaling",
       [
-        ("heat32/p1", detector_run ~workload:"heat" ~size:32 ~base:8 ~workers:1 `Pint);
-        ("heat64/p4", detector_run ~workload:"heat" ~size:64 ~base:8 ~workers:4 `Pint);
-        ("heat128/p16", detector_run ~workload:"heat" ~size:128 ~base:8 ~workers:16 `Pint);
+        ("heat32/p1", detector_run ~workload:"heat" ~size:32 ~base:8 ~workers:1 "pint");
+        ("heat64/p4", detector_run ~workload:"heat" ~size:64 ~base:8 ~workers:4 "pint");
+        ("heat128/p16", detector_run ~workload:"heat" ~size:128 ~base:8 ~workers:16 "pint");
+      ] );
+    ( "replay:heat48",
+      [
+        ("stint", replay_run "stint");
+        ("pint", replay_run "pint");
+        ("cracer", replay_run "cracer");
       ] );
   ]
 

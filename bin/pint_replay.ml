@@ -1,0 +1,199 @@
+(* pint_replay — capture, inspect, replay and differentially check traces.
+
+   Subcommands:
+     capture   run a workload under an executor and record a trace file
+     stats     print a trace's metadata and summary counts
+     replay    drive one detector from a trace (no workload execution)
+     diff      replay two detectors from the same trace and diff race sets
+
+   Examples:
+     pint_replay capture -w heat -n 32 -b 8 --racy -o heat.trace
+     pint_replay stats heat.trace
+     pint_replay replay heat.trace -d pint
+     pint_replay diff heat.trace --left pint --right stint
+
+   [diff] exits 1 when the detectors disagree — by Theorem 5 the three
+   detectors must report the same deduplicated (earlier, later, kind) race
+   set for any trace, so a non-empty divergence is a detector bug. *)
+
+open Cmdliner
+
+let load_trace path =
+  try Tracefile.load path
+  with
+  | Tracefile.Error msg ->
+      Printf.eprintf "%s: corrupt trace: %s\n" path msg;
+      exit 2
+  | Sys_error msg ->
+      Printf.eprintf "cannot read trace: %s\n" msg;
+      exit 2
+
+let make_detector name =
+  match Systems.make_detector name with
+  | Some ds -> ds
+  | None ->
+      Printf.eprintf "unknown detector %S (%s)\n" name (String.concat "|" Systems.detector_names);
+      exit 2
+
+(* -- capture ------------------------------------------------------------- *)
+
+let capture_cmd =
+  let run workload size base racy exec workers seed detector out =
+    let w =
+      try Registry.find workload
+      with Not_found ->
+        Printf.eprintf "unknown workload %S; available: %s\n" workload
+          (String.concat ", " (List.map (fun w -> w.Workload.name) (Registry.all ())));
+        exit 2
+    in
+    let size = Option.value size ~default:w.Workload.default_size in
+    let base = Option.value base ~default:w.Workload.default_base in
+    let inst =
+      if racy then
+        match w.Workload.racy with
+        | Some f -> f ~size ~base
+        | None ->
+            Printf.eprintf "workload %s has no racy variant\n" workload;
+            exit 2
+      else w.Workload.make ~size ~base
+    in
+    let det, stages = make_detector detector in
+    let meta =
+      [
+        ("workload", workload);
+        ("size", string_of_int size);
+        ("base", string_of_int base);
+        ("racy", string_of_bool racy);
+        ("detector", detector);
+        ("exec", exec);
+        ("seed", string_of_int seed);
+      ]
+    in
+    let driver = Tracefile.capture ~meta ~path:out det.Detector.driver in
+    let strands =
+      match exec with
+      | "seq" ->
+          let r = Seq_exec.run ~driver inst.Workload.run in
+          r.Seq_exec.n_strands
+      | "sim" ->
+          let config = { Sim_exec.default_config with n_workers = workers; seed; stages } in
+          let r = Sim_exec.run ~config ~driver inst.Workload.run in
+          r.Sim_exec.n_strands
+      | "par" ->
+          let config = { Par_exec.n_workers = workers; seed; stages } in
+          let r = Par_exec.run ~config ~driver inst.Workload.run in
+          r.Par_exec.n_strands
+      | e ->
+          Printf.eprintf "unknown executor %S (seq|sim|par)\n" e;
+          exit 2
+    in
+    let races = Detector.races det in
+    Printf.printf "captured %d strand(s) to %s (detector=%s races=%d)\n" strands out detector
+      (List.length races)
+  in
+  let workload = Arg.(value & opt string "sort" & info [ "w"; "workload" ] ~doc:"Benchmark.") in
+  let size = Arg.(value & opt (some int) None & info [ "n"; "size" ] ~doc:"Problem size.") in
+  let base = Arg.(value & opt (some int) None & info [ "b"; "base" ] ~doc:"Base-case size.") in
+  let racy = Arg.(value & flag & info [ "racy" ] ~doc:"Capture the race-injected variant.") in
+  let exec =
+    Arg.(value & opt string "seq" & info [ "e"; "exec" ] ~doc:"Executor: seq, sim or par.")
+  in
+  let workers = Arg.(value & opt int 4 & info [ "p"; "workers" ] ~doc:"Core workers (sim/par).") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed (sim/par).") in
+  let detector =
+    Arg.(
+      value
+      & opt string "none"
+      & info [ "d"; "detector" ] ~doc:"Detector to run during capture (none|stint|cracer|pint).")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file to write.")
+  in
+  Cmd.v
+    (Cmd.info "capture" ~doc:"Run a workload and record its trace")
+    Term.(const run $ workload $ size $ base $ racy $ exec $ workers $ seed $ detector $ out)
+
+(* -- stats --------------------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+
+let stats_cmd =
+  let run path =
+    let t = load_trace path in
+    Printf.printf "trace: %s\n" path;
+    Printf.printf "version: %d\n" t.Tracefile.version;
+    List.iter (fun (k, v) -> Printf.printf "meta %s = %s\n" k v) t.Tracefile.meta;
+    let reads, writes = Tracefile.interval_totals t in
+    Printf.printf "strands: %d\n" (Tracefile.entry_count t);
+    Printf.printf "trace boundaries: %d\n" (Tracefile.boundary_count t);
+    Printf.printf "intervals: %d read, %d write\n" reads writes;
+    Printf.printf "bytes: %d\n" (String.length (Tracefile.to_bytes t))
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print a trace's metadata and counts") Term.(const run $ trace_arg)
+
+(* -- replay -------------------------------------------------------------- *)
+
+let max_report_arg = Arg.(value & opt int 10 & info [ "max-report" ] ~doc:"Races to print.")
+
+let replay_cmd =
+  let run path detector max_report =
+    let t = load_trace path in
+    let det, _ = make_detector detector in
+    let o =
+      try Replay.run t det
+      with Replay.Corrupt msg ->
+        Printf.eprintf "%s: inconsistent trace: %s\n" path msg;
+        exit 2
+    in
+    Printf.printf "replayed %d strand(s) through %s\n" o.Replay.n_strands o.Replay.detector;
+    Printf.printf "races: %d distinct pair(s)\n" (List.length o.Replay.races);
+    List.iteri
+      (fun i r ->
+        if i < max_report then Format.printf "  %a@." Report.pp_race r
+        else if i = max_report then
+          Printf.printf "  ... (%d more)\n" (List.length o.Replay.races - max_report))
+      o.Replay.races;
+    List.iter (fun (k, v) -> Printf.printf "diag %s = %g\n" k v) o.Replay.diagnostics
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Drive one detector from a trace")
+    Term.(
+      const run $ trace_arg
+      $ Arg.(value & opt string "pint" & info [ "d"; "detector" ] ~doc:"none|stint|cracer|pint.")
+      $ max_report_arg)
+
+(* -- diff ---------------------------------------------------------------- *)
+
+let diff_cmd =
+  let run path left right =
+    let t = load_trace path in
+    let dl, _ = make_detector left and dr, _ = make_detector right in
+    let d =
+      try Replay.differential t dl dr
+      with Replay.Corrupt msg ->
+        Printf.eprintf "%s: inconsistent trace: %s\n" path msg;
+        exit 2
+    in
+    if Replay.no_divergence d then Printf.printf "%s: %s and %s agree\n" path left right
+    else begin
+      Printf.printf "%s: %s and %s DIVERGE\n" path left right;
+      Format.printf "%a@." Replay.pp_divergence d;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Replay two detectors from one trace and diff their race sets")
+    Term.(
+      const run $ trace_arg
+      $ Arg.(value & opt string "pint" & info [ "left" ] ~doc:"Left detector.")
+      $ Arg.(value & opt string "stint" & info [ "right" ] ~doc:"Right detector."))
+
+let () =
+  let info =
+    Cmd.info "pint_replay" ~doc:"Capture, replay and differentially check run traces"
+  in
+  exit (Cmd.eval (Cmd.group info [ capture_cmd; stats_cmd; replay_cmd; diff_cmd ]))

@@ -3,13 +3,20 @@
    Examples:
      pint_run --workload sort --detector pint --exec sim --workers 8
      pint_run --workload heat --detector stint --exec seq --racy
-     pint_run --workload mmul --detector cracer --exec par --workers 4 *)
+     pint_run --workload mmul --detector cracer --exec par --workers 4
+     pint_run --workload heat --detector none --exec seq --racy --capture heat.trace
+
+   Exit status: 0 on a clean run, 1 when the outcome contradicts the
+   variant (races on a non---racy run, or no races on a --racy run), 2 on
+   bad usage. *)
 
 open Cmdliner
 
 type exec_kind = Seq | Sim | Par
 
-let run_one workload detector exec workers size base racy seed max_report =
+let exec_name = function Seq -> "seq" | Sim -> "sim" | Par -> "par"
+
+let run_one workload detector exec workers size base racy seed max_report capture =
   let w =
     try Registry.find workload
     with Not_found ->
@@ -28,36 +35,49 @@ let run_one workload detector exec workers size base racy seed max_report =
           exit 2
     else w.Workload.make ~size ~base
   in
-  let pint = if detector = "pint" then Some (Pint_detector.make ()) else None in
-  let det =
-    match detector with
-    | "none" -> Nodetect.make ()
-    | "stint" -> Stint.make ()
-    | "cracer" -> Cracer.make ()
-    | "pint" -> Pint_detector.detector (Option.get pint)
-    | other ->
-        Printf.eprintf "unknown detector %S (none|stint|cracer|pint)\n" other;
+  let det, stages =
+    match Systems.make_detector detector with
+    | Some ds -> ds
+    | None ->
+        Printf.eprintf "unknown detector %S (%s)\n" detector
+          (String.concat "|" Systems.detector_names);
         exit 2
+  in
+  let driver =
+    match capture with
+    | None -> det.Detector.driver
+    | Some path ->
+        let meta =
+          [
+            ("workload", workload);
+            ("size", string_of_int size);
+            ("base", string_of_int base);
+            ("racy", string_of_bool racy);
+            ("detector", detector);
+            ("exec", exec_name exec);
+            ("seed", string_of_int seed);
+          ]
+        in
+        Tracefile.capture ~meta ~path det.Detector.driver
   in
   Printf.printf "workload=%s size=%d base=%d detector=%s racy=%b\n%!" workload size base detector
     racy;
   (match exec with
   | Seq ->
-      let r = Seq_exec.run ~driver:det.Detector.driver inst.Workload.run in
+      let r = Seq_exec.run ~driver inst.Workload.run in
       Printf.printf "executor=seq strands=%d spawns=%d syncs=%d\n" r.Seq_exec.n_strands
         r.Seq_exec.n_spawns r.Seq_exec.n_syncs
   | Sim ->
-      let stages = match pint with Some p -> Pint_detector.stages p | None -> [] in
       let config = { Sim_exec.default_config with n_workers = workers; seed; stages } in
-      let r = Sim_exec.run ~config ~driver:det.Detector.driver inst.Workload.run in
+      let r = Sim_exec.run ~config ~driver inst.Workload.run in
       Printf.printf "executor=sim workers=%d strands=%d steals=%d makespan=%d total=%d\n" workers
         r.Sim_exec.n_strands r.Sim_exec.n_steals r.Sim_exec.makespan r.Sim_exec.total
   | Par ->
-      let stages = match pint with Some p -> Pint_detector.stages p | None -> [] in
       let config = { Par_exec.n_workers = workers; seed; stages } in
-      let r = Par_exec.run ~config ~driver:det.Detector.driver inst.Workload.run in
+      let r = Par_exec.run ~config ~driver inst.Workload.run in
       Printf.printf "executor=par workers=%d strands=%d steals=%d elapsed=%.3fs\n" workers
         r.Par_exec.n_strands r.Par_exec.n_steals r.Par_exec.elapsed_s);
+  (match capture with Some path -> Printf.printf "trace captured to %s\n" path | None -> ());
   let races = Detector.races det in
   Printf.printf "result check: %s\n" (if inst.Workload.check () then "PASS" else "FAIL (racy run?)");
   Printf.printf "races: %d distinct pair(s)\n" (List.length races);
@@ -67,7 +87,10 @@ let run_one workload detector exec workers size base racy seed max_report =
       else if i = max_report then
         Printf.printf "  ... (%d more)\n" (List.length races - max_report))
     races;
-  if racy && races = [] then exit 1
+  (* the exit code carries the detection signal: races on a supposedly
+     race-free run (or a racy variant the detector missed) fail the run *)
+  if racy && races = [] then exit 1;
+  if (not racy) && races <> [] then exit 1
 
 let workload_arg =
   Arg.(value & opt string "sort" & info [ "w"; "workload" ] ~doc:"Benchmark to run.")
@@ -84,10 +107,16 @@ let racy_arg = Arg.(value & flag & info [ "racy" ] ~doc:"Run the race-injected v
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.")
 let max_report_arg = Arg.(value & opt int 10 & info [ "max-report" ] ~doc:"Races to print.")
 
+let capture_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "capture" ] ~docv:"FILE" ~doc:"Record the run to a trace file (see pint_replay).")
+
 let () =
   let term =
     Term.(
       const run_one $ workload_arg $ detector_arg $ exec_arg $ workers_arg $ size_arg $ base_arg
-      $ racy_arg $ seed_arg $ max_report_arg)
+      $ racy_arg $ seed_arg $ max_report_arg $ capture_arg)
   in
   exit (Cmd.eval (Cmd.v (Cmd.info "pint_run" ~doc:"Run a benchmark under a race detector") term))

@@ -12,6 +12,7 @@ let make ?(shards = 64) () =
   let driver (ctx : Hooks.ctx) =
     let sp = ctx.sp in
     let map = Array.init shards (fun _ -> { lock = Mutex.create (); tbl = Hashtbl.create 1024 }) in
+    let coals = Array.init ctx.n_workers (fun _ -> Coalescer.create ()) in
     let accesses = Atomic.make 0 in
     let shard_of addr = map.(addr land (shards - 1)) in
     let with_cell addr f =
@@ -28,15 +29,44 @@ let make ?(shards = 64) () =
       f cell;
       Mutex.unlock sh.lock
     in
+    (* check-only accessor: no cell is materialized for an address the
+       history has never seen *)
+    let peek_cell addr f =
+      let sh = shard_of addr in
+      Mutex.lock sh.lock;
+      (match Hashtbl.find_opt sh.tbl addr with Some c -> f c | None -> ());
+      Mutex.unlock sh.lock
+    in
     let racy prior current = Policies.race sp ~prior ~current in
     let point a = Interval.point a in
-    let read1 s a =
-      with_cell a (fun c ->
-          (match c.w with
+    let check_read s a =
+      peek_cell a (fun c ->
+          match c.w with
           | Some w when racy w s ->
               Report.add report Report.Write_read ~prior:(Sp_order.id w) ~current:(Sp_order.id s)
                 (point a)
+          | _ -> ())
+    in
+    let check_write s a =
+      peek_cell a (fun c ->
+          (match c.w with
+          | Some w when racy w s ->
+              Report.add report Report.Write_write ~prior:(Sp_order.id w) ~current:(Sp_order.id s)
+                (point a)
           | _ -> ());
+          (match c.lr with
+          | Some r when racy r s ->
+              Report.add report Report.Read_write ~prior:(Sp_order.id r) ~current:(Sp_order.id s)
+                (point a)
+          | _ -> ());
+          match c.rr with
+          | Some r when racy r s ->
+              Report.add report Report.Read_write ~prior:(Sp_order.id r) ~current:(Sp_order.id s)
+                (point a)
+          | _ -> ())
+    in
+    let update_read s a =
+      with_cell a (fun c ->
           (match c.lr with
           | None -> c.lr <- Some s
           | Some r -> (
@@ -50,25 +80,7 @@ let make ?(shards = 64) () =
               | `Replace -> c.rr <- Some s
               | `Keep -> ()))
     in
-    let write1 s a =
-      with_cell a (fun c ->
-          (match c.w with
-          | Some w when racy w s ->
-              Report.add report Report.Write_write ~prior:(Sp_order.id w) ~current:(Sp_order.id s)
-                (point a)
-          | _ -> ());
-          (match c.lr with
-          | Some r when racy r s ->
-              Report.add report Report.Read_write ~prior:(Sp_order.id r) ~current:(Sp_order.id s)
-                (point a)
-          | _ -> ());
-          (match c.rr with
-          | Some r when racy r s ->
-              Report.add report Report.Read_write ~prior:(Sp_order.id r) ~current:(Sp_order.id s)
-                (point a)
-          | _ -> ());
-          c.w <- Some s)
-    in
+    let update_write s a = with_cell a (fun c -> c.w <- Some s) in
     let clear_range base len =
       for a = base to base + len - 1 do
         let sh = shard_of a in
@@ -77,26 +89,49 @@ let make ?(shards = 64) () =
         Mutex.unlock sh.lock
       done
     in
+    (* Strand-atomic processing at strand finish: all of the strand's
+       coalesced accesses are checked against the pre-strand cells before
+       any cell is updated, so a strand's own reads/writes never shadow the
+       older readers and writers its accesses actually race with.  This is
+       the same contract STINT and PINT follow — it is what aligns the three
+       detectors' deduplicated race sets (Theorem 5). *)
+    let iter_addrs ivs f =
+      Array.iter
+        (fun (iv : Interval.t) ->
+          for a = iv.Interval.lo to iv.Interval.hi do
+            f a
+          done)
+        ivs
+    in
+    let process (u : Srec.t) =
+      let s = u.Srec.sp in
+      iter_addrs u.reads (check_read s);
+      iter_addrs u.writes (check_write s);
+      iter_addrs u.reads (update_read s);
+      iter_addrs u.writes (update_write s);
+      List.iter (fun (b, l) -> clear_range b l) u.clears;
+      u.clears <- [];
+      List.iter
+        (fun (b, l) ->
+          clear_range b l;
+          Aspace.heap_free ctx.aspace ~base:b ~len:l)
+        u.frees
+    in
     let sink ~wid =
+      let coal = coals.(wid) in
       {
         Access.on_read =
           (fun ~addr ~len ->
-            let s = (ctx.current ~wid).Srec.sp in
             ignore (Atomic.fetch_and_add accesses len);
-            for a = addr to addr + len - 1 do
-              read1 s a
-            done);
+            Coalescer.add_read coal ~addr ~len);
         on_write =
           (fun ~addr ~len ->
-            let s = (ctx.current ~wid).Srec.sp in
             ignore (Atomic.fetch_and_add accesses len);
-            for a = addr to addr + len - 1 do
-              write1 s a
-            done);
+            Coalescer.add_write coal ~addr ~len);
         on_free =
           (fun ~base ~len ->
-            clear_range base len;
-            Aspace.heap_free ctx.aspace ~base ~len);
+            let u = ctx.current ~wid in
+            u.frees <- (base, len) :: u.frees);
         on_compute = (fun ~amount:_ -> ());
       }
     in
@@ -104,10 +139,11 @@ let make ?(shards = 64) () =
       Hooks.sink;
       on_start = (fun ~wid:_ _ _ -> ());
       on_finish =
-        (fun ~wid:_ (u : Srec.t) _kind ->
-          (* stack-frame ranges popped during this strand die now *)
-          List.iter (fun (b, l) -> clear_range b l) u.clears;
-          u.clears <- []);
+        (fun ~wid (u : Srec.t) _kind ->
+          let reads, writes = Coalescer.finish coals.(wid) in
+          u.Srec.reads <- reads;
+          u.Srec.writes <- writes;
+          process u);
       on_done = (fun () -> diags := [ ("accesses", float_of_int (Atomic.get accesses)) ]);
     }
   in

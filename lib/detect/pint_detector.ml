@@ -320,7 +320,7 @@ let reader_steps t =
    multi-domain executor gives each its own domain, [drain] round-robins
    them), so the per-stage metrics accumulate in one place regardless of
    who drives the pipeline. *)
-let default_step_cost visits = 100 + (5 * visits)
+let default_step_cost ~records ~visits = (100 * records) + (5 * visits)
 
 let stages ?(cost = default_step_cost) t =
   let all =

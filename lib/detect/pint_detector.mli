@@ -55,7 +55,7 @@ val detector : t -> Detector.t
     their per-stage metrics appear in [Detector.diagnostics] (keys
     [stage.<name>.<counter>], plus [writer_stalls] and the achieved
     [ahq_batch] size). *)
-val stages : ?cost:(int -> int) -> t -> Stage.t list
+val stages : ?cost:(records:int -> visits:int -> int) -> t -> Stage.t list
 
 (** One writer-treap-worker step (exposed for tests and custom drivers). *)
 val writer_step : t -> Step.t

@@ -6,7 +6,8 @@ let make ?(seed = 2022) () =
     let sp = ctx.sp in
     let owner_eq = ( == ) in
     let writer = Itreap.create ~seed ~owner_eq () in
-    let reader = Itreap.create ~seed:(seed + 1) ~owner_eq () in
+    let lreader = Itreap.create ~seed:(seed + 1) ~owner_eq () in
+    let rreader = Itreap.create ~seed:(seed + 101) ~owner_eq () in
     let coal = Coalescer.create () in
     let strands = ref 0 in
     let intervals = ref 0 and work = ref 0 and raw_events = ref 0 in
@@ -16,32 +17,42 @@ let make ?(seed = 2022) () =
             Report.add report kind ~prior:(Sp_order.id prior) ~current:(Sp_order.id s)
               (Interval.inter seg iv))
     in
-    let clear_both iv =
+    let clear_all iv =
       Itreap.clear_range writer iv;
-      Itreap.clear_range reader iv
+      Itreap.clear_range lreader iv;
+      Itreap.clear_range rreader iv
     in
+    (* Strand-atomic processing: every access of the strand is checked
+       against the pre-strand history, then the history is updated — a
+       strand's own accesses never shadow older readers/writers from the
+       checks (accesses within one strand cannot race).  This is the same
+       contract PINT's pipeline stages follow, which is what makes the
+       deduplicated race sets of the two detectors coincide (Theorem 5). *)
     let process (u : Srec.t) =
       incr strands;
       intervals := !intervals + Array.length u.reads + Array.length u.writes;
       work := !work + u.work;
       raw_events := !raw_events + u.raw_reads + u.raw_writes;
       let s = u.sp in
-      Array.iter
-        (fun r ->
-          check writer Report.Write_read r s;
-          Itreap.insert_merge reader r s ~keep:(fun ~incumbent ->
-              Policies.keep_leftmost sp ~s ~incumbent))
-        u.reads;
+      Array.iter (fun r -> check writer Report.Write_read r s) u.reads;
       Array.iter
         (fun w ->
           check writer Report.Write_write w s;
-          check reader Report.Read_write w s;
-          Itreap.insert_replace writer w s)
+          check lreader Report.Read_write w s;
+          check rreader Report.Read_write w s)
         u.writes;
-      List.iter (fun (b, l) -> clear_both (Interval.make b (b + l - 1))) u.clears;
+      Array.iter
+        (fun r ->
+          Itreap.insert_merge lreader r s ~keep:(fun ~incumbent ->
+              Policies.keep_leftmost sp ~s ~incumbent);
+          Itreap.insert_merge rreader r s ~keep:(fun ~incumbent ->
+              Policies.keep_rightmost sp ~s ~incumbent))
+        u.reads;
+      Array.iter (fun w -> Itreap.insert_replace writer w s) u.writes;
+      List.iter (fun (b, l) -> clear_all (Interval.make b (b + l - 1))) u.clears;
       List.iter
         (fun (b, l) ->
-          clear_both (Interval.make b (b + l - 1));
+          clear_all (Interval.make b (b + l - 1));
           Aspace.heap_free ctx.aspace ~base:b ~len:l)
         u.frees
     in
@@ -65,8 +76,9 @@ let make ?(seed = 2022) () =
           process u);
       on_done =
         (fun () ->
-          let fast = Itreap.fastpath_hits writer + Itreap.fastpath_hits reader in
-          let slow = Itreap.slowpath_hits writer + Itreap.slowpath_hits reader in
+          let sum3 f = f writer + f lreader + f rreader in
+          let fast = sum3 Itreap.fastpath_hits in
+          let slow = sum3 Itreap.slowpath_hits in
           diags :=
             [
               ("strands", float_of_int !strands);
@@ -74,14 +86,13 @@ let make ?(seed = 2022) () =
               ("work", float_of_int !work);
               ("raw_events", float_of_int !raw_events);
               ("writer_visits", float_of_int (Itreap.visits writer));
-              ("reader_visits", float_of_int (Itreap.visits reader));
+              ("reader_visits", float_of_int (Itreap.visits lreader + Itreap.visits rreader));
               ("writer_size", float_of_int (Itreap.size writer));
-              ("reader_size", float_of_int (Itreap.size reader));
+              ("reader_size", float_of_int (Itreap.size lreader + Itreap.size rreader));
               ("fastpath_hits", float_of_int fast);
               ("slowpath_hits", float_of_int slow);
               ("fastpath_rate", float_of_int fast /. float_of_int (max 1 (fast + slow)));
-              ( "scratch_reuse",
-                float_of_int (Itreap.scratch_reuse writer + Itreap.scratch_reuse reader) );
+              ("scratch_reuse", float_of_int (sum3 Itreap.scratch_reuse));
               ("coal_sort_skips", float_of_int (fst (Coalescer.sort_stats coal)));
               ("coal_sorts", float_of_int (snd (Coalescer.sort_stats coal)));
             ]);

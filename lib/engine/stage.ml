@@ -9,16 +9,18 @@ type metrics = {
 type t = {
   name : string;
   step : unit -> Step.t;
-  cost : int -> int;
+  cost : records:int -> visits:int -> int;
   metrics : metrics;
 }
 
 let fresh_metrics () = { steps = 0; records = 0; visits = 0; idles = 0; stalls = 0 }
 
-let make ~name ?(cost = Fun.id) step = { name; step; cost; metrics = fresh_metrics () }
+let default_cost ~records:_ ~visits = visits
+
+let make ~name ?(cost = default_cost) step = { name; step; cost; metrics = fresh_metrics () }
 
 let name t = t.name
-let cost t v = t.cost v
+let cost t ~records ~visits = t.cost ~records ~visits
 let metrics t = t.metrics
 
 let reset_metrics t =

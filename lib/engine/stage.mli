@@ -26,15 +26,18 @@ type metrics = {
 
 type t
 
-(** [make ~name ?cost step] — [cost] converts a step's visit count into
-    scheduler-specific cost units (virtual cycles for the simulator);
-    defaults to the identity. *)
-val make : name:string -> ?cost:(int -> int) -> (unit -> Step.t) -> t
+(** [make ~name ?cost step] — [cost] converts a step's outcome into
+    scheduler-specific cost units (virtual cycles for the simulator).  It
+    sees both the records consumed and the visit payload so that per-record
+    constants are charged per record, not per step — a batched step that
+    consumes [n] records must not amortize away work that is inherently
+    per-record.  Defaults to [fun ~records:_ ~visits -> visits]. *)
+val make : name:string -> ?cost:(records:int -> visits:int -> int) -> (unit -> Step.t) -> t
 
 val name : t -> string
 
-(** Apply the stage's cost hook to a visit count. *)
-val cost : t -> int -> int
+(** Apply the stage's cost hook to a step outcome. *)
+val cost : t -> records:int -> visits:int -> int
 
 val metrics : t -> metrics
 val reset_metrics : t -> unit

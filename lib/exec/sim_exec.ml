@@ -371,7 +371,8 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
             progressed
           end
           else if Step.progressed st then begin
-            a.s_clock <- a.s_clock + Stage.cost a.stage (Step.visits st);
+            a.s_clock <-
+              a.s_clock + Stage.cost a.stage ~records:(Step.records st) ~visits:(Step.visits st);
             true
           end
           else progressed

@@ -55,7 +55,8 @@ let pint_core_cost m u kind = stint_core_cost m u kind + m.c_trace_push
 
 let cracer_core_cost m u kind = base_cost m u kind + (m.c_hash_word * u.Srec.work)
 
-let treap_step_cost m visits = m.c_treap_strand + (m.c_treap_visit * visits)
+let treap_step_cost m ~records ~visits =
+  (m.c_treap_strand * records) + (m.c_treap_visit * visits)
 
 let treap_time m ~visits ~strands ~treaps =
   (float_of_int m.c_treap_visit *. visits)

@@ -49,8 +49,10 @@ val stint_core_cost : t -> Srec.t -> Events.finish_kind -> int
 val pint_core_cost : t -> Srec.t -> Events.finish_kind -> int
 val cracer_core_cost : t -> Srec.t -> Events.finish_kind -> int
 
-(** Treap-worker step cost from a step's node-visit count. *)
-val treap_step_cost : t -> int -> int
+(** Treap-worker step cost from a step's record and node-visit counts.
+    Charged per record so a batched step cannot amortize the per-strand
+    constant [c_treap_strand]. *)
+val treap_step_cost : t -> records:int -> visits:int -> int
 
 (** Synchronous (serial) access-history cost from detector diagnostics:
     [treap_time model ~visits ~strands ~treaps]. *)

@@ -6,6 +6,29 @@ let system_name = function
   | Pint_sys -> "pint"
   | Cracer_sys -> "cracer"
 
+let detector_names = [ "none"; "stint"; "cracer"; "pint" ]
+
+let make_detector ?seed ?(shards = 1) ?stage_cost name =
+  match name with
+  | "none" -> Some (Nodetect.make (), [])
+  | "stint" ->
+      let d = match seed with Some s -> Stint.make ~seed:s () | None -> Stint.make () in
+      Some (d, [])
+  | "cracer" -> Some (Cracer.make (), [])
+  | "pint" ->
+      let p =
+        match seed with
+        | Some s -> Pint_detector.make ~seed:s ~reader_shards:shards ()
+        | None -> Pint_detector.make ~reader_shards:shards ()
+      in
+      let stages =
+        match stage_cost with
+        | Some cost -> Pint_detector.stages ~cost p
+        | None -> Pint_detector.stages p
+      in
+      Some (Pint_detector.detector p, stages)
+  | _ -> None
+
 type measurement = {
   system : string;
   workload : string;
@@ -66,21 +89,25 @@ let run ?(model = Cost_model.default) ?(seed = 2022) ?(shards = 1) ~(workload : 
   in
   match system with
   | Base ->
-      let d = Nodetect.make () in
+      let d, _ = Option.get (make_detector "none") in
       let config = mk_config (Cost_model.base_cost model) [] workers in
       let r = Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run in
       finishup ~det:None ~sim_res:r
         ~time:(float_of_int r.Sim_exec.makespan)
         ~writer_time:0. ~lreader_time:0. ~rreader_time:0.
   | Cracer_sys ->
-      let d = Cracer.make () in
+      let d, _ = Option.get (make_detector "cracer") in
       let config = mk_config (Cost_model.cracer_core_cost model) [] workers in
       let r = Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run in
       finishup ~det:(Some d) ~sim_res:r
         ~time:(float_of_int r.Sim_exec.makespan)
         ~writer_time:0. ~lreader_time:0. ~rreader_time:0.
   | Stint_sys ->
-      let d = Stint.make () in
+      (* same treap seeds as the PINT run below: STINT now maintains the
+         same three treap roles, and matching priorities keep the two
+         systems' visit counts comparable instead of diverging on treap
+         shape noise *)
+      let d, _ = Option.get (make_detector ~seed:(seed + 7) "stint") in
       let config = mk_config (Cost_model.stint_core_cost model) [] 1 in
       let r = Sim_exec.run ~config ~driver:d.Detector.driver inst.Workload.run in
       d.Detector.drain ();
@@ -91,15 +118,17 @@ let run ?(model = Cost_model.default) ?(seed = 2022) ?(shards = 1) ~(workload : 
       let treap =
         Cost_model.treap_time model
           ~visits:(diag "writer_visits" +. diag "reader_visits")
-          ~strands:(diag "strands") ~treaps:2
+          ~strands:(diag "strands") ~treaps:3
       in
       finishup ~det:(Some d) ~sim_res:r
         ~time:(float_of_int r.Sim_exec.makespan +. treap)
         ~writer_time:0. ~lreader_time:0. ~rreader_time:0.
   | Pint_sys ->
-      let p = Pint_detector.make ~seed:(seed + 7) ~reader_shards:shards () in
-      let det = Pint_detector.detector p in
-      let stages = Pint_detector.stages ~cost:(Cost_model.treap_step_cost model) p in
+      let det, stages =
+        Option.get
+          (make_detector ~seed:(seed + 7) ~shards
+             ~stage_cost:(Cost_model.treap_step_cost model) "pint")
+      in
       let config = mk_config (Cost_model.pint_core_cost model) stages workers in
       let r = Sim_exec.run ~config ~driver:det.Detector.driver inst.Workload.run in
       let w = stage_clock r "writer" in

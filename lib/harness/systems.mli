@@ -15,6 +15,29 @@ type system = Base | Stint_sys | Pint_sys | Cracer_sys
 
 val system_name : system -> string
 
+(** The detector names {!make_detector} accepts, in canonical order. *)
+val detector_names : string list
+
+(** [make_detector ?seed ?shards ?stage_cost name] — the one place a
+    detector is constructed from its command-line name ([none], [stint],
+    [cracer] or [pint]); shared by [pint_run], [pint_replay] and the bench
+    harness so the selection logic cannot drift.
+
+    Returns the detector handle together with the pipeline stages an
+    executor must drive for it — empty for the synchronous detectors, the
+    writer + reader treap-worker stages for PINT (the same {!Stage.t} values
+    the detector's own [drain] falls back to, so metrics accumulate in one
+    place no matter who steps them).  [seed] defaults to each detector's own
+    default; [shards] (PINT only) selects §VI address-sharded readers;
+    [stage_cost] (PINT only) prices a stage step for the virtual-time
+    simulator.  [None] for an unknown name. *)
+val make_detector :
+  ?seed:int ->
+  ?shards:int ->
+  ?stage_cost:(records:int -> visits:int -> int) ->
+  string ->
+  (Detector.t * Stage.t list) option
+
 type measurement = {
   system : string;
   workload : string;

@@ -1,0 +1,186 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type outcome = {
+  detector : string;
+  n_strands : int;
+  races : Report.race list;
+  diagnostics : (string * float) list;
+}
+
+(* One open sync block.  The executors keep a per-scope frame and
+   save/restore it around [Fj.scope]; scope entry/exit is not a strand
+   boundary, so it is invisible in the trace.  What the trace does record is
+   which sync record every spawn and sync links to ([b_uid] below, the sync's
+   uid in the original run) — and since blocks close innermost-first, a stack
+   keyed by those links reconstructs the scope nesting exactly.  [b_sp] is
+   mutable because every non-first spawn of a block refreshes the sync
+   strand's position in the order maintenance structure. *)
+type block = { mutable b_sp : Sp_order.strand; b_rec : Srec.t; b_uid : int }
+
+let drive ?aspace (tf : Tracefile.t) (driver : Hooks.driver) =
+  let aspace = match aspace with Some a -> a | None -> Aspace.create () in
+  let by_uid = Hashtbl.create (max 16 (Tracefile.entry_count tf)) in
+  Array.iter (fun (e : Tracefile.entry) -> Hashtbl.replace by_uid e.Tracefile.uid e) tf.Tracefile.entries;
+  let entry uid =
+    match Hashtbl.find_opt by_uid uid with
+    | Some e -> e
+    | None -> corrupt "trace links to unknown strand uid %d" uid
+  in
+  let sp, root_sp = Sp_order.create () in
+  let next_uid = ref 0 in
+  let fresh s =
+    incr next_uid;
+    Srec.make ~uid:!next_uid s
+  in
+  let root_rec = fresh root_sp in
+  let cur = ref root_rec in
+  let ctx = { Hooks.aspace; sp; n_workers = 1; current = (fun ~wid:_ -> !cur) } in
+  let hooks = driver ctx in
+  let sink = hooks.Hooks.sink ~wid:0 in
+  (* Push one strand's recorded effects through the detector: accesses go
+     through the sink (so sink-level detectors and coalescers see the run),
+     ledgers and executor-side fields are restored on the record directly.
+     The record's interval sets are pre-filled too — detectors that coalesce
+     in their own sink will overwrite them with identical arrays, detectors
+     that don't (the baseline) still leave a fully-populated record. *)
+  let feed (e : Tracefile.entry) (r : Srec.t) =
+    Array.iter
+      (fun (iv : Interval.t) ->
+        sink.Access.on_read ~addr:iv.Interval.lo ~len:(iv.Interval.hi - iv.Interval.lo + 1))
+      e.Tracefile.reads;
+    Array.iter
+      (fun (iv : Interval.t) ->
+        sink.Access.on_write ~addr:iv.Interval.lo ~len:(iv.Interval.hi - iv.Interval.lo + 1))
+      e.Tracefile.writes;
+    if e.Tracefile.compute > 0 then sink.Access.on_compute ~amount:e.Tracefile.compute;
+    List.iter
+      (fun (b, l) ->
+        (* make the recorded free replayable on this (fresh) address space *)
+        Aspace.reserve aspace ~base:b ~len:l;
+        sink.Access.on_free ~base:b ~len:l)
+      e.Tracefile.frees;
+    r.Srec.reads <- e.Tracefile.reads;
+    r.Srec.writes <- e.Tracefile.writes;
+    r.Srec.raw_reads <- e.Tracefile.raw_reads;
+    r.Srec.raw_writes <- e.Tracefile.raw_writes;
+    r.Srec.work <- e.Tracefile.work;
+    r.Srec.compute <- e.Tracefile.compute;
+    r.Srec.clears <- e.Tracefile.clears;
+    r.Srec.finished_at <- e.Tracefile.finished_at;
+    r.Srec.cost <- e.Tracefile.cost
+  in
+  (* Canonical depth-first walk.  [chain] replays the strand [e] as record
+     [r], then follows the recorded DAG: a spawn recurses into the child
+     scope and tail-continues with the continuation; a sync pass
+     tail-continues with the block's sync strand; a return (or the root's
+     final strand) ends the chain.  Stolen/trivial flags from the capture
+     schedule are deliberately dropped — replay is the serial elision. *)
+  let rec chain (e : Tracefile.entry) (r : Srec.t) (start : Events.start_kind)
+      (blocks : block list ref) ~(parent_sync : Srec.t option) =
+    cur := r;
+    hooks.Hooks.on_start ~wid:0 r start;
+    feed e r;
+    match e.Tracefile.finish with
+    | Tracefile.Spawn { cont; sync; child; first } ->
+        let sync_pre, open_block =
+          if first then (None, None)
+          else
+            match !blocks with
+            | top :: _ ->
+                if top.b_uid <> sync then
+                  corrupt "strand %d: spawn links sync %d but the open block's sync is %d"
+                    e.Tracefile.uid sync top.b_uid;
+                (Some top.b_sp, Some top)
+            | [] -> corrupt "strand %d: non-first spawn with no open sync block" e.Tracefile.uid
+        in
+        let child_sp, cont_sp, sync_sp = Sp_order.spawn sp ~sync_pre r.Srec.sp in
+        let cont_rec = fresh cont_sp in
+        let sync_rec =
+          match open_block with
+          | Some b ->
+              b.b_sp <- sync_sp;
+              b.b_rec
+          | None ->
+              let sr = fresh sync_sp in
+              blocks := { b_sp = sync_sp; b_rec = sr; b_uid = sync } :: !blocks;
+              sr
+        in
+        Book.at_spawn ~u:r ~cont:cont_rec ~sync:sync_rec ~first;
+        hooks.Hooks.on_finish ~wid:0 r
+          (Events.F_spawn { cont = cont_rec; sync = sync_rec; first_of_block = first });
+        let child_sr = fresh child_sp in
+        chain (entry child) child_sr Events.S_child (ref []) ~parent_sync:(Some sync_rec);
+        chain (entry cont) cont_rec (Events.S_cont { stolen = false }) blocks ~parent_sync
+    | Tracefile.Sync { trivial = _; sync } ->
+        let top, rest =
+          match !blocks with
+          | top :: rest -> (top, rest)
+          | [] -> corrupt "strand %d: sync finish with no open sync block" e.Tracefile.uid
+        in
+        if top.b_uid <> sync then
+          corrupt "strand %d: sync finish links sync %d but the open block's sync is %d"
+            e.Tracefile.uid sync top.b_uid;
+        hooks.Hooks.on_finish ~wid:0 r (Events.F_sync { trivial = true; sync = top.b_rec });
+        blocks := rest;
+        chain (entry sync) top.b_rec (Events.S_after_sync { trivial = true }) blocks ~parent_sync
+    | Tracefile.Return _ ->
+        if !blocks <> [] then corrupt "strand %d: return with %d open sync block(s)"
+            e.Tracefile.uid (List.length !blocks);
+        hooks.Hooks.on_finish ~wid:0 r (Events.F_return { cont_stolen = false; parent_sync })
+    | Tracefile.Root ->
+        if !blocks <> [] then corrupt "strand %d: root finish with %d open sync block(s)"
+            e.Tracefile.uid (List.length !blocks);
+        hooks.Hooks.on_finish ~wid:0 r Events.F_root
+  in
+  let root_entry = try Tracefile.root tf with Tracefile.Error m -> raise (Corrupt m) in
+  (try chain root_entry root_rec Events.S_root (ref []) ~parent_sync:None
+   with Tracefile.Error m -> raise (Corrupt m));
+  hooks.Hooks.on_done ();
+  if !next_uid <> Tracefile.entry_count tf then
+    corrupt "replay visited %d strands but the trace holds %d" !next_uid
+      (Tracefile.entry_count tf);
+  !next_uid
+
+let run ?aspace tf (d : Detector.t) =
+  let n = drive ?aspace tf d.Detector.driver in
+  d.Detector.drain ();
+  {
+    detector = d.Detector.name;
+    n_strands = n;
+    races = Report.races d.Detector.report;
+    diagnostics = d.Detector.diagnostics ();
+  }
+
+(* ------------------------------------------------------------ differential *)
+
+type divergence = { left_only : Report.race list; right_only : Report.race list }
+
+let no_divergence d = d.left_only = [] && d.right_only = []
+
+let key (r : Report.race) = (r.Report.kind, r.Report.prior, r.Report.current)
+
+let diff_races a b =
+  let tbl_of l =
+    let t = Hashtbl.create 64 in
+    List.iter (fun r -> Hashtbl.replace t (key r) ()) l;
+    t
+  in
+  let ta = tbl_of a and tb = tbl_of b in
+  {
+    left_only = List.filter (fun r -> not (Hashtbl.mem tb (key r))) a;
+    right_only = List.filter (fun r -> not (Hashtbl.mem ta (key r))) b;
+  }
+
+let differential tf da db =
+  let oa = run tf da in
+  let ob = run tf db in
+  diff_races oa.races ob.races
+
+let pp_divergence fmt d =
+  if no_divergence d then Format.fprintf fmt "race sets agree"
+  else begin
+    List.iter (fun r -> Format.fprintf fmt "< %a@." Report.pp_race r) d.left_only;
+    List.iter (fun r -> Format.fprintf fmt "> %a@." Report.pp_race r) d.right_only
+  end

@@ -1,0 +1,65 @@
+(** Deterministic offline replay: drive any detector from a persisted trace.
+
+    Replay reconstructs the run's strand DAG from a {!Tracefile.t} and pushes
+    it through the {!Hooks} contract exactly as the sequential executor
+    would, without re-executing any workload code: [Sp_order] is rebuilt by
+    re-issuing the spawn protocol in canonical depth-first order, fresh
+    [Srec]s are filled from the recorded interval sets, and every boundary
+    event fires with Algorithm-1 bookkeeping applied.
+
+    Canonicalization: whatever schedule produced the capture, replay
+    linearizes it to the sequential (serial-elision) order — continuations
+    are never stolen, every sync is trivial, and strand/sp ids are assigned
+    in depth-first creation order.  By the paper's Theorem 5 the detectors'
+    deduplicated race sets are invariant under this re-scheduling, which is
+    what makes traces diffable artifacts: a trace captured under [par] and
+    replayed serially must report the same races as a live sequential run of
+    the same program (modulo address-layout differences the schedule itself
+    introduces — racy workload accesses live on the schedule-independent
+    heap prefix).
+
+    Replay is single-threaded and deterministic: replaying the same trace
+    twice through the same detector yields identical race sets and
+    identical diagnostics. *)
+
+exception Corrupt of string
+
+(** Replay summary for one detector. *)
+type outcome = {
+  detector : string;
+  n_strands : int;  (** strands replayed (= trace entries) *)
+  races : Report.race list;  (** deduplicated, ordered (see {!Report.races}) *)
+  diagnostics : (string * float) list;
+}
+
+(** [drive ?aspace trace driver] — low-level: replay the trace through a raw
+    hook driver (fires [on_start]/sink/[on_finish] per strand, then
+    [on_done]).  Returns the number of strands replayed.  [aspace] defaults
+    to a fresh address space; recorded frees are {!Aspace.reserve}d before
+    being forwarded so the detectors' deferred-free handling runs as live.
+    @raise Corrupt if the trace's DAG links are inconsistent. *)
+val drive : ?aspace:Aspace.t -> Tracefile.t -> Hooks.driver -> int
+
+(** [run ?aspace trace det] — replay through a detector instance and drain
+    its pipeline.  The detector must be fresh (one instance per replay). *)
+val run : ?aspace:Aspace.t -> Tracefile.t -> Detector.t -> outcome
+
+(** {2 Differential detection} *)
+
+(** Races present in exactly one of two outcomes, compared at the Theorem-5
+    granularity (kind, earlier strand, later strand) — witness intervals are
+    ignored, since detectors legitimately report different witnesses for the
+    same racing pair. *)
+type divergence = { left_only : Report.race list; right_only : Report.race list }
+
+val no_divergence : divergence -> bool
+
+(** [diff_races a b] — symmetric difference at (kind, prior, current). *)
+val diff_races : Report.race list -> Report.race list -> divergence
+
+(** [differential trace detA detB] — replay the same trace through two fresh
+    detectors (each on its own fresh address space) and diff their race
+    sets. *)
+val differential : Tracefile.t -> Detector.t -> Detector.t -> divergence
+
+val pp_divergence : Format.formatter -> divergence -> unit

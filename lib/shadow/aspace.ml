@@ -7,6 +7,7 @@ type stack = { region_base : int; region_words : int; frames : frame Vec.t; muta
 type heap = {
   mutable free : (int * int) list; (* (base, len), sorted by base, coalesced *)
   allocated : (int, int) Hashtbl.t; (* base -> len *)
+  pending : (int, int) Hashtbl.t; (* base -> extra reserved lifetimes, see [reserve] *)
   mutable brk : int;
   mutable live_words : int;
 }
@@ -36,7 +37,14 @@ let create ?(max_workers = 64) ?(stack_words = 1 lsl 20) ?(heap_words = 0) () =
     workers = max_workers;
     stack_words;
     stacks;
-    heap = { free = []; allocated = Hashtbl.create 256; brk = heap_base; live_words = 0 };
+    heap =
+      {
+        free = [];
+        allocated = Hashtbl.create 256;
+        pending = Hashtbl.create 8;
+        brk = heap_base;
+        live_words = 0;
+      };
     heap_base;
     lock = Mutex.create ();
   }
@@ -74,9 +82,17 @@ let heap_free t ~base ~len =
   with_lock t (fun () ->
       let h = t.heap in
       (match Hashtbl.find_opt h.allocated base with
-      | Some l when l = len -> Hashtbl.remove h.allocated base
-      | Some l -> failwith (Printf.sprintf "Aspace.heap_free: block %d has length %d, not %d" base l len)
+      | Some l when l <> len ->
+          failwith (Printf.sprintf "Aspace.heap_free: block %d has length %d, not %d" base l len)
+      | Some _ -> ()
       | None -> failwith (Printf.sprintf "Aspace.heap_free: no live block at %d" base));
+      match Hashtbl.find_opt h.pending base with
+      | Some n ->
+          (* a nested reserved lifetime: this free closes the oldest one; the
+             block stays live for the lifetime(s) reserved on top of it *)
+          if n = 1 then Hashtbl.remove h.pending base else Hashtbl.replace h.pending base (n - 1)
+      | None ->
+      Hashtbl.remove h.allocated base;
       h.live_words <- h.live_words - len;
       (* insert sorted, then coalesce adjacent blocks *)
       let rec insert = function
@@ -92,6 +108,43 @@ let heap_free t ~base ~len =
         | [] -> []
       in
       h.free <- coalesce (insert h.free))
+
+let reserve t ~base ~len =
+  if len <= 0 then invalid_arg "Aspace.reserve: len must be positive";
+  with_lock t (fun () ->
+      let h = t.heap in
+      match Hashtbl.find_opt h.allocated base with
+      | Some l when l = len ->
+          (* Already live with the same extent: a replayed trace can record
+             two lifetimes of one base back-to-back (the capture run recycled
+             eagerly) while the consumer frees lazily (PINT's delayed
+             recycling processes both frees later, §III-F).  Count the extra
+             lifetime so the matching number of [heap_free]s succeeds. *)
+          Hashtbl.replace h.pending base
+            (1 + Option.value ~default:0 (Hashtbl.find_opt h.pending base))
+      | Some l ->
+          invalid_arg
+            (Printf.sprintf "Aspace.reserve: block at %d is live with length %d, not %d" base l len)
+      | None ->
+          (* carve [base, base+len) out of the free list; anything in the
+             range that is neither free nor allocated is virgin territory *)
+          let rec carve = function
+            | [] -> []
+            | (b, l) :: rest ->
+                let lo = max b base and hi = min (b + l) (base + len) in
+                if lo >= hi then (b, l) :: carve rest
+                else
+                  (* keep the sorted order: left remainder before right *)
+                  let keep =
+                    (if b < base then [ (b, base - b) ] else [])
+                    @ if b + l > base + len then [ (base + len, b + l - (base + len)) ] else []
+                  in
+                  keep @ carve rest
+          in
+          h.free <- carve h.free;
+          if base + len > h.brk then h.brk <- base + len;
+          Hashtbl.replace h.allocated base len;
+          h.live_words <- h.live_words + len)
 
 let heap_live_words t = with_lock t (fun () -> t.heap.live_words)
 

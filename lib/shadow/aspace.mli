@@ -43,6 +43,21 @@ val heap_alloc : t -> int -> int
     range that is not currently allocated raises [Failure]. *)
 val heap_free : t -> base:int -> len:int -> unit
 
+(** [reserve t ~base ~len] marks an arbitrary heap range as a live allocated
+    block, carving it out of the free list (and bumping [brk]) as needed.
+    Trace replay uses this to reconstruct enough allocator state that a
+    recorded [heap_free] succeeds without re-executing the allocations that
+    produced it.  Re-reserving a block that is still live with the same
+    extent registers a {e nested lifetime}: the capture run may have
+    recycled the base eagerly while the replaying detector frees lazily
+    (PINT's delayed recycling), so the same [(base, len)] can be reserved
+    again before its first recorded free is processed — each extra
+    reservation is consumed by one matching [heap_free] before the block is
+    actually returned to the free list.
+    @raise Invalid_argument on non-positive [len] or a range that straddles
+    an existing live block without matching it exactly. *)
+val reserve : t -> base:int -> len:int -> unit
+
 (** Currently allocated heap words. *)
 val heap_live_words : t -> int
 

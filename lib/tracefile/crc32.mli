@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) for trace-file
+    integrity checks.  Pure OCaml, table-driven. *)
+
+(** [digest_sub s ~pos ~len] — CRC-32 of the substring. *)
+val digest_sub : string -> pos:int -> len:int -> int32
+
+(** [digest s] = [digest_sub s ~pos:0 ~len:(String.length s)]. *)
+val digest : string -> int32

@@ -1,0 +1,428 @@
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let magic = "PINTRACE"
+let current_version = 1
+
+type finish =
+  | Spawn of { cont : int; sync : int; child : int; first : bool }
+  | Return of { cont_stolen : bool; parent_sync : int option }
+  | Sync of { trivial : bool; sync : int }
+  | Root
+
+type entry = {
+  uid : int;
+  start : Events.start_kind;
+  finish : finish;
+  reads : Interval.t array;
+  writes : Interval.t array;
+  clears : (int * int) list;
+  frees : (int * int) list;
+  raw_reads : int;
+  raw_writes : int;
+  work : int;
+  compute : int;
+  finished_at : int;
+  cost : int;
+}
+
+type t = { version : int; meta : (string * string) list; entries : entry array }
+
+let entry_count t = Array.length t.entries
+
+let root t =
+  match Array.find_opt (fun e -> e.start = Events.S_root) t.entries with
+  | Some e -> e
+  | None -> error "trace has no root strand"
+
+let find t uid =
+  match Array.find_opt (fun e -> e.uid = uid) t.entries with
+  | Some e -> e
+  | None -> error "trace references unknown strand uid %d" uid
+
+let meta_find t key =
+  List.find_map (fun (k, v) -> if k = key then Some v else None) t.meta
+
+let is_boundary = function
+  | Events.S_cont { stolen = true } | Events.S_after_sync { trivial = false } -> true
+  | _ -> false
+
+let boundary_count t =
+  Array.fold_left (fun acc e -> if is_boundary e.start then acc + 1 else acc) 0 t.entries
+
+let interval_totals t =
+  Array.fold_left
+    (fun (r, w) e -> (r + Array.length e.reads, w + Array.length e.writes))
+    (0, 0) t.entries
+
+(* ---------------------------------------------------------------- encoding *)
+
+let start_tag = function
+  | Events.S_root -> 0
+  | Events.S_child -> 1
+  | Events.S_cont { stolen = false } -> 2
+  | Events.S_cont { stolen = true } -> 3
+  | Events.S_after_sync { trivial = true } -> 4
+  | Events.S_after_sync { trivial = false } -> 5
+
+let start_of_tag = function
+  | 0 -> Events.S_root
+  | 1 -> Events.S_child
+  | 2 -> Events.S_cont { stolen = false }
+  | 3 -> Events.S_cont { stolen = true }
+  | 4 -> Events.S_after_sync { trivial = true }
+  | 5 -> Events.S_after_sync { trivial = false }
+  | n -> error "bad start-kind tag %d" n
+
+let bool_byte b = if b then 1 else 0
+
+let bool_of_byte = function
+  | 0 -> false
+  | 1 -> true
+  | n -> error "bad boolean byte %d" n
+
+let put_intervals buf (ivs : Interval.t array) =
+  Varint.write buf (Array.length ivs);
+  let prev = ref 0 in
+  Array.iter
+    (fun (iv : Interval.t) ->
+      if iv.Interval.lo < !prev then error "interval set not sorted at %d" iv.Interval.lo;
+      Varint.write buf (iv.Interval.lo - !prev);
+      Varint.write buf (iv.Interval.hi - iv.Interval.lo);
+      prev := iv.Interval.hi)
+    ivs
+
+let get_intervals c =
+  let n = Varint.read c in
+  let prev = ref 0 in
+  Array.init n (fun _ ->
+      let lo = !prev + Varint.read c in
+      let hi = lo + Varint.read c in
+      prev := hi;
+      Interval.make lo hi)
+
+let put_ranges buf rs =
+  Varint.write buf (List.length rs);
+  List.iter
+    (fun (b, l) ->
+      Varint.write buf b;
+      Varint.write buf l)
+    rs
+
+let get_ranges c =
+  let n = Varint.read c in
+  List.init n (fun _ ->
+      let b = Varint.read c in
+      let l = Varint.read c in
+      (b, l))
+
+let put_entry buf e =
+  Varint.write buf e.uid;
+  Buffer.add_char buf (Char.chr (start_tag e.start));
+  (match e.finish with
+  | Root -> Buffer.add_char buf '\000'
+  | Spawn { cont; sync; child; first } ->
+      Buffer.add_char buf '\001';
+      Varint.write buf cont;
+      Varint.write buf sync;
+      Varint.write buf child;
+      Buffer.add_char buf (Char.chr (bool_byte first))
+  | Return { cont_stolen; parent_sync } ->
+      Buffer.add_char buf '\002';
+      Buffer.add_char buf (Char.chr (bool_byte cont_stolen));
+      Varint.write buf (match parent_sync with None -> 0 | Some u -> u + 1)
+  | Sync { trivial; sync } ->
+      Buffer.add_char buf '\003';
+      Buffer.add_char buf (Char.chr (bool_byte trivial));
+      Varint.write buf sync);
+  put_intervals buf e.reads;
+  put_intervals buf e.writes;
+  put_ranges buf e.clears;
+  put_ranges buf e.frees;
+  Varint.write buf e.raw_reads;
+  Varint.write buf e.raw_writes;
+  Varint.write buf e.work;
+  Varint.write buf e.compute;
+  Varint.write buf e.finished_at;
+  Varint.write buf e.cost
+
+let get_entry c =
+  let uid = Varint.read c in
+  let start = start_of_tag (Varint.read_byte c) in
+  let finish =
+    match Varint.read_byte c with
+    | 0 -> Root
+    | 1 ->
+        let cont = Varint.read c in
+        let sync = Varint.read c in
+        let child = Varint.read c in
+        let first = bool_of_byte (Varint.read_byte c) in
+        Spawn { cont; sync; child; first }
+    | 2 ->
+        let cont_stolen = bool_of_byte (Varint.read_byte c) in
+        let ps = Varint.read c in
+        Return { cont_stolen; parent_sync = (if ps = 0 then None else Some (ps - 1)) }
+    | 3 ->
+        let trivial = bool_of_byte (Varint.read_byte c) in
+        let sync = Varint.read c in
+        Sync { trivial; sync }
+    | n -> error "bad finish-kind tag %d" n
+  in
+  let reads = get_intervals c in
+  let writes = get_intervals c in
+  let clears = get_ranges c in
+  let frees = get_ranges c in
+  let raw_reads = Varint.read c in
+  let raw_writes = Varint.read c in
+  let work = Varint.read c in
+  let compute = Varint.read c in
+  let finished_at = Varint.read c in
+  let cost = Varint.read c in
+  {
+    uid;
+    start;
+    finish;
+    reads;
+    writes;
+    clears;
+    frees;
+    raw_reads;
+    raw_writes;
+    work;
+    compute;
+    finished_at;
+    cost;
+  }
+
+let to_bytes t =
+  let body = Buffer.create 4096 in
+  Varint.write body t.version;
+  Varint.write body (List.length t.meta);
+  List.iter
+    (fun (k, v) ->
+      Varint.write body (String.length k);
+      Buffer.add_string body k;
+      Varint.write body (String.length v);
+      Buffer.add_string body v)
+    t.meta;
+  Varint.write body (Array.length t.entries);
+  Array.iter (fun e -> put_entry body e) t.entries;
+  let body = Buffer.contents body in
+  let crc = Crc32.digest body in
+  let out = Buffer.create (String.length body + 12) in
+  Buffer.add_string out magic;
+  Buffer.add_string out body;
+  for i = 0 to 3 do
+    Buffer.add_char out
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical crc (8 * i)) 0xFFl)))
+  done;
+  Buffer.contents out
+
+let of_bytes s =
+  let mlen = String.length magic in
+  if String.length s < mlen + 5 then error "trace file truncated (%d bytes)" (String.length s);
+  if String.sub s 0 mlen <> magic then error "bad magic (not a PINT trace file)";
+  let body_len = String.length s - mlen - 4 in
+  let stored =
+    let b i = Int32.of_int (Char.code s.[mlen + body_len + i]) in
+    List.fold_left Int32.logor 0l
+      [ b 0; Int32.shift_left (b 1) 8; Int32.shift_left (b 2) 16; Int32.shift_left (b 3) 24 ]
+  in
+  let actual = Crc32.digest_sub s ~pos:mlen ~len:body_len in
+  if stored <> actual then error "CRC mismatch (stored %08lx, computed %08lx)" stored actual;
+  let c = Varint.cursor (String.sub s mlen body_len) in
+  let wrap f = try f () with Failure m -> error "corrupt trace body: %s" m in
+  wrap (fun () ->
+      let version = Varint.read c in
+      if version <> current_version then
+        error "unsupported trace version %d (this build reads %d)" version current_version;
+      let n_meta = Varint.read c in
+      let meta =
+        List.init n_meta (fun _ ->
+            let k = Varint.read_string c (Varint.read c) in
+            let v = Varint.read_string c (Varint.read c) in
+            (k, v))
+      in
+      let n = Varint.read c in
+      let entries = Array.init n (fun _ -> get_entry c) in
+      if not (Varint.at_end c) then error "trailing bytes after last entry";
+      { version; meta; entries })
+
+let write t path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_bytes t))
+
+let load path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_bytes s
+
+(* ----------------------------------------------------------------- capture *)
+
+(* Entry under assembly: the child uid of a spawn is only known when the
+   spawned function's first strand starts (executors start it on the same
+   worker immediately after the spawn finish), so it stays mutable until
+   the file is frozen. *)
+type draft = {
+  d_uid : int;
+  d_start : Events.start_kind;
+  d_finish : finish;
+  mutable d_child : int; (* -1 = unresolved; only meaningful for Spawn *)
+  d_reads : Interval.t array;
+  d_writes : Interval.t array;
+  d_clears : (int * int) list;
+  d_frees : (int * int) list;
+  d_raw_reads : int;
+  d_raw_writes : int;
+  d_work : int;
+  d_compute : int;
+  d_finished_at : int;
+  d_cost : int;
+}
+
+let capturing ?(meta = []) (inner : Hooks.driver) : Hooks.driver * (unit -> t) =
+  let result = ref None in
+  let driver (ctx : Hooks.ctx) =
+    let h = inner ctx in
+    let n = ctx.Hooks.n_workers in
+    (* Per-worker state needs no lock; the shared draft list and start-kind
+       table do (the parallel executor finishes strands on many domains). *)
+    let coals = Array.init n (fun _ -> Coalescer.create ()) in
+    let frees = Array.make n [] in
+    let pending_child : draft option array = Array.make n None in
+    let lock = Mutex.create () in
+    let started : (int, Events.start_kind) Hashtbl.t = Hashtbl.create 1024 in
+    let drafts = ref [] in
+    let sink ~wid =
+      let s = h.Hooks.sink ~wid in
+      let coal = coals.(wid) in
+      {
+        Access.on_read =
+          (fun ~addr ~len ->
+            Coalescer.add_read coal ~addr ~len;
+            s.Access.on_read ~addr ~len);
+        on_write =
+          (fun ~addr ~len ->
+            Coalescer.add_write coal ~addr ~len;
+            s.Access.on_write ~addr ~len);
+        on_free =
+          (fun ~base ~len ->
+            frees.(wid) <- (base, len) :: frees.(wid);
+            s.Access.on_free ~base ~len);
+        on_compute = (fun ~amount -> s.Access.on_compute ~amount);
+      }
+    in
+    let on_start ~wid (r : Srec.t) kind =
+      Mutex.lock lock;
+      Hashtbl.replace started r.Srec.uid kind;
+      (match (pending_child.(wid), kind) with
+      | Some d, Events.S_child ->
+          d.d_child <- r.Srec.uid;
+          pending_child.(wid) <- None
+      | _ -> ());
+      Mutex.unlock lock;
+      h.Hooks.on_start ~wid r kind
+    in
+    let on_finish ~wid (u : Srec.t) kind =
+      let reads, writes = Coalescer.finish coals.(wid) in
+      let fl = List.rev frees.(wid) in
+      frees.(wid) <- [];
+      let fin =
+        match kind with
+        | Events.F_root -> Root
+        | Events.F_spawn { cont; sync; first_of_block } ->
+            Spawn { cont = cont.Srec.uid; sync = sync.Srec.uid; child = -1; first = first_of_block }
+        | Events.F_return { cont_stolen; parent_sync } ->
+            Return
+              { cont_stolen; parent_sync = Option.map (fun (s : Srec.t) -> s.Srec.uid) parent_sync }
+        | Events.F_sync { trivial; sync } -> Sync { trivial; sync = sync.Srec.uid }
+      in
+      Mutex.lock lock;
+      let start =
+        match Hashtbl.find_opt started u.Srec.uid with
+        | Some k -> k
+        | None ->
+            Mutex.unlock lock;
+            error "strand %d finished without starting" u.Srec.uid
+      in
+      let d =
+        {
+          d_uid = u.Srec.uid;
+          d_start = start;
+          d_finish = fin;
+          d_child = -1;
+          d_reads = reads;
+          d_writes = writes;
+          d_clears = u.Srec.clears;
+          d_frees = fl;
+          d_raw_reads = u.Srec.raw_reads;
+          d_raw_writes = u.Srec.raw_writes;
+          d_work = u.Srec.work;
+          d_compute = u.Srec.compute;
+          d_finished_at = u.Srec.finished_at;
+          d_cost = u.Srec.cost;
+        }
+      in
+      drafts := d :: !drafts;
+      (match fin with Spawn _ -> pending_child.(wid) <- Some d | _ -> ());
+      Mutex.unlock lock;
+      h.Hooks.on_finish ~wid u kind
+    in
+    let on_done () =
+      h.Hooks.on_done ();
+      let entries =
+        List.rev_map
+          (fun d ->
+            let finish =
+              match d.d_finish with
+              | Spawn { cont; sync; child = _; first } ->
+                  if d.d_child < 0 then
+                    error "spawn strand %d has no recorded child strand" d.d_uid;
+                  Spawn { cont; sync; child = d.d_child; first }
+              | f -> f
+            in
+            {
+              uid = d.d_uid;
+              start = d.d_start;
+              finish;
+              reads = d.d_reads;
+              writes = d.d_writes;
+              clears = d.d_clears;
+              frees = d.d_frees;
+              raw_reads = d.d_raw_reads;
+              raw_writes = d.d_raw_writes;
+              work = d.d_work;
+              compute = d.d_compute;
+              finished_at = d.d_finished_at;
+              cost = d.d_cost;
+            })
+          !drafts
+      in
+      let meta = meta @ [ ("n_workers", string_of_int n) ] in
+      result := Some { version = current_version; meta; entries = Array.of_list entries }
+    in
+    { Hooks.sink; on_start; on_finish; on_done }
+  in
+  let get () =
+    match !result with
+    | Some t -> t
+    | None -> error "capture: the run has not completed (on_done never fired)"
+  in
+  (driver, get)
+
+let capture ?meta ~path inner =
+  let driver, get = capturing ?meta inner in
+  fun ctx ->
+    let h = driver ctx in
+    {
+      h with
+      Hooks.on_done =
+        (fun () ->
+          h.Hooks.on_done ();
+          write (get ()) path);
+    }

@@ -1,0 +1,31 @@
+(** LEB128 variable-length integer coding for the trace-file format.
+
+    Non-negative OCaml ints are written 7 bits at a time, least significant
+    group first, with the high bit of each byte marking continuation — the
+    classic unsigned LEB128 layout.  Small values (interval widths, flags,
+    deltas between sorted interval bounds) take one byte; nothing in a trace
+    is negative, so no zigzag step is needed. *)
+
+(** [write buf n] appends the encoding of [n] to [buf].
+    @raise Invalid_argument if [n < 0]. *)
+val write : Buffer.t -> int -> unit
+
+(** A read cursor over an in-memory byte string. *)
+type cursor = { data : string; mutable pos : int }
+
+val cursor : string -> cursor
+
+(** True iff the cursor has consumed every byte. *)
+val at_end : cursor -> bool
+
+(** [read c] decodes one integer, advancing the cursor.
+    @raise Failure on truncated input or a value exceeding [max_int]. *)
+val read : cursor -> int
+
+(** [read_byte c] — one raw byte (tags, flags).
+    @raise Failure on truncated input. *)
+val read_byte : cursor -> int
+
+(** [read_string c len] — [len] raw bytes.
+    @raise Failure on truncated input. *)
+val read_string : cursor -> int -> string

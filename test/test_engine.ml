@@ -10,7 +10,7 @@ let check_int = Alcotest.(check int)
 let synthetic ~name ?(records_per_step = 1) ~idles ~stalls ~work () =
   let i = ref idles and s = ref stalls and w = ref work in
   Stage.make ~name
-    ~cost:(fun v -> 100 + v)
+    ~cost:(fun ~records ~visits -> (100 * records) + visits)
     (fun () ->
       if !i > 0 then begin
         decr i;
@@ -46,7 +46,7 @@ let test_stage_metrics () =
   check_int "visits" 50 m.Stage.visits;
   check_int "idles" 3 m.Stage.idles;
   check_int "stalls" 2 m.Stage.stalls;
-  check_int "cost hook" 110 (Stage.cost st 10);
+  check_int "cost hook" 210 (Stage.cost st ~records:2 ~visits:10);
   Stage.reset_metrics st;
   check_int "reset" 0 (Stage.metrics st).Stage.steps
 

@@ -1,0 +1,70 @@
+(* Golden-trace corpus: committed captures under test/golden/ are replayed
+   through all three detectors, which must agree pairwise on the
+   deduplicated race set (Theorem 5) — and, since each trace's metadata
+   records the workload configuration it came from, the replayed set is also
+   checked against a fresh live sequential run of that same configuration.
+   A divergence here means a detector changed behaviour relative to the
+   committed artifacts. *)
+
+let check_bool = Alcotest.(check bool)
+
+let detectors = [ "stint"; "cracer"; "pint" ]
+let make_det name = Option.get (Systems.make_detector name)
+
+let signature races =
+  List.sort compare
+    (List.map (fun (r : Report.race) -> (r.Report.kind, r.Report.prior, r.Report.current)) races)
+
+let golden_files () =
+  let dir = "golden" in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".trace")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
+let meta_exn t k =
+  match Tracefile.meta_find t k with
+  | Some v -> v
+  | None -> Alcotest.failf "golden trace lacks %S metadata" k
+
+let check_one path () =
+  let t = Tracefile.load path in
+  (* 1. all detectors agree on the replayed race set *)
+  let sigs =
+    List.map
+      (fun det ->
+        let d, _ = make_det det in
+        (det, signature (Replay.run t d).Replay.races))
+      detectors
+  in
+  (match sigs with
+  | (ref_det, ref_sig) :: rest ->
+      check_bool (path ^ ": corpus trace is racy") true (ref_sig <> []);
+      List.iter
+        (fun (det, s) ->
+          if s <> ref_sig then
+            Alcotest.failf "%s: %s and %s disagree (%d vs %d races)" path det ref_det
+              (List.length s) (List.length ref_sig))
+        rest
+  | [] -> Alcotest.fail "no detectors");
+  (* 2. the replayed set matches a live run of the recorded configuration *)
+  let w = Registry.find (meta_exn t "workload") in
+  let size = int_of_string (meta_exn t "size") and base = int_of_string (meta_exn t "base") in
+  check_bool (path ^ ": golden traces are racy captures") true
+    (meta_exn t "racy" = "true");
+  let inst = (Option.get w.Workload.racy) ~size ~base in
+  let d, _ = make_det "pint" in
+  let _ = Seq_exec.run ~driver:d.Detector.driver inst.Workload.run in
+  let live = signature (Detector.races d) in
+  check_bool (path ^ ": replay = live rerun") true (snd (List.hd sigs) = live)
+
+let () =
+  let files = golden_files () in
+  if files = [] then prerr_endline "test_golden: no golden traces found, nothing to check";
+  Alcotest.run "pint_golden"
+    [
+      ( "corpus",
+        List.map (fun path -> Alcotest.test_case path `Quick (check_one path)) files );
+    ]

@@ -1,0 +1,265 @@
+(* Replay and differential-detection tests.
+
+   The core property (the paper's Theorem 5 made executable): for any
+   captured trace, replaying it through STINT, C-RACER and PINT yields the
+   same deduplicated (kind, earlier, later) race set — and for a trace
+   captured from a sequential run, that set equals the live run's.  Replay
+   is also deterministic, works for traces captured under parallel
+   schedules, and correctly reproduces the §III-F heap-reuse hazards from
+   the recorded free events. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let detectors = [ "stint"; "cracer"; "pint" ]
+let make_det name = Option.get (Systems.make_detector name)
+
+(* Races at Theorem-5 granularity, sorted for set comparison. *)
+let signature races =
+  List.sort compare
+    (List.map (fun (r : Report.race) -> (r.Report.kind, r.Report.prior, r.Report.current)) races)
+
+let live_seq_races det prog =
+  let d, _ = make_det det in
+  let _ = Seq_exec.run ~driver:d.Detector.driver prog in
+  signature (Detector.races d)
+
+let capture_seq ?(meta = []) prog =
+  let d = Nodetect.make () in
+  let driver, finished = Tracefile.capturing ~meta d.Detector.driver in
+  ignore (Seq_exec.run ~driver prog);
+  finished ()
+
+let replay_races det trace =
+  let d, _ = make_det det in
+  signature (Replay.run trace d).Replay.races
+
+(* ------------------------------------------------- round-trip per workload *)
+
+(* capture a live sequential run of each racy workload variant, replay the
+   trace through every detector, and require the recorded-run race set *)
+let roundtrip_workload name ~size ~base =
+  let w = Registry.find name in
+  let racy = Option.get w.Workload.racy in
+  let live = live_seq_races "pint" (racy ~size ~base).Workload.run in
+  check_bool (name ^ " racy variant races") true (live <> []);
+  let trace = capture_seq ~meta:[ ("workload", name) ] (racy ~size ~base).Workload.run in
+  List.iter
+    (fun det ->
+      check_bool
+        (Printf.sprintf "%s: %s replay = live" name det)
+        true
+        (replay_races det trace = live))
+    detectors
+
+let test_roundtrip_heat () = roundtrip_workload "heat" ~size:32 ~base:8
+let test_roundtrip_sort () = roundtrip_workload "sort" ~size:64 ~base:16
+let test_roundtrip_mmul () = roundtrip_workload "mmul" ~size:16 ~base:4
+let test_roundtrip_fft () = roundtrip_workload "fft" ~size:32 ~base:8
+let test_roundtrip_chol () = roundtrip_workload "chol" ~size:16 ~base:4
+
+(* a race-free program must stay race-free through capture + replay *)
+let test_roundtrip_race_free () =
+  let w = Registry.find "heat" in
+  let inst = w.Workload.make ~size:32 ~base:8 in
+  let trace = capture_seq inst.Workload.run in
+  List.iter
+    (fun det -> check_bool (det ^ " clean replay") true (replay_races det trace = []))
+    detectors
+
+(* ------------------------------------------------------------- determinism *)
+
+let test_replay_deterministic () =
+  let w = Registry.find "heat" in
+  let racy = Option.get w.Workload.racy in
+  let trace = capture_seq (racy ~size:32 ~base:8).Workload.run in
+  let run () =
+    let d, _ = make_det "pint" in
+    let o = Replay.run trace d in
+    (signature o.Replay.races, o.Replay.n_strands, o.Replay.diagnostics)
+  in
+  let r1 = run () and r2 = run () in
+  check_bool "identical races, strands and diagnostics" true (r1 = r2)
+
+(* --------------------------------------------- parallel-schedule captures *)
+
+(* Theorem 5 across schedules: a trace captured under a real multi-domain
+   run, replayed serially, reports the same races as a live sequential run
+   of the same program.  (heat allocates its grids up front, so its heap
+   layout is schedule-independent.) *)
+let test_par_capture_replays_like_seq () =
+  let w = Registry.find "heat" in
+  let racy = Option.get w.Workload.racy in
+  let seq_live = live_seq_races "pint" (racy ~size:32 ~base:8).Workload.run in
+  let d = Nodetect.make () in
+  let driver, finished = Tracefile.capturing d.Detector.driver in
+  let config = { Par_exec.n_workers = 4; seed = 3; stages = [] } in
+  let res = Par_exec.run ~config ~driver (racy ~size:32 ~base:8).Workload.run in
+  let trace = finished () in
+  check_int "par capture covers every strand" res.Par_exec.n_strands
+    (Tracefile.entry_count trace);
+  List.iter
+    (fun det ->
+      check_bool (det ^ ": par trace = seq live races") true
+        (replay_races det trace = seq_live))
+    detectors
+
+let test_sim_capture_replays_like_seq () =
+  let w = Registry.find "sort" in
+  let racy = Option.get w.Workload.racy in
+  let seq_live = live_seq_races "pint" (racy ~size:64 ~base:16).Workload.run in
+  let d = Nodetect.make () in
+  let driver, finished = Tracefile.capturing d.Detector.driver in
+  let config = { Sim_exec.default_config with n_workers = 8; seed = 5 } in
+  ignore (Sim_exec.run ~config ~driver (racy ~size:64 ~base:16).Workload.run);
+  let trace = finished () in
+  check_bool "sim run stole work" true (Tracefile.boundary_count trace > 0);
+  List.iter
+    (fun det ->
+      check_bool (det ^ ": sim trace = seq live races") true
+        (replay_races det trace = seq_live))
+    detectors
+
+(* ------------------------------------------------------------ heap reuse *)
+
+(* B allocates/writes/frees; C (parallel) reuses the addresses: the live
+   detectors suppress the false race via the free events — replay must feed
+   the recorded frees back so the suppression happens offline too. *)
+let test_heap_reuse_free_replay () =
+  let prog () =
+    Fj.spawn (fun () ->
+        let x = Fj.alloc_f 32 in
+        Membuf.fill_f x 0 32 1.0;
+        Fj.free_f x);
+    (let y = Fj.alloc_f 32 in
+     Membuf.fill_f y 0 32 2.0;
+     Fj.free_f y);
+    Fj.sync ()
+  in
+  let trace = capture_seq prog in
+  check_bool "frees recorded" true
+    (Array.exists (fun e -> e.Tracefile.frees <> []) trace.Tracefile.entries);
+  List.iter
+    (fun det -> check_bool (det ^ " no false race from reuse") true (replay_races det trace = []))
+    detectors
+
+(* ----------------------------------------------------------- differential *)
+
+let test_differential_agreement () =
+  let w = Registry.find "heat" in
+  let racy = Option.get w.Workload.racy in
+  let trace = capture_seq (racy ~size:32 ~base:8).Workload.run in
+  List.iter
+    (fun (a, b) ->
+      let da, _ = make_det a and db, _ = make_det b in
+      let d = Replay.differential trace da db in
+      check_bool (Printf.sprintf "%s vs %s no divergence" a b) true (Replay.no_divergence d))
+    [ ("pint", "stint"); ("pint", "cracer"); ("stint", "cracer") ]
+
+let test_differential_reports_divergence () =
+  (* against the no-detection baseline every real race is left-only *)
+  let w = Registry.find "heat" in
+  let racy = Option.get w.Workload.racy in
+  let trace = capture_seq (racy ~size:32 ~base:8).Workload.run in
+  let dp, _ = make_det "pint" and dn, _ = make_det "none" in
+  let d = Replay.differential trace dp dn in
+  check_bool "pint vs none diverges" true (not (Replay.no_divergence d));
+  check_bool "divergence is one-sided" true (d.Replay.right_only = []);
+  check_bool "pp output non-empty" true
+    (String.length (Format.asprintf "%a" Replay.pp_divergence d) > 0)
+
+let test_diff_races_symmetric () =
+  let r kind prior current =
+    { Report.kind; prior; current; where = Interval.make 0 0 }
+  in
+  let a = [ r Report.Write_write 1 2; r Report.Write_read 3 4 ] in
+  let b = [ r Report.Write_write 1 2; r Report.Read_write 5 6 ] in
+  let d = Replay.diff_races a b in
+  check_int "left_only" 1 (List.length d.Replay.left_only);
+  check_int "right_only" 1 (List.length d.Replay.right_only);
+  (* witness intervals are ignored at the comparison granularity *)
+  let b' = [ { (r Report.Write_write 1 2) with Report.where = Interval.make 9 9 } ] in
+  let d' = Replay.diff_races [ r Report.Write_write 1 2 ] b' in
+  check_bool "witness-only difference is agreement" true (Replay.no_divergence d')
+
+(* ---------------------------------------------------------- corrupt DAGs *)
+
+let expect_corrupt name f =
+  check_bool name true
+    (try
+       ignore (f ());
+       false
+     with Replay.Corrupt _ -> true)
+
+let test_corrupt_links_rejected () =
+  let prog () =
+    let b = Fj.alloc_f 8 in
+    Fj.spawn (fun () -> Membuf.set_f b 0 1.0);
+    Fj.sync ()
+  in
+  let t = capture_seq prog in
+  let drive t =
+    let d, _ = make_det "none" in
+    Replay.drive t d.Detector.driver
+  in
+  (* dropping a linked entry leaves a dangling uid *)
+  let missing =
+    {
+      t with
+      Tracefile.entries =
+        Array.of_list
+          (List.filter
+             (fun (e : Tracefile.entry) -> e.Tracefile.start <> Events.S_child)
+             (Array.to_list t.Tracefile.entries));
+    }
+  in
+  expect_corrupt "dangling child link" (fun () -> drive missing);
+  (* no root strand at all *)
+  let rootless =
+    {
+      t with
+      Tracefile.entries =
+        Array.of_list
+          (List.filter
+             (fun (e : Tracefile.entry) -> e.Tracefile.start <> Events.S_root)
+             (Array.to_list t.Tracefile.entries));
+    }
+  in
+  expect_corrupt "missing root" (fun () -> drive rootless);
+  (* an unreachable extra entry must fail the coverage check *)
+  let orphan = { (Tracefile.root t) with Tracefile.uid = 4_096 } in
+  let extra =
+    { t with Tracefile.entries = Array.append t.Tracefile.entries [| orphan |] }
+  in
+  expect_corrupt "unreachable strand" (fun () -> drive extra)
+
+let () =
+  Alcotest.run "pint_replay"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "heat" `Quick test_roundtrip_heat;
+          Alcotest.test_case "sort" `Quick test_roundtrip_sort;
+          Alcotest.test_case "mmul" `Quick test_roundtrip_mmul;
+          Alcotest.test_case "fft" `Quick test_roundtrip_fft;
+          Alcotest.test_case "chol" `Quick test_roundtrip_chol;
+          Alcotest.test_case "race-free stays clean" `Quick test_roundtrip_race_free;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "replay twice, same outcome" `Quick test_replay_deterministic ] );
+      ( "schedules",
+        [
+          Alcotest.test_case "par capture = seq races" `Quick test_par_capture_replays_like_seq;
+          Alcotest.test_case "sim capture = seq races" `Quick test_sim_capture_replays_like_seq;
+        ] );
+      ( "memory-reuse",
+        [ Alcotest.test_case "frees replayed" `Quick test_heap_reuse_free_replay ] );
+      ( "differential",
+        [
+          Alcotest.test_case "detectors agree" `Quick test_differential_agreement;
+          Alcotest.test_case "baseline diverges" `Quick test_differential_reports_divergence;
+          Alcotest.test_case "diff_races semantics" `Quick test_diff_races_symmetric;
+        ] );
+      ( "corrupt",
+        [ Alcotest.test_case "inconsistent DAGs rejected" `Quick test_corrupt_links_rejected ] );
+    ]

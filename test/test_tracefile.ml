@@ -1,0 +1,213 @@
+(* Trace-file format tests: varint and CRC primitives, capture fidelity,
+   serialization round-trips, determinism of capture, and rejection of every
+   malformation class (bad magic, bad version, truncation, corruption). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------- varint *)
+
+let test_varint_roundtrip () =
+  let values =
+    [ 0; 1; 63; 64; 127; 128; 129; 255; 300; 16_383; 16_384; 1_000_000; max_int ]
+  in
+  let buf = Buffer.create 64 in
+  List.iter (Varint.write buf) values;
+  let c = Varint.cursor (Buffer.contents buf) in
+  List.iter (fun v -> check_int (Printf.sprintf "varint %d" v) v (Varint.read c)) values;
+  check_bool "cursor consumed" true (Varint.at_end c)
+
+let test_varint_sizes () =
+  let size n =
+    let b = Buffer.create 8 in
+    Varint.write b n;
+    Buffer.length b
+  in
+  check_int "small is 1 byte" 1 (size 127);
+  check_int "128 is 2 bytes" 2 (size 128);
+  check_int "16383 is 2 bytes" 2 (size 16_383);
+  check_int "16384 is 3 bytes" 3 (size 16_384)
+
+let test_varint_negative_rejected () =
+  let b = Buffer.create 8 in
+  check_bool "negative raises" true
+    (try
+       Varint.write b (-1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_varint_truncated () =
+  (* a lone continuation byte promises more input than exists *)
+  let c = Varint.cursor "\x80" in
+  check_bool "truncated raises" true
+    (try
+       ignore (Varint.read c);
+       false
+     with Failure _ -> true)
+
+(* -------------------------------------------------------------- crc32 *)
+
+let test_crc32_check_vector () =
+  (* the standard CRC-32/ISO-HDLC check value *)
+  check_string "crc32(123456789)" "cbf43926"
+    (Printf.sprintf "%08lx" (Crc32.digest "123456789"));
+  check_string "crc32(empty)" "00000000" (Printf.sprintf "%08lx" (Crc32.digest ""))
+
+let test_crc32_sub () =
+  let s = "xx123456789yy" in
+  check_bool "digest_sub matches digest" true
+    (Crc32.digest_sub s ~pos:2 ~len:9 = Crc32.digest "123456789")
+
+(* ------------------------------------------------------------ capture *)
+
+(* A small deterministic program with spawns, a nested scope, stack frames,
+   a heap free and a real race — exercising every entry field. *)
+let program () =
+  let b = Fj.alloc_f 16 in
+  Fj.spawn (fun () ->
+      Membuf.fill_f b 0 8 1.0;
+      Fj.with_frame ~words:4 (fun fr -> Membuf.set_f fr 0 9.0));
+  Fj.spawn (fun () -> ignore (Membuf.read_range_f b 4 8));
+  Fj.scope (fun () ->
+      Fj.spawn (fun () ->
+          let x = Fj.alloc_f 8 in
+          Membuf.set_f x 0 1.0;
+          Fj.free_f x);
+      Fj.sync ());
+  Fj.sync ()
+
+let capture_seq ?(meta = []) prog =
+  let d = Nodetect.make () in
+  let driver, finished = Tracefile.capturing ~meta d.Detector.driver in
+  let res = Seq_exec.run ~driver prog in
+  let t = finished () in
+  (t, res)
+
+let test_capture_structure () =
+  let t, res = capture_seq ~meta:[ ("k", "v") ] program in
+  check_int "one entry per strand" res.Seq_exec.n_strands (Tracefile.entry_count t);
+  check_int "version" Tracefile.current_version t.Tracefile.version;
+  check_bool "meta present" true (Tracefile.meta_find t "k" = Some "v");
+  check_bool "n_workers meta" true (Tracefile.meta_find t "n_workers" = Some "1");
+  let root = Tracefile.root t in
+  check_bool "root starts the run" true (root.Tracefile.start = Events.S_root);
+  (* every spawn's child/cont/sync links resolve *)
+  Array.iter
+    (fun (e : Tracefile.entry) ->
+      match e.Tracefile.finish with
+      | Tracefile.Spawn { cont; sync; child; _ } ->
+          ignore (Tracefile.find t cont);
+          ignore (Tracefile.find t sync);
+          ignore (Tracefile.find t child)
+      | _ -> ())
+    t.Tracefile.entries;
+  let reads, writes = Tracefile.interval_totals t in
+  check_bool "recorded reads" true (reads > 0);
+  check_bool "recorded writes" true (writes > 0);
+  check_bool "a free was recorded" true
+    (Array.exists (fun e -> e.Tracefile.frees <> []) t.Tracefile.entries);
+  check_bool "a clear was recorded" true
+    (Array.exists (fun e -> e.Tracefile.clears <> []) t.Tracefile.entries);
+  check_int "seq run has no boundaries" 0 (Tracefile.boundary_count t)
+
+let test_serialization_roundtrip () =
+  let t, _ = capture_seq ~meta:[ ("workload", "unit") ] program in
+  let bytes = Tracefile.to_bytes t in
+  let t' = Tracefile.of_bytes bytes in
+  check_bool "roundtrip preserves everything" true (t = t');
+  check_string "re-encoding is stable" (String.escaped bytes)
+    (String.escaped (Tracefile.to_bytes t'))
+
+let test_file_roundtrip () =
+  let t, _ = capture_seq program in
+  let path = Filename.temp_file "pint" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tracefile.write t path;
+      let t' = Tracefile.load path in
+      check_bool "file roundtrip" true (t = t'))
+
+let test_capture_deterministic_seq () =
+  let t1, _ = capture_seq program and t2, _ = capture_seq program in
+  check_bool "same run, same bytes" true (Tracefile.to_bytes t1 = Tracefile.to_bytes t2)
+
+let test_capture_deterministic_sim () =
+  let capture_sim () =
+    let d = Nodetect.make () in
+    let driver, finished = Tracefile.capturing d.Detector.driver in
+    let config = { Sim_exec.default_config with n_workers = 4; seed = 11 } in
+    ignore (Sim_exec.run ~config ~driver program);
+    finished ()
+  in
+  let t1 = capture_sim () and t2 = capture_sim () in
+  check_bool "seeded sim captures byte-identically" true
+    (Tracefile.to_bytes t1 = Tracefile.to_bytes t2);
+  (* virtual-time metadata is present in simulator captures *)
+  check_bool "finished_at recorded" true
+    (Array.exists (fun e -> e.Tracefile.finished_at > 0) t1.Tracefile.entries)
+
+(* --------------------------------------------------------- malformation *)
+
+let expect_error name f =
+  check_bool name true
+    (try
+       ignore (f ());
+       false
+     with Tracefile.Error _ -> true)
+
+let test_rejects_malformed () =
+  let t, _ = capture_seq program in
+  let bytes = Tracefile.to_bytes t in
+  expect_error "bad magic" (fun () ->
+      Tracefile.of_bytes ("XINTRACE" ^ String.sub bytes 8 (String.length bytes - 8)));
+  expect_error "truncated body" (fun () ->
+      Tracefile.of_bytes (String.sub bytes 0 (String.length bytes - 9)));
+  expect_error "truncated crc" (fun () ->
+      Tracefile.of_bytes (String.sub bytes 0 (String.length bytes - 2)));
+  expect_error "empty input" (fun () -> Tracefile.of_bytes "");
+  expect_error "trailing garbage" (fun () -> Tracefile.of_bytes (bytes ^ "\x00"));
+  (* flip one byte in the middle of the body: the CRC must catch it *)
+  let corrupted = Bytes.of_string bytes in
+  let mid = String.length bytes / 2 in
+  Bytes.set corrupted mid (Char.chr (Char.code (Bytes.get corrupted mid) lxor 0x40));
+  expect_error "bit flip detected" (fun () -> Tracefile.of_bytes (Bytes.to_string corrupted));
+  (* bump the version varint (first body byte): unknown version *)
+  let vbumped = Bytes.of_string bytes in
+  Bytes.set vbumped 8 (Char.chr (Tracefile.current_version + 1));
+  expect_error "unknown version" (fun () -> Tracefile.of_bytes (Bytes.to_string vbumped))
+
+let test_find_missing () =
+  let t, _ = capture_seq program in
+  expect_error "find unknown uid" (fun () -> Tracefile.find t 99_999)
+
+let () =
+  Alcotest.run "pint_tracefile"
+    [
+      ( "varint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_varint_roundtrip;
+          Alcotest.test_case "sizes" `Quick test_varint_sizes;
+          Alcotest.test_case "negative rejected" `Quick test_varint_negative_rejected;
+          Alcotest.test_case "truncated rejected" `Quick test_varint_truncated;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "check vector" `Quick test_crc32_check_vector;
+          Alcotest.test_case "substring" `Quick test_crc32_sub;
+        ] );
+      ( "capture",
+        [
+          Alcotest.test_case "structure" `Quick test_capture_structure;
+          Alcotest.test_case "bytes roundtrip" `Quick test_serialization_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "seq determinism" `Quick test_capture_deterministic_seq;
+          Alcotest.test_case "sim determinism" `Quick test_capture_deterministic_sim;
+        ] );
+      ( "malformed",
+        [
+          Alcotest.test_case "rejects malformed" `Quick test_rejects_malformed;
+          Alcotest.test_case "find missing uid" `Quick test_find_missing;
+        ] );
+    ]
