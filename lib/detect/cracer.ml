@@ -153,4 +153,5 @@ let make ?(shards = 64) () =
     report;
     drain = (fun () -> ());
     diagnostics = (fun () -> !diags);
+    validate = (fun () -> ()); (* hashtable shadow cells: nothing structural to check *)
   }

@@ -4,6 +4,7 @@ type t = {
   report : Report.t;
   drain : unit -> unit;
   diagnostics : unit -> (string * float) list;
+  validate : unit -> unit;
 }
 
 let races t =

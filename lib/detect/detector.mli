@@ -14,6 +14,11 @@ type t = {
   diagnostics : unit -> (string * float) list;
       (** implementation counters (treap sizes, node visits, strand counts…)
           consumed by the benchmark harness's cost model *)
+  validate : unit -> unit;
+      (** check the detector's internal structural invariants (treap heap
+          order, BST order, size counters…), raising [Failure] on any
+          violation.  Call after [drain]; a no-op for detectors without
+          checkable structure. *)
 }
 
 val races : t -> Report.race list

@@ -19,4 +19,5 @@ let make () =
     report;
     drain = (fun () -> ());
     diagnostics = (fun () -> []);
+    validate = (fun () -> ());
   }

@@ -38,9 +38,12 @@ type run = {
   mutable writer_strands : int;
   reader_strands : int array; (* per queue-reader index *)
   mutable next_trace_id : int;
-  mutable agg_intervals : int;
-  mutable agg_work : int;
-  mutable agg_raw_events : int;
+  (* Aggregate workload counters, bumped from [on_finish] which runs on
+     every core-worker domain concurrently under [Par_exec] — hence atomic
+     (caught by pint_lint R3: these were plain mutable ints). *)
+  agg_intervals : int Atomic.t;
+  agg_work : int Atomic.t;
+  agg_raw_events : int Atomic.t;
 }
 
 type t = {
@@ -114,9 +117,9 @@ let driver t (ctx : Hooks.ctx) =
       writer_strands = 0;
       reader_strands = Array.make (2 * s) 0;
       next_trace_id = 0;
-      agg_intervals = 0;
-      agg_work = 0;
-      agg_raw_events = 0;
+      agg_intervals = Atomic.make 0;
+      agg_work = Atomic.make 0;
+      agg_raw_events = Atomic.make 0;
     }
   in
   for wid = 0 to ctx.n_workers - 1 do
@@ -151,9 +154,9 @@ let driver t (ctx : Hooks.ctx) =
         let reads, writes = Coalescer.finish r.coals.(wid) in
         u.Srec.reads <- reads;
         u.Srec.writes <- writes;
-        r.agg_intervals <- r.agg_intervals + Array.length reads + Array.length writes;
-        r.agg_work <- r.agg_work + u.Srec.work;
-        r.agg_raw_events <- r.agg_raw_events + u.Srec.raw_reads + u.Srec.raw_writes;
+        ignore (Atomic.fetch_and_add r.agg_intervals (Array.length reads + Array.length writes));
+        ignore (Atomic.fetch_and_add r.agg_work u.Srec.work);
+        ignore (Atomic.fetch_and_add r.agg_raw_events (u.Srec.raw_reads + u.Srec.raw_writes));
         Trace.push r.cur_traces.(wid) u);
     on_done =
       (fun () ->
@@ -388,12 +391,22 @@ let diagnostics t () =
         ("rreader_size", sum (fun tr -> float_of_int (Itreap.size tr)) r.rreaders);
         ("queue_enqueued", float_of_int (Ahq.enqueued r.ahq));
         ("traces", float_of_int r.next_trace_id);
-        ("intervals", float_of_int r.agg_intervals);
-        ("work", float_of_int r.agg_work);
-        ("raw_events", float_of_int r.agg_raw_events);
+        ("intervals", float_of_int (Atomic.get r.agg_intervals));
+        ("work", float_of_int (Atomic.get r.agg_work));
+        ("raw_events", float_of_int (Atomic.get r.agg_raw_events));
         ("shards", float_of_int t.shards);
       ]
       @ stage_diagnostics t
+
+(* Structural invariants of all 1 + 2·S treaps: heap order on priorities,
+   BST order on intervals, pairwise disjointness, size counters. *)
+let validate t =
+  match t.run with
+  | None -> ()
+  | Some r ->
+      Itreap.validate r.writer;
+      Array.iter Itreap.validate r.lreaders;
+      Array.iter Itreap.validate r.rreaders
 
 let detector t =
   {
@@ -402,4 +415,5 @@ let detector t =
     report = t.report;
     drain = (fun () -> match t.run with Some _ -> drain t | None -> ());
     diagnostics = diagnostics t;
+    validate = (fun () -> validate t);
   }

@@ -1,6 +1,8 @@
 let make ?(seed = 2022) () =
   let report = Report.create () in
   let diags = ref [] in
+  (* installed by the driver once the treaps exist *)
+  let validators = ref (fun () -> ()) in
   let driver (ctx : Hooks.ctx) =
     if ctx.n_workers > 1 then failwith "Stint: serial detector run on a parallel executor";
     let sp = ctx.sp in
@@ -9,6 +11,11 @@ let make ?(seed = 2022) () =
     let lreader = Itreap.create ~seed:(seed + 1) ~owner_eq () in
     let rreader = Itreap.create ~seed:(seed + 101) ~owner_eq () in
     let coal = Coalescer.create () in
+    (validators :=
+       fun () ->
+         Itreap.validate writer;
+         Itreap.validate lreader;
+         Itreap.validate rreader);
     let strands = ref 0 in
     let intervals = ref 0 and work = ref 0 and raw_events = ref 0 in
     let check treap kind (iv : Interval.t) (s : Sp_order.strand) =
@@ -104,4 +111,5 @@ let make ?(seed = 2022) () =
     report;
     drain = (fun () -> ());
     diagnostics = (fun () -> !diags);
+    validate = (fun () -> !validators ());
   }

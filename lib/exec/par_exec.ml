@@ -104,19 +104,20 @@ module Lockdq = struct
     let kept, moved = take (n / 2) [] l in
     (kept, List.rev moved)
 
-  let push_bottom t x =
+  let[@pint.hot] push_bottom t x =
     Mutex.lock t.lock;
     t.front <- x :: t.front;
     Mutex.unlock t.lock
 
-  let pop_bottom t =
+  let[@pint.hot] pop_bottom t =
     Mutex.lock t.lock;
-    if t.front = [] && t.back <> [] then begin
-      (* newest elements sit at the tail of [back]; move that half over *)
-      let kept, moved = split_for_move t.back in
-      t.back <- kept;
-      t.front <- moved
-    end;
+    (match (t.front, t.back) with
+    | [], _ :: _ ->
+        (* newest elements sit at the tail of [back]; move that half over *)
+        let kept, moved = split_for_move t.back in
+        t.back <- kept;
+        t.front <- moved
+    | _ -> ());
     let r =
       match t.front with
       | [] -> None
@@ -127,14 +128,15 @@ module Lockdq = struct
     Mutex.unlock t.lock;
     r
 
-  let steal_top t =
+  let[@pint.hot] steal_top t =
     Mutex.lock t.lock;
-    if t.back = [] && t.front <> [] then begin
-      (* oldest elements sit at the tail of [front]; move that half over *)
-      let kept, moved = split_for_move t.front in
-      t.front <- kept;
-      t.back <- moved
-    end;
+    (match (t.back, t.front) with
+    | [], _ :: _ ->
+        (* oldest elements sit at the tail of [front]; move that half over *)
+        let kept, moved = split_for_move t.front in
+        t.front <- kept;
+        t.back <- moved
+    | _ -> ());
     let r =
       match t.back with
       | [] -> None

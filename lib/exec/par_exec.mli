@@ -36,4 +36,17 @@ type result = {
 
 val default_config : config
 
+(** The mutex-protected work deque (two-list representation; see the
+    implementation comment).  Exposed so the schedule-exploration stress
+    test can drive it directly against a reference deque model. *)
+module Lockdq : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push_bottom : 'a t -> 'a -> unit
+  val pop_bottom : 'a t -> 'a option
+  val steal_top : 'a t -> 'a option
+  val is_empty : 'a t -> bool
+end
+
 val run : ?aspace:Aspace.t -> config:config -> driver:Hooks.driver -> (unit -> unit) -> result

@@ -47,7 +47,10 @@ let run ?aspace ~(driver : Hooks.driver) main =
     incr n_spawns;
     let u = !cur in
     let fr = !frame in
-    let first = fr.sync_sp = None in
+    (* [Option.is_none], not [= None]: polymorphic equality at a type
+       containing OM records is banned (pint_lint R2) — their labels are
+       mutable and their link structure is cyclic. *)
+    let first = Option.is_none fr.sync_sp in
     let child_sp, cont_sp, sync_sp = Sp_order.spawn sp ~sync_pre:fr.sync_sp u.sp in
     let cont_rec = fresh cont_sp in
     let sync_rec = if first then fresh sync_sp else Option.get fr.sync_rec in

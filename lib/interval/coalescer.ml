@@ -30,7 +30,7 @@ let create () =
     sort_skips = 0;
   }
 
-let add side ~addr ~len =
+let[@pint.hot] add side ~addr ~len =
   if len <= 0 then invalid_arg "Coalescer.add: len must be positive";
   side.raw <- side.raw + 1;
   let iv = Interval.make addr (addr + len - 1) in

@@ -32,10 +32,15 @@ let create ?(capacity = 4096) ?(readers = 2) () =
 
 let n_readers t = Array.length t.cursors
 
-let min_cursor t =
-  Array.fold_left (fun m c -> min m (Atomic.get c)) max_int t.cursors
+(* Int-specialized min: [Stdlib.min] is an out-of-line call into the
+   polymorphic compare runtime even at int (pint_lint rule R2 flags it on
+   hot paths); [<=] at a known int type compiles to one machine compare. *)
+let imin (a : int) b = if a <= b then a else b
 
-let try_enqueue t s =
+let min_cursor t =
+  Array.fold_left (fun m c -> imin m (Atomic.get c)) max_int t.cursors
+
+let[@pint.hot] try_enqueue t s =
   let h = Atomic.get t.head in
   let has_room =
     h - t.cached_min < t.cap
@@ -70,14 +75,14 @@ let default_batch = 32
 let peek_batch ?(max = default_batch) t i =
   if max <= 0 then invalid_arg "Ahq.peek_batch: max must be positive";
   let pos = Atomic.get (cursor t i) in
-  let n = min (Atomic.get t.head - pos) max in
+  let n = imin (Atomic.get t.head - pos) max in
   if n <= 0 then [||] else Array.init n (fun k -> slot_at t (pos + k))
 
-let peek_batch_into t i buf =
+let[@pint.hot] peek_batch_into t i buf =
   let cap = Array.length buf in
   if cap = 0 then invalid_arg "Ahq.peek_batch_into: empty buffer";
   let pos = Atomic.get (cursor t i) in
-  let n = min (Atomic.get t.head - pos) cap in
+  let n = imin (Atomic.get t.head - pos) cap in
   if n <= 0 then 0
   else begin
     for k = 0 to n - 1 do
@@ -102,8 +107,8 @@ let advance_n t i n =
      and the stale reference is simply overwritten by the writer on reuse —
      harmless. *)
   let min_other = ref max_int in
-  Array.iteri (fun j other -> if j <> i then min_other := min !min_other (Atomic.get other)) t.cursors;
-  let clear_upto = min (pos0 + n) !min_other in
+  Array.iteri (fun j other -> if j <> i then min_other := imin !min_other (Atomic.get other)) t.cursors;
+  let clear_upto = imin (pos0 + n) !min_other in
   for pos = pos0 to clear_upto - 1 do
     t.slots.(pos mod t.cap) <- None
   done;

@@ -128,7 +128,7 @@ exception Overlap
    [qhi]; went right => skipped intervals all end before the node, hence
    before [qlo]).  The probe and the insert-position split are therefore the
    same single descent. *)
-let rec split_probe t qlo qhi k n =
+let[@pint.hot] rec split_probe t qlo qhi k n =
   match n with
   | Leaf -> (Leaf, Leaf)
   | Node nd ->
@@ -148,22 +148,23 @@ let rec split_probe t qlo qhi k n =
    then roots it there with [a]/[b] remainders as children — the fresh node
    sinks straight to its heap position instead of two spine-walking
    two-way joins. *)
-let join_mid t a b lo hi owner =
-  let prio = Rng.next t.rng in
-  let rec go a b =
-    match (a, b) with
-    | Node na, _ when na.prio > prio && (match b with Node nb -> na.prio > nb.prio | Leaf -> true)
-      ->
-        visit t;
-        Node { na with right = go na.right b }
-    | _, Node nb when nb.prio > prio ->
-        visit t;
-        Node { nb with left = go a nb.left }
-    | _ ->
-        visit t;
-        Node { left = a; right = b; lo; hi; owner; prio }
-  in
-  go a b
+(* The descent is a toplevel function (not a closure over [prio]/[t]) so
+   the fast path allocates nothing beyond the path copies themselves —
+   pint_lint rule R1 checks this. *)
+let[@pint.hot] rec join_mid_desc t prio lo hi owner a b =
+  match (a, b) with
+  | Node na, _ when na.prio > prio && (match b with Node nb -> na.prio > nb.prio | Leaf -> true)
+    ->
+      visit t;
+      Node { na with right = join_mid_desc t prio lo hi owner na.right b }
+  | _, Node nb when nb.prio > prio ->
+      visit t;
+      Node { nb with left = join_mid_desc t prio lo hi owner a nb.left }
+  | _ ->
+      visit t;
+      Node { left = a; right = b; lo; hi; owner; prio }
+
+let[@pint.hot] join_mid t a b lo hi owner = join_mid_desc t (Rng.next t.rng) lo hi owner a b
 
 (* Does any stored interval intersect [qlo, qhi]?  Stored intervals are
    disjoint, so low and high endpoints induce the same order and a single

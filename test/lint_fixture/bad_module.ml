@@ -1,0 +1,22 @@
+(* Every pint_lint rule class violated on purpose.  test_lint.ml runs the
+   linter over this module's .cmt and asserts each violation is found; the
+   @lint alias never scans it (it only walks lib/). *)
+
+(* R3: a mutable field and a mutable-container field, neither atomic nor
+   (in the test) declared in any ownership manifest. *)
+type shared = { mutable hits : int; log : float array }
+
+let bump s = s.hits <- s.hits + 1
+
+(* R1: allocations inside a [@pint.hot] body — a tuple, a closure over
+   [x], a cons cell, and the option box. *)
+let[@pint.hot] hot_alloc x =
+  let pair = (x, x + 1) in
+  let f = fun y -> y + x in
+  Some (f (fst pair) :: [ x ])
+
+(* R2: polymorphic equality at a type containing treap nodes. *)
+let same_treap (a : int Itreap.t) (b : int Itreap.t) = a = b
+
+(* R4: forbidden ident. *)
+let sneaky (x : int) : float = Obj.magic x

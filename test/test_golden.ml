@@ -36,7 +36,11 @@ let check_one path () =
     List.map
       (fun det ->
         let d, _ = make_det det in
-        (det, signature (Replay.run t d).Replay.races))
+        let races = signature (Replay.run t d).Replay.races in
+        (* the replayed history must leave every treap structurally sound
+           (heap order, BST order, disjointness, size counters) *)
+        d.Detector.validate ();
+        (det, races))
       detectors
   in
   (match sigs with
@@ -58,7 +62,74 @@ let check_one path () =
   let d, _ = make_det "pint" in
   let _ = Seq_exec.run ~driver:d.Detector.driver inst.Workload.run in
   let live = signature (Detector.races d) in
+  d.Detector.validate ();
   check_bool (path ^ ": replay = live rerun") true (snd (List.hd sigs) = live)
+
+(* Corruption robustness: a damaged trace must always surface as a clean
+   [Tracefile.Error] — never an escaping exception from the parser and
+   never a silently wrong replay.  The format checks its magic and then a
+   CRC-32 over the whole body BEFORE parsing anything, and CRC-32 detects
+   every single-bit error, so each single-bit flip anywhere in the file
+   must be rejected. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let flip bytes ~byte ~bit =
+  let b = Bytes.of_string bytes in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+  Bytes.to_string b
+
+let entries_ok t = Tracefile.entry_count t > 0
+
+let check_corrupt path () =
+  let original = read_file path in
+  let n = String.length original in
+  check_bool (path ^ ": parses when intact") true (Tracefile.of_bytes original |> entries_ok);
+  (* every byte of the header + a deterministic sample of the body, all 8
+     bit positions each: exhaustive flipping of a multi-KB file is slow for
+     no extra coverage *)
+  let positions = ref [] in
+  for byte = 0 to min (n - 1) 63 do
+    positions := byte :: !positions
+  done;
+  let step = max 1 (n / 97) in
+  let byte = ref 64 in
+  while !byte < n do
+    positions := !byte :: !positions;
+    byte := !byte + step
+  done;
+  List.iter
+    (fun byte ->
+      for bit = 0 to 7 do
+        let corrupted = flip original ~byte ~bit in
+        match Tracefile.of_bytes corrupted with
+        | exception Tracefile.Error _ -> () (* the one acceptable outcome *)
+        | exception e ->
+            Alcotest.failf "%s: flip byte %d bit %d escaped with %s" path byte bit
+              (Printexc.to_string e)
+        | _ ->
+            Alcotest.failf "%s: flip byte %d bit %d parsed as a valid trace" path byte bit
+      done)
+    !positions
+
+(* Truncation at every prefix length must also fail cleanly. *)
+let check_truncated path () =
+  let original = read_file path in
+  let n = String.length original in
+  for len = 0 to n - 1 do
+    let prefix = String.sub original 0 len in
+    match Tracefile.of_bytes prefix with
+    | exception Tracefile.Error _ -> ()
+    | exception e ->
+        Alcotest.failf "%s: truncation to %d bytes escaped with %s" path len
+          (Printexc.to_string e)
+    | _ -> Alcotest.failf "%s: truncation to %d bytes parsed as a valid trace" path len
+  done
 
 let () =
   let files = golden_files () in
@@ -67,4 +138,8 @@ let () =
     [
       ( "corpus",
         List.map (fun path -> Alcotest.test_case path `Quick (check_one path)) files );
+      ( "corruption",
+        List.map (fun path -> Alcotest.test_case path `Quick (check_corrupt path)) files );
+      ( "truncation",
+        List.map (fun path -> Alcotest.test_case path `Quick (check_truncated path)) files );
     ]

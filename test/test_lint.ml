@@ -1,0 +1,163 @@
+(* pint_lint end-to-end: run the rule engine in-process over the
+   deliberately broken fixture module (test/lint_fixture/bad_module.ml)
+   and assert every rule class fires, then assert baseline suppression
+   and ownership-manifest coverage behave as documented.
+
+   The fixture .cmt sits in the build tree next to this executable, so
+   resolving it relative to [Sys.executable_name] works under both
+   [dune runtest] and [dune exec]. *)
+
+open Lint_core
+
+let fixture_cmt =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    "lint_fixture/.lint_fixture.objs/byte/bad_module.cmt"
+
+let with_temp_file contents f =
+  let path = Filename.temp_file "lint_test" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+let run ?(baseline = Lint_baseline.empty) ?(ownership = Lint_ownership.empty) () =
+  if not (Sys.file_exists fixture_cmt) then
+    Alcotest.failf "fixture cmt not found at %s (cwd %s)" fixture_cmt (Sys.getcwd ());
+  Lint_engine.run ~baseline ~ownership [ fixture_cmt ]
+
+let by_rule report rule =
+  List.filter (fun f -> f.Lint_types.rule = rule) report.Lint_engine.findings
+
+let kinds fs = List.sort_uniq compare (List.map (fun f -> f.Lint_types.kind) fs)
+
+(* ------------------------------------------------------------ rule firing *)
+
+let test_r1_hot_alloc () =
+  let report = run () in
+  let r1 = by_rule report Lint_types.R1_hot_alloc in
+  Alcotest.(check bool) "R1 fired" true (r1 <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "R1 findings sit in the hot function" "hot_alloc" f.Lint_types.context)
+    r1;
+  let ks = kinds r1 in
+  List.iter
+    (fun k -> Alcotest.(check bool) (k ^ " reported") true (List.mem k ks))
+    [ "tuple"; "closure"; "construct" ]
+
+let test_r2_poly_compare () =
+  let report = run () in
+  let r2 = by_rule report Lint_types.R2_poly_compare in
+  Alcotest.(check bool) "R2 fired" true (r2 <> []);
+  Alcotest.(check bool) "flagged in same_treap" true
+    (List.exists (fun f -> f.Lint_types.context = "same_treap") r2)
+
+let test_r3_undeclared_field () =
+  let report = run () in
+  let r3 = by_rule report Lint_types.R3_ownership in
+  let contexts = List.map (fun f -> f.Lint_types.context) r3 in
+  Alcotest.(check bool) "mutable field reported" true
+    (List.mem "Bad_module.shared.hits" contexts);
+  Alcotest.(check bool) "container field reported" true
+    (List.mem "Bad_module.shared.log" contexts);
+  Alcotest.(check int) "both fields inventoried" 2 report.Lint_engine.fields_checked
+
+let test_r4_forbidden () =
+  let report = run () in
+  let r4 = by_rule report Lint_types.R4_forbidden in
+  Alcotest.(check bool) "R4 fired" true (r4 <> []);
+  Alcotest.(check bool) "Obj.magic named in sneaky" true
+    (List.exists
+       (fun f ->
+         f.Lint_types.context = "sneaky"
+         && Str_split.starts_with ~prefix:"forbidden" f.Lint_types.kind)
+       r4)
+
+(* ------------------------------------------------------------- baseline *)
+
+let test_baseline_suppresses () =
+  let unsuppressed = run () in
+  let n_r1 = List.length (by_rule unsuppressed Lint_types.R1_hot_alloc) in
+  Alcotest.(check bool) "fixture has R1 findings to suppress" true (n_r1 > 0);
+  with_temp_file
+    "R1 bad_module.ml hot_alloc tuple -- fixture\n\
+     R1 bad_module.ml hot_alloc closure -- fixture\n\
+     R1 bad_module.ml hot_alloc construct -- fixture\n\
+     R1 bad_module.ml hot_alloc partial-apply -- fixture\n"
+    (fun path ->
+      let baseline = Lint_baseline.load path in
+      let report = run ~baseline () in
+      Alcotest.(check int) "all R1 suppressed" 0
+        (List.length (by_rule report Lint_types.R1_hot_alloc));
+      Alcotest.(check bool) "suppression counted" true (report.Lint_engine.suppressed >= n_r1);
+      (* R2/R4 must not be swallowed by R1 entries *)
+      Alcotest.(check bool) "R2 still reported" true
+        (by_rule report Lint_types.R2_poly_compare <> []);
+      Alcotest.(check bool) "R4 still reported" true
+        (by_rule report Lint_types.R4_forbidden <> []))
+
+let test_baseline_requires_justification () =
+  with_temp_file "R1 bad_module.ml hot_alloc tuple\n" (fun path ->
+      Alcotest.check_raises "missing justification rejected"
+        (Lint_baseline.Malformed "baseline line 1: missing '-- justification': R1 bad_module.ml hot_alloc tuple")
+        (fun () -> ignore (Lint_baseline.load path)))
+
+let test_baseline_stale_entry () =
+  with_temp_file "R1 nosuch.ml nowhere tuple -- obsolete\n" (fun path ->
+      let baseline = Lint_baseline.load path in
+      let report = run ~baseline () in
+      Alcotest.(check int) "stale entry surfaced" 1
+        (List.length report.Lint_engine.stale_baseline))
+
+(* ------------------------------------------------------------- ownership *)
+
+let test_ownership_coverage () =
+  with_temp_file
+    "| Field | Owner | Justification |\n\
+     |---|---|---|\n\
+     | Bad_module.shared.* | test owner | fixture |\n"
+    (fun path ->
+      let ownership = Lint_ownership.load path in
+      let report = run ~ownership () in
+      let r3 =
+        List.filter
+          (fun f -> f.Lint_types.kind = "undeclared-mutable-field")
+          (by_rule report Lint_types.R3_ownership)
+      in
+      Alcotest.(check int) "wildcard covers both fields" 0 (List.length r3))
+
+let test_ownership_stale_entry () =
+  with_temp_file "| Bad_module.gone.field | nobody | fixture |\n" (fun path ->
+      let ownership = Lint_ownership.load path in
+      let report = run ~ownership () in
+      Alcotest.(check bool) "stale manifest row reported" true
+        (List.exists
+           (fun f -> f.Lint_types.kind = "stale-manifest-entry")
+           (by_rule report Lint_types.R3_ownership)))
+
+let () =
+  Alcotest.run "pint_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 hot allocation" `Quick test_r1_hot_alloc;
+          Alcotest.test_case "R2 polymorphic compare" `Quick test_r2_poly_compare;
+          Alcotest.test_case "R3 undeclared field" `Quick test_r3_undeclared_field;
+          Alcotest.test_case "R4 forbidden ident" `Quick test_r4_forbidden;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "suppresses matching findings" `Quick test_baseline_suppresses;
+          Alcotest.test_case "requires justification" `Quick test_baseline_requires_justification;
+          Alcotest.test_case "reports stale entries" `Quick test_baseline_stale_entry;
+        ] );
+      ( "ownership",
+        [
+          Alcotest.test_case "wildcard coverage" `Quick test_ownership_coverage;
+          Alcotest.test_case "stale manifest row" `Quick test_ownership_stale_entry;
+        ] );
+    ]

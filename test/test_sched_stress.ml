@@ -1,0 +1,259 @@
+(* Schedule-exploration stress tests for the two transfer structures of
+   the pipeline: the broadcast queue (Ahq) and the work deque
+   (Par_exec.Lockdq).
+
+   Two layers per structure:
+
+   - Randomized seeded interleavings, single-threaded: every operation is
+     checked against a reference model step by step, so any deviation from
+     FIFO (queue) or double-ended LIFO/FIFO (deque) semantics is caught at
+     the exact operation that broke it.  Single-threaded driving makes the
+     expected result exact — this explores operation orders, not memory
+     orders.
+
+   - A real-domains smoke test: one producer and concurrent consumers on
+     actual domains, asserting the linearizable outcome (per-reader FIFO
+     for the queue; exactly-once transfer for the deque), which exercises
+     the actual synchronization under true parallelism. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Srec values to move through the queue: uid is the identity we track. *)
+let make_srecs n =
+  let _sp, root = Sp_order.create () in
+  Array.init n (fun uid -> Srec.make ~uid root)
+
+(* ------------------------------------------------------- Ahq vs model *)
+
+(* Reference model: the queue is broadcast SPMC — a single append-only
+   sequence with one cursor per reader.  [try_enqueue] must succeed iff
+   the ring has room against the *minimum* cursor. *)
+let ahq_interleaving ~seed () =
+  let rng = Random.State.make [| seed |] in
+  let cap = 8 and n_readers = 2 and steps = 4000 in
+  let q = Ahq.create ~capacity:cap ~readers:n_readers () in
+  let pool = make_srecs steps in
+  let pushed = ref 0 in
+  let cursors = Array.make n_readers 0 in
+  let model_min () = Array.fold_left min max_int cursors in
+  let buf = Array.make 3 pool.(0) in
+  for step = 1 to steps do
+    match Random.State.int rng 4 with
+    | 0 ->
+        (* enqueue: exact admission against the min cursor *)
+        let s = pool.(!pushed mod steps) in
+        let expect_ok = !pushed - model_min () < cap in
+        let ok = Ahq.try_enqueue q s in
+        check_bool (Printf.sprintf "seed %d step %d: admission" seed step) expect_ok ok;
+        if ok then incr pushed
+    | 1 ->
+        (* peek: the cursor-th element of the pushed sequence, or None *)
+        let i = Random.State.int rng n_readers in
+        let expect = if cursors.(i) < !pushed then Some (cursors.(i) mod steps) else None in
+        let got = Option.map (fun (s : Srec.t) -> s.Srec.uid) (Ahq.peek q i) in
+        (match (expect, got) with
+        | None, None -> ()
+        | Some e, Some g when e = g -> ()
+        | _ -> Alcotest.failf "seed %d step %d: reader %d peek diverged from model" seed step i)
+    | 2 ->
+        (* batched peek through the reusable buffer *)
+        let i = Random.State.int rng n_readers in
+        let n = Ahq.peek_batch_into q i buf in
+        check_int
+          (Printf.sprintf "seed %d step %d: batch size" seed step)
+          (min (!pushed - cursors.(i)) (Array.length buf))
+          n;
+        for k = 0 to n - 1 do
+          check_int
+            (Printf.sprintf "seed %d step %d: batch slot %d" seed step k)
+            ((cursors.(i) + k) mod steps)
+            buf.(k).Srec.uid
+        done
+    | _ ->
+        (* advance: consume 1..3 pending records *)
+        let i = Random.State.int rng n_readers in
+        let pending = !pushed - cursors.(i) in
+        if pending > 0 then begin
+          let n = 1 + Random.State.int rng (min pending 3) in
+          Ahq.advance_n q i n;
+          cursors.(i) <- cursors.(i) + n;
+          check_int
+            (Printf.sprintf "seed %d step %d: processed" seed step)
+            cursors.(i) (Ahq.processed q i)
+        end
+  done;
+  (* drain both readers and the queue must agree it is empty *)
+  for i = 0 to n_readers - 1 do
+    let pending = !pushed - cursors.(i) in
+    if pending > 0 then Ahq.advance_n q i pending
+  done;
+  check_bool "drained" true (Ahq.drained q);
+  check_int "everything was enqueued exactly once" !pushed (Ahq.enqueued q)
+
+(* Real domains: one writer, two readers, each reader must observe the
+   full sequence in FIFO order — the broadcast queue never drops, dups, or
+   reorders for any reader. *)
+let ahq_domains () =
+  let total = 20_000 in
+  let q = Ahq.create ~capacity:64 ~readers:2 () in
+  let pool = make_srecs total in
+  let reader i () =
+    let buf = Array.make 32 pool.(0) in
+    let seen = ref 0 in
+    let ok = ref true in
+    while !seen < total do
+      let n = Ahq.peek_batch_into q i buf in
+      if n = 0 then Domain.cpu_relax ()
+      else begin
+        for k = 0 to n - 1 do
+          if buf.(k).Srec.uid <> !seen + k then ok := false
+        done;
+        Ahq.advance_n q i n;
+        seen := !seen + n
+      end
+    done;
+    !ok
+  in
+  let r0 = Domain.spawn (reader 0) in
+  let r1 = Domain.spawn (reader 1) in
+  for k = 0 to total - 1 do
+    while not (Ahq.try_enqueue q pool.(k)) do
+      Domain.cpu_relax ()
+    done
+  done;
+  check_bool "reader 0 saw FIFO order" true (Domain.join r0);
+  check_bool "reader 1 saw FIFO order" true (Domain.join r1);
+  check_bool "drained" true (Ahq.drained q)
+
+(* ---------------------------------------------------- Lockdq vs model *)
+
+(* Reference model: a plain list, head = bottom.  [push_bottom]/[pop_bottom]
+   work at the head, [steal_top] at the last element. *)
+let rec split_last = function
+  | [] -> invalid_arg "split_last"
+  | [ x ] -> ([], x)
+  | x :: tl ->
+      let rest, last = split_last tl in
+      (x :: rest, last)
+
+let lockdq_interleaving ~seed () =
+  let rng = Random.State.make [| seed |] in
+  let steps = 4000 in
+  let dq : int Par_exec.Lockdq.t = Par_exec.Lockdq.create () in
+  let model = ref [] in
+  let next = ref 0 in
+  for step = 1 to steps do
+    match Random.State.int rng 3 with
+    | 0 ->
+        Par_exec.Lockdq.push_bottom dq !next;
+        model := !next :: !model;
+        incr next
+    | 1 -> (
+        let got = Par_exec.Lockdq.pop_bottom dq in
+        match (!model, got) with
+        | [], None -> ()
+        | x :: rest, Some y when x = y -> model := rest
+        | _ ->
+            Alcotest.failf "seed %d step %d: pop_bottom diverged (got %s)" seed step
+              (match got with None -> "None" | Some v -> string_of_int v))
+    | _ -> (
+        let got = Par_exec.Lockdq.steal_top dq in
+        match (!model, got) with
+        | [], None -> ()
+        | l, Some y ->
+            let rest, last = split_last l in
+            if last = y then model := rest
+            else
+              Alcotest.failf "seed %d step %d: steal_top returned %d, model top %d" seed step y
+                last
+        | _ :: _, None -> Alcotest.failf "seed %d step %d: steal_top missed an element" seed step)
+  done;
+  (* drain: remaining elements must come out bottom-first, exactly once *)
+  let rec drain () =
+    match Par_exec.Lockdq.pop_bottom dq with
+    | None -> check_int (Printf.sprintf "seed %d: model drained too" seed) 0 (List.length !model)
+    | Some y -> (
+        match !model with
+        | x :: rest when x = y ->
+            model := rest;
+            drain ()
+        | _ -> Alcotest.failf "seed %d: drain diverged at %d" seed y)
+  in
+  drain ();
+  check_bool "is_empty after drain" true (Par_exec.Lockdq.is_empty dq)
+
+(* Real domains: the owner pushes and pops at the bottom while two thieves
+   steal from the top.  Linearizability here means exactly-once transfer:
+   the multiset of popped + stolen + leftover values is exactly the pushed
+   set, and each thief's steals arrive oldest-first (monotonically
+   increasing values, since the owner pushes 0,1,2,… and never re-pushes). *)
+let lockdq_domains () =
+  let total = 20_000 in
+  let dq : int Par_exec.Lockdq.t = Par_exec.Lockdq.create () in
+  let stop = Atomic.make false in
+  let thief () =
+    let mine = ref [] in
+    while not (Atomic.get stop) do
+      match Par_exec.Lockdq.steal_top dq with
+      | Some v -> mine := v :: !mine
+      | None -> Domain.cpu_relax ()
+    done;
+    (* final sweep so nothing is stranded between stop and join *)
+    let rec sweep () =
+      match Par_exec.Lockdq.steal_top dq with
+      | Some v ->
+          mine := v :: !mine;
+          sweep ()
+      | None -> ()
+    in
+    sweep ();
+    List.rev !mine
+  in
+  let t0 = Domain.spawn thief and t1 = Domain.spawn thief in
+  let popped = ref [] in
+  let rng = Random.State.make [| 7 |] in
+  for v = 0 to total - 1 do
+    Par_exec.Lockdq.push_bottom dq v;
+    if Random.State.int rng 3 = 0 then
+      match Par_exec.Lockdq.pop_bottom dq with
+      | Some x -> popped := x :: !popped
+      | None -> ()
+  done;
+  Atomic.set stop true;
+  let s0 = Domain.join t0 and s1 = Domain.join t1 in
+  let rec drain acc =
+    match Par_exec.Lockdq.pop_bottom dq with Some v -> drain (v :: acc) | None -> acc
+  in
+  let leftovers = drain [] in
+  let rec increasing = function
+    | a :: (b :: _ as tl) -> a < b && increasing tl
+    | _ -> true
+  in
+  check_bool "thief 0 stole oldest-first" true (increasing s0);
+  check_bool "thief 1 stole oldest-first" true (increasing s1);
+  (* exactly-once: popped + stolen + leftovers is a permutation of 0..n-1 *)
+  let all = List.sort compare (!popped @ s0 @ s1 @ leftovers) in
+  check_int "nothing lost or duplicated" total (List.length all);
+  List.iteri (fun i v -> if i <> v then Alcotest.failf "value %d appears at rank %d" v i) all
+
+let seeds = [ 1; 42; 1234; 99991 ]
+
+let () =
+  Alcotest.run "pint_sched_stress"
+    [
+      ( "ahq",
+        List.map
+          (fun seed ->
+            Alcotest.test_case (Printf.sprintf "interleaving seed %d" seed) `Quick
+              (ahq_interleaving ~seed))
+          seeds
+        @ [ Alcotest.test_case "real domains FIFO" `Quick ahq_domains ] );
+      ( "lockdq",
+        List.map
+          (fun seed ->
+            Alcotest.test_case (Printf.sprintf "interleaving seed %d" seed) `Quick
+              (lockdq_interleaving ~seed))
+          seeds
+        @ [ Alcotest.test_case "real domains exactly-once" `Quick lockdq_domains ] );
+    ]

@@ -1,0 +1,85 @@
+(* Baseline suppression file.
+
+   One entry per line:
+
+     RULE  file.ml  context  kind  -- justification
+
+   Fields are whitespace-separated; the justification after "--" is
+   mandatory (a suppression without a reason is a finding in itself).
+   Blank lines and [#] comments are skipped.  An entry suppresses every
+   finding whose (rule, basename, context, kind) fingerprint matches it —
+   kind-level granularity on purpose, see {!Lint_types.fingerprint}. *)
+
+type entry = {
+  e_rule : string;
+  e_file : string;
+  e_context : string;
+  e_kind : string;
+  justification : string;
+  e_line : int;  (** line in the baseline file, for stale reporting *)
+  mutable used : bool;
+}
+
+type t = { entries : entry list }
+
+let empty = { entries = [] }
+
+exception Malformed of string
+
+let parse_line ~lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    let body, justification =
+      match Str_split.split_on_first line ~sep:"--" with
+      | Some (b, j) when String.trim j <> "" -> (b, String.trim j)
+      | _ ->
+          raise
+            (Malformed
+               (Printf.sprintf "baseline line %d: missing '-- justification': %s" lineno line))
+    in
+    match String.split_on_char ' ' body |> List.filter (fun s -> s <> "") with
+    | [ e_rule; e_file; e_context; e_kind ] ->
+        Some { e_rule; e_file; e_context; e_kind; justification; e_line = lineno; used = false }
+    | _ ->
+        raise
+          (Malformed
+             (Printf.sprintf "baseline line %d: expected 'RULE file context kind -- why': %s"
+                lineno line))
+
+let load path =
+  if not (Sys.file_exists path) then empty
+  else begin
+    let ic = open_in path in
+    let entries = ref [] in
+    let lineno = ref 0 in
+    (try
+       while true do
+         incr lineno;
+         let line = input_line ic in
+         match parse_line ~lineno:!lineno line with
+         | Some e -> entries := e :: !entries
+         | None -> ()
+       done
+     with End_of_file -> close_in ic);
+    { entries = List.rev !entries }
+  end
+
+(* [suppresses t f] — true when a baseline entry covers [f]; marks the
+   entry used so stale entries can be reported afterwards. *)
+let suppresses t (f : Lint_types.finding) =
+  let rule, file, context, kind = Lint_types.fingerprint f in
+  match
+    List.find_opt
+      (fun e -> e.e_rule = rule && e.e_file = file && e.e_context = context && e.e_kind = kind)
+      t.entries
+  with
+  | Some e ->
+      e.used <- true;
+      true
+  | None -> false
+
+(* Entries that matched nothing this run: reported as warnings (not
+   findings) so a fixed violation leaves a visible nudge to prune its
+   justification without failing the build on the cleanup. *)
+let stale t = List.filter (fun e -> not e.used) t.entries

@@ -1,0 +1,124 @@
+(* Orchestration: load .cmt files, run the pass per module, apply the
+   ownership manifest (R3) and the baseline, and assemble the report. *)
+
+type report = {
+  findings : Lint_types.finding list;  (** non-suppressed, sorted *)
+  suppressed : int;
+  modules : string list;  (** modules actually analyzed *)
+  fields_checked : int;  (** mutable fields inventoried for R3 *)
+  stale_baseline : Lint_baseline.entry list;
+}
+
+(* A .cmt holds an implementation, an interface, or a packed module; only
+   implementations carry the typed tree the rules inspect. *)
+let load_structure path =
+  let infos = Cmt_format.read_cmt path in
+  match infos.Cmt_format.cmt_annots with
+  | Cmt_format.Implementation str -> Some (infos.Cmt_format.cmt_modname, str)
+  | _ -> None
+
+let rec collect_cmts path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry -> collect_cmts (Filename.concat path entry) acc)
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let run ~baseline ~ownership paths =
+  let cmts = List.sort compare (List.fold_right collect_cmts paths []) in
+  let modules = ref [] in
+  let all_findings = ref [] in
+  let all_fields = ref [] in
+  List.iter
+    (fun cmt ->
+      match load_structure cmt with
+      | None -> ()
+      | Some (modname, str) ->
+          modules := modname :: !modules;
+          let findings, fields = Lint_pass.analyze ~modname str in
+          all_findings := findings :: !all_findings;
+          all_fields := fields :: !all_fields)
+    cmts;
+  let fields = List.concat !all_fields in
+  (* R3a: every mutable field must be claimed by the manifest *)
+  let r3 =
+    List.filter_map
+      (fun (path, loc, flavor) ->
+        if Lint_ownership.covers ownership path then None
+        else
+          Some
+            (Lint_types.make_finding ~rule:Lint_types.R3_ownership ~loc ~context:path
+               ~kind:"undeclared-mutable-field"
+               (Printf.sprintf
+                  "%s field %s is neither Atomic.t nor declared in the ownership manifest" flavor
+                  path)))
+      fields
+  in
+  (* R3b: manifest entries must claim fields that still exist *)
+  let r3_stale =
+    List.map
+      (fun (e : Lint_ownership.entry) ->
+        let loc =
+          Location.in_file (Printf.sprintf "OWNERSHIP.md (line %d)" e.Lint_ownership.o_line)
+        in
+        Lint_types.make_finding ~rule:Lint_types.R3_ownership ~loc ~context:e.Lint_ownership.pattern
+          ~kind:"stale-manifest-entry"
+          (Printf.sprintf "manifest claims %s but no such mutable field exists"
+             e.Lint_ownership.pattern))
+      (Lint_ownership.stale ownership)
+  in
+  let findings = List.concat (List.rev !all_findings) @ r3 @ r3_stale in
+  let kept, suppressed =
+    List.partition (fun f -> not (Lint_baseline.suppresses baseline f)) findings
+  in
+  {
+    findings = List.sort Lint_types.compare_findings kept;
+    suppressed = List.length suppressed;
+    modules = List.sort compare !modules;
+    fields_checked = List.length fields;
+    stale_baseline = Lint_baseline.stale baseline;
+  }
+
+(* The uncovered mutable-field inventory in manifest-row form — used by
+   [pint_lint --dump-fields] to draft OWNERSHIP.md entries. *)
+let dump_fields ~ownership paths =
+  let cmts = List.sort compare (List.fold_right collect_cmts paths []) in
+  List.concat_map
+    (fun cmt ->
+      match load_structure cmt with
+      | None -> []
+      | Some (modname, str) ->
+          let _, fields = Lint_pass.analyze ~modname str in
+          List.filter_map
+            (fun (path, _, flavor) ->
+              if Lint_ownership.covers ownership path then None
+              else Some (Printf.sprintf "| %s | FIXME-owner | %s field |" path flavor))
+            fields)
+    cmts
+
+let json_report r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"findings\": [\n";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b ("    " ^ Lint_types.to_json f))
+    r.findings;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b (Printf.sprintf "  \"suppressed\": %d,\n" r.suppressed);
+  Buffer.add_string b (Printf.sprintf "  \"fields_checked\": %d,\n" r.fields_checked);
+  Buffer.add_string b
+    (Printf.sprintf "  \"modules\": [%s],\n"
+       (String.concat ", " (List.map (fun m -> "\"" ^ Lint_types.json_escape m ^ "\"") r.modules)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"stale_baseline\": [%s]\n"
+       (String.concat ", "
+          (List.map
+             (fun (e : Lint_baseline.entry) ->
+               Printf.sprintf "\"line %d: %s %s %s %s\"" e.Lint_baseline.e_line
+                 e.Lint_baseline.e_rule e.Lint_baseline.e_file e.Lint_baseline.e_context
+                 e.Lint_baseline.e_kind)
+             r.stale_baseline)));
+  Buffer.add_string b "}\n";
+  Buffer.contents b

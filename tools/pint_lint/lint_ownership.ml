@@ -1,0 +1,99 @@
+(* The OWNERSHIP.md manifest: the single-owner argument of DESIGN.md §8
+   turned into checkable data.
+
+   The linter enumerates every mutable (or mutable-container) field of
+   every type declared under lib/; each one must either be synchronized
+   ([Atomic.t] & friends — detected from the type, no entry needed) or be
+   claimed here with a named owner.  Rows are standard markdown table rows:
+
+     | Module.type.field | owner | justification |
+
+   The first cell may end in [.*] to claim every field of a type
+   ([Itreap.scratch.*]) or every field of a module ([Wl_heat.*]) — meant
+   for single-stage-local state where per-field entries add no information.
+   Entries (wildcard or not) that match no existing field are reported as
+   R3 findings: a manifest claiming fields that are gone is wrong, not
+   merely untidy. *)
+
+type entry = {
+  pattern : string;  (** [Module.type.field], or with a trailing [.*] *)
+  owner : string;
+  note : string;
+  o_line : int;
+  mutable matched : bool;
+}
+
+type t = { entries : entry list }
+
+let empty = { entries = [] }
+
+(* A manifest row's first cell must look like a field path, which keeps the
+   parser from eating the table header or prose tables elsewhere in the
+   file. *)
+let looks_like_pattern s =
+  s <> "" && s.[0] >= 'A' && s.[0] <= 'Z' && String.contains s '.'
+
+let parse_row ~lineno line =
+  let line = String.trim line in
+  if String.length line < 2 || line.[0] <> '|' then None
+  else
+    let cells =
+      String.split_on_char '|' line |> List.map String.trim
+      |> List.filter (fun c -> c <> "")
+    in
+    match cells with
+    | pattern :: owner :: rest when looks_like_pattern pattern ->
+        (* tolerate a missing note cell but not a missing owner *)
+        let sep = String.for_all (fun c -> c = '-' || c = ':' || c = ' ') owner in
+        if sep || owner = "" then None
+        else
+          Some
+            {
+              pattern;
+              owner;
+              note = String.concat " | " rest;
+              o_line = lineno;
+              matched = false;
+            }
+    | _ -> None
+
+let load path =
+  if not (Sys.file_exists path) then empty
+  else begin
+    let ic = open_in path in
+    let entries = ref [] in
+    let lineno = ref 0 in
+    (try
+       while true do
+         incr lineno;
+         match parse_row ~lineno:!lineno (input_line ic) with
+         | Some e -> entries := e :: !entries
+         | None -> ()
+       done
+     with End_of_file -> close_in ic);
+    { entries = List.rev !entries }
+  end
+
+let pattern_matches pat field =
+  if pat = field then true
+  else
+    match Str_split.split_on_first pat ~sep:".*" with
+    | Some (prefix, "") -> Str_split.starts_with ~prefix:(prefix ^ ".") field
+    | _ -> false
+
+(* [covers t field] — true when a manifest entry claims [field]
+   (e.g. "Itreap.t.root"); marks the entry so staleness can be checked. *)
+let covers t field =
+  List.fold_left
+    (fun acc e ->
+      if pattern_matches e.pattern field then begin
+        e.matched <- true;
+        true
+      end
+      else acc)
+    false t.entries
+
+(* Entries that matched no discovered field.  Wildcards are held to the
+   same standard: a module-level claim over a module with no mutable state
+   left is as stale as a field-level one. *)
+let stale t = List.filter (fun e -> not e.matched) t.entries

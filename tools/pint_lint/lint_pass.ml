@@ -1,0 +1,323 @@
+(* The per-module typed-tree pass: runs R1/R2/R4 over expressions and
+   collects the mutable-field inventory R3 checks against OWNERSHIP.md.
+
+   The pass is intra-procedural on purpose.  R1 sees the allocations a
+   [@pint.hot] body performs directly (constructs, closures, partial
+   applications, known allocating callees) but does not chase calls: a
+   helper that allocates must either be annotated itself or appear in
+   {!Lint_types.allocating_idents}.  That keeps findings attributable to a
+   source line the author controls, which is what a baseline entry with a
+   justification needs. *)
+
+open Typedtree
+open Lint_types
+
+type state = {
+  modname : string;
+  mutable findings : finding list;
+  (* (field path, loc, flavor) for every non-synchronized mutable field *)
+  mutable fields : (string * Location.t * string) list;
+  mutable ctx : string list;  (** enclosing value-binding names, innermost first *)
+  mutable in_hot : bool;
+  mutable hot_fn : string;
+  (* records consumed as the single argument of a constructor: the construct
+     finding already covers the allocation, don't double-report the record *)
+  counted_records : (int * int, unit) Hashtbl.t;
+}
+
+let context st = if st.in_hot then st.hot_fn else match st.ctx with c :: _ -> c | [] -> "<toplevel>"
+
+let flag st ~rule ~loc ~kind fmt =
+  Printf.ksprintf
+    (fun message ->
+      st.findings <- make_finding ~rule ~loc ~context:(context st) ~kind message :: st.findings)
+    fmt
+
+(* ------------------------------------------------------------ path names *)
+
+(* Normalize a resolved path to the source-level name: the stdlib shows up
+   both as an alias path ("Stdlib.List.mem") and as mangled compilation
+   units ("Stdlib__List.mem") depending on how the reference was spelled. *)
+let rec norm name =
+  if Str_split.starts_with ~prefix:"Stdlib__" name then
+    norm (String.capitalize_ascii (String.sub name 8 (String.length name - 8)))
+  else if Str_split.starts_with ~prefix:"Stdlib." name then
+    norm (String.sub name 7 (String.length name - 7))
+  else name
+
+let rec path_root = function
+  | Path.Pident id -> Ident.name id
+  | Path.Pdot (p, _) -> path_root p
+  | Path.Papply (p, _) -> path_root p
+  | Path.Pextra_ty (p, _) -> path_root p
+
+let stdlib_rooted p = Str_split.starts_with ~prefix:"Stdlib" (path_root p)
+
+(* The normalized poly/forbidden/allocator sets (bare names like "=" or
+   "ref" only count when resolved from the stdlib, so a module-local
+   [compare] is not mistaken for the polymorphic one). *)
+let matches_set set p =
+  let nm = norm (Path.name p) in
+  List.mem nm (List.map norm set) && (String.contains nm '.' || stdlib_rooted p)
+
+let is_poly_compare p = matches_set poly_compare_idents p
+let is_allocator p = matches_set allocating_idents p
+let is_forbidden p = matches_set forbidden_idents p
+
+let is_hot_forbidden p =
+  let nm = norm (Path.name p) in
+  List.exists (fun pre -> Str_split.starts_with ~prefix:(norm pre) nm) hot_forbidden_prefixes
+
+(* ------------------------------------------------------------- type tests *)
+
+(* Does [ty] mention one of the node types whose structural comparison is
+   banned?  Purely syntactic containment: abbreviations that hide a node
+   type behind an opaque alias are not expanded (documented limitation). *)
+let mentions_node_type ~modname ty =
+  let seen = Hashtbl.create 16 in
+  let hit = ref None in
+  let rec go ty =
+    let id = Types.get_id ty in
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      (match Types.get_desc ty with
+      | Types.Tconstr (p, _, _) ->
+          let nm = norm (Path.name p) in
+          List.iter
+            (fun (m, t) ->
+              if nm = m ^ "." ^ t || (modname = m && nm = t) then
+                if !hit = None then hit := Some (m ^ "." ^ t))
+            node_types
+      | _ -> ());
+      Btype.iter_type_expr go ty
+    end
+  in
+  go ty;
+  !hit
+
+let is_arrow ty = match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+let first_param ty = match Types.get_desc ty with Types.Tarrow (_, a, _, _) -> Some a | _ -> None
+
+let head_constr ty =
+  match Types.get_desc ty with Types.Tconstr (p, args, _) -> Some (norm (Path.name p), args) | _ -> None
+
+let is_float ty = match head_constr ty with Some ("float", _) -> true | _ -> false
+
+(* Comparison operators are compiler-specialized at these base types: the
+   generated code is a direct primitive, not a call into the polymorphic
+   compare runtime, so they are fine even on hot paths. *)
+let specialized_compare_heads =
+  [ "int"; "char"; "bool"; "unit"; "float"; "string"; "bytes"; "int32"; "int64"; "nativeint" ]
+
+let is_specialized_compare_ty ty =
+  match head_constr ty with Some (nm, _) -> List.mem nm specialized_compare_heads | None -> false
+
+(* [min]/[max]/[compare]/[Hashtbl.hash]/[List.mem]… are ordinary functions:
+   every call goes through the generic compare runtime whatever the
+   instantiation, unlike the %-primitive operators above. *)
+let always_generic_compare =
+  [ "compare"; "min"; "max"; "Hashtbl.hash"; "List.mem"; "List.assoc"; "List.mem_assoc" ]
+
+(* ------------------------------------------------------ constant lifting *)
+
+(* Structured constants ([(Leaf, Leaf)], [Some 0], ["lit"]) are lifted to
+   static data by the compiler and never allocated at run time. *)
+let rec is_static_const e =
+  match e.exp_desc with
+  | Texp_constant _ -> true
+  | Texp_construct (_, _, args) -> List.for_all is_static_const args
+  | Texp_tuple es -> List.for_all is_static_const es
+  | Texp_variant (_, None) -> true
+  | Texp_variant (_, Some a) -> is_static_const a
+  | Texp_array es -> es = []
+  | _ -> false
+
+(* ---------------------------------------------------------- R1 / R2 / R4 *)
+
+let loc_key (loc : Location.t) = (loc.loc_start.pos_cnum, loc.loc_end.pos_cnum)
+
+let check_expr st e =
+  let loc = e.exp_loc in
+  (match e.exp_desc with
+  | Texp_ident (p, _, _) ->
+      if is_forbidden p then
+        flag st ~rule:R4_forbidden ~loc ~kind:"forbidden-ident" "use of %s" (Path.name p);
+      if st.in_hot && is_hot_forbidden p then
+        flag st ~rule:R4_forbidden ~loc ~kind:"printf-in-hot" "%s in a [@pint.hot] body"
+          (norm (Path.name p));
+      if is_poly_compare p then begin
+        let nm = norm (Path.name p) in
+        let param = first_param e.exp_type in
+        match Option.bind param (mentions_node_type ~modname:st.modname) with
+        | Some node_ty ->
+            flag st ~rule:R2_poly_compare ~loc ~kind:"poly-compare"
+              "polymorphic %s instantiated at a type containing %s" nm node_ty
+        | None ->
+            if st.in_hot then
+              if List.mem nm always_generic_compare then
+                flag st ~rule:R2_poly_compare ~loc ~kind:"poly-compare"
+                  "generic %s in a [@pint.hot] body (out-of-line compare even at int)" nm
+              else if not (match param with Some ty -> is_specialized_compare_ty ty | None -> false)
+              then
+                flag st ~rule:R2_poly_compare ~loc ~kind:"poly-compare"
+                  "polymorphic %s at a non-specialized type in a [@pint.hot] body" nm
+      end
+  | Texp_apply (f, _) ->
+      if st.in_hot then begin
+        (match f.exp_desc with
+        | Texp_ident (p, _, _) when is_allocator p ->
+            flag st ~rule:R1_hot_alloc ~loc ~kind:"alloc-call" "call to allocating %s"
+              (norm (Path.name p))
+        | _ -> ());
+        if is_arrow e.exp_type then
+          flag st ~rule:R1_hot_alloc ~loc ~kind:"partial-apply"
+            "partial application allocates a closure";
+        if is_float e.exp_type then
+          flag st ~rule:R1_hot_alloc ~loc ~kind:"float-box" "float result is boxed"
+      end
+  | Texp_match (scrut, _, _) -> (
+      (* [match (a, b) with …] never builds the pair: the match compiler
+         destructures literal-tuple scrutinees in place *)
+      match scrut.exp_desc with
+      | Texp_tuple _ -> Hashtbl.replace st.counted_records (loc_key scrut.exp_loc) ()
+      | _ -> ())
+  | Texp_tuple es
+    when st.in_hot
+         && (not (List.for_all is_static_const es))
+         && not (Hashtbl.mem st.counted_records (loc_key loc)) ->
+      flag st ~rule:R1_hot_alloc ~loc ~kind:"tuple" "tuple allocation (%d fields)" (List.length es)
+  | Texp_construct (_, cd, args)
+    when st.in_hot && args <> [] && not (List.for_all is_static_const args) ->
+      (match args with
+      | [ ({ exp_desc = Texp_record _; _ } as r) ] -> Hashtbl.replace st.counted_records (loc_key r.exp_loc) ()
+      | _ -> ());
+      flag st ~rule:R1_hot_alloc ~loc ~kind:"construct" "allocation of constructor %s"
+        cd.Types.cstr_name
+  | Texp_record _ when st.in_hot && not (Hashtbl.mem st.counted_records (loc_key loc)) ->
+      flag st ~rule:R1_hot_alloc ~loc ~kind:"record" "record allocation"
+  | Texp_array es when st.in_hot && es <> [] ->
+      flag st ~rule:R1_hot_alloc ~loc ~kind:"array" "array literal allocation"
+  | Texp_variant (_, Some _) when st.in_hot ->
+      flag st ~rule:R1_hot_alloc ~loc ~kind:"variant" "polymorphic-variant allocation"
+  | Texp_lazy _ when st.in_hot -> flag st ~rule:R1_hot_alloc ~loc ~kind:"lazy" "lazy block allocation"
+  | Texp_pack _ when st.in_hot ->
+      flag st ~rule:R1_hot_alloc ~loc ~kind:"module-pack" "first-class module allocation"
+  | _ -> ())
+
+(* -------------------------------------------------------------- R3 fields *)
+
+(* Record labels arrive wrapped in [Ttyp_poly] (even when monomorphic). *)
+let rec core_type_head (ct : core_type) =
+  match ct.ctyp_desc with
+  | Ttyp_poly (_, ct) -> core_type_head ct
+  | Ttyp_constr (p, _, args) -> Some (norm (Path.name p), args)
+  | _ -> None
+
+let is_synchronized_head ct =
+  match core_type_head ct with
+  | Some (nm, args) -> (
+      List.mem nm (List.map norm synchronized_heads)
+      || (* an array of atomics: the spine is written once at creation *)
+      match (nm, args) with
+      | "array", [ elt ] -> (
+          match core_type_head elt with
+          | Some (e, _) -> List.mem e (List.map norm synchronized_heads)
+          | None -> false)
+      | _ -> false)
+  | None -> false
+
+let is_container_head ct =
+  match core_type_head ct with
+  | Some (nm, _) -> List.mem nm (List.map norm mutable_container_heads)
+  | None -> false
+
+let collect_labels st ~tyname ~prefix lds =
+  List.iter
+    (fun ld ->
+      let mutable_field = ld.ld_mutable = Asttypes.Mutable in
+      let container = is_container_head ld.ld_type in
+      if (mutable_field || container) && not (is_synchronized_head ld.ld_type) then begin
+        let path = Printf.sprintf "%s.%s%s.%s" st.modname tyname prefix ld.ld_name.Asttypes.txt in
+        let flavor = if mutable_field then "mutable" else "container" in
+        st.fields <- (path, ld.ld_loc, flavor) :: st.fields
+      end)
+    lds
+
+let check_type_decl st (td : type_declaration) =
+  let tyname = td.typ_name.Asttypes.txt in
+  match td.typ_kind with
+  | Ttype_record lds -> collect_labels st ~tyname ~prefix:"" lds
+  | Ttype_variant cds ->
+      List.iter
+        (fun cd ->
+          match cd.cd_args with
+          | Cstr_record lds ->
+              collect_labels st ~tyname ~prefix:("." ^ cd.cd_name.Asttypes.txt) lds
+          | Cstr_tuple _ -> ())
+        cds
+  | Ttype_abstract | Ttype_open -> ()
+
+(* -------------------------------------------------------------- traversal *)
+
+let pat_name : type k. k general_pattern -> string =
+ fun p -> match p.pat_desc with Tpat_var (id, _) -> Ident.name id | _ -> "_"
+
+let has_hot_attr attrs =
+  List.exists (fun a -> a.Parsetree.attr_name.Asttypes.txt = hot_attribute) attrs
+
+let analyze ~modname (str : structure) =
+  let st =
+    {
+      modname;
+      findings = [];
+      fields = [];
+      ctx = [];
+      in_hot = false;
+      hot_fn = "";
+      counted_records = Hashtbl.create 16;
+    }
+  in
+  let super = Tast_iterator.default_iterator in
+  (* Walk the parameter spine of a hot binding: the leading [fun] chain is
+     the function itself, not a closure allocated inside it. *)
+  let rec walk_spine sub e =
+    match e.exp_desc with
+    | Texp_function { cases; _ } ->
+        List.iter
+          (fun c ->
+            sub.Tast_iterator.pat sub c.c_lhs;
+            Option.iter (sub.Tast_iterator.expr sub) c.c_guard;
+            walk_spine sub c.c_rhs)
+          cases
+    | _ -> sub.Tast_iterator.expr sub e
+  in
+  let value_binding sub vb =
+    let name = pat_name vb.vb_pat in
+    st.ctx <- name :: st.ctx;
+    (if has_hot_attr vb.vb_attributes && not st.in_hot then begin
+       st.in_hot <- true;
+       st.hot_fn <- name;
+       sub.Tast_iterator.pat sub vb.vb_pat;
+       walk_spine sub vb.vb_expr;
+       st.in_hot <- false;
+       st.hot_fn <- ""
+     end
+     else super.value_binding sub vb);
+    st.ctx <- List.tl st.ctx
+  in
+  let expr sub e =
+    check_expr st e;
+    (match e.exp_desc with
+    | Texp_function _ when st.in_hot ->
+        flag st ~rule:R1_hot_alloc ~loc:e.exp_loc ~kind:"closure" "closure allocation"
+    | _ -> ());
+    super.expr sub e
+  in
+  let type_declaration sub td =
+    check_type_decl st td;
+    super.type_declaration sub td
+  in
+  let it = { super with value_binding; expr; type_declaration } in
+  it.structure it str;
+  (List.rev st.findings, List.rev st.fields)

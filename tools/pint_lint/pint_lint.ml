@@ -1,0 +1,65 @@
+(* pint_lint — static analysis over the .cmt typed trees dune produces.
+
+   Usage:
+     pint_lint [--baseline FILE] [--ownership FILE] [--json FILE]
+               [--dump-fields] [--quiet] PATH...
+
+   Each PATH is a .cmt file or a directory searched recursively for them.
+   Exit status: 0 when every finding is baselined, 1 otherwise, 2 on a
+   malformed baseline/manifest. *)
+
+let () =
+  let baseline_path = ref "" in
+  let ownership_path = ref "" in
+  let json_path = ref "" in
+  let dump = ref false in
+  let quiet = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--baseline", Arg.Set_string baseline_path, "FILE baseline suppression file");
+      ("--ownership", Arg.Set_string ownership_path, "FILE OWNERSHIP.md manifest");
+      ("--json", Arg.Set_string json_path, "FILE write a JSON report");
+      ("--dump-fields", Arg.Set dump, " print manifest rows for uncovered mutable fields");
+      ("--quiet", Arg.Set quiet, " only print the summary line");
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) "pint_lint [options] PATH...";
+  if !paths = [] then begin
+    prerr_endline "pint_lint: no .cmt paths given";
+    exit 2
+  end;
+  let ownership =
+    if !ownership_path = "" then Lint_core.Lint_ownership.empty
+    else Lint_core.Lint_ownership.load !ownership_path
+  in
+  if !dump then begin
+    List.iter print_endline (Lint_core.Lint_engine.dump_fields ~ownership (List.rev !paths));
+    exit 0
+  end;
+  let baseline =
+    try
+      if !baseline_path = "" then Lint_core.Lint_baseline.empty
+      else Lint_core.Lint_baseline.load !baseline_path
+    with Lint_core.Lint_baseline.Malformed m ->
+      prerr_endline ("pint_lint: " ^ m);
+      exit 2
+  in
+  let report = Lint_core.Lint_engine.run ~baseline ~ownership (List.rev !paths) in
+  if not !quiet then
+    List.iter (fun f -> print_endline (Lint_core.Lint_types.to_string f)) report.findings;
+  List.iter
+    (fun (e : Lint_core.Lint_baseline.entry) ->
+      Printf.eprintf "pint_lint: warning: stale baseline entry (line %d): %s %s %s %s\n"
+        e.Lint_core.Lint_baseline.e_line e.e_rule e.e_file e.e_context e.e_kind)
+    report.stale_baseline;
+  if !json_path <> "" then begin
+    let oc = open_out !json_path in
+    output_string oc (Lint_core.Lint_engine.json_report report);
+    close_out oc
+  end;
+  Printf.printf "pint_lint: %d module(s), %d mutable field(s) checked, %d finding(s), %d baselined\n"
+    (List.length report.modules) report.fields_checked
+    (List.length report.findings)
+    report.suppressed;
+  exit (if report.findings = [] then 0 else 1)

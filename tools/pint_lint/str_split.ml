@@ -1,0 +1,17 @@
+(* Tiny string helpers (the [str] library is deliberately not linked). *)
+
+(* [split_on_first s ~sep] — [Some (before, after)] around the first
+   occurrence of [sep], [None] when absent. *)
+let split_on_first s ~sep =
+  let n = String.length s and m = String.length sep in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = sep then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + m) (n - i - m))
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
