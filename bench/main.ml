@@ -9,10 +9,14 @@
       not simulated.
    3. A machine-readable mode (`--json PATH`, optionally `--runs N`) that
       times one representative configuration per figure with a plain
-      wall-clock stopwatch and writes per-case medians plus key detector
-      diagnostics (treap visits, fast-path hit rate) as JSON.  The committed
-      BENCH_2.json is generated this way, giving successive PRs a perf
-      trajectory to diff against. *)
+      wall-clock stopwatch and writes per-case median/min/max/sample-count
+      plus key detector diagnostics (treap visits, fast-path hit rate) as
+      JSON.  The committed BENCH_*.json files are generated this way,
+      giving successive PRs a perf trajectory to diff against and
+      tools/bench_gate a baseline to compare fresh runs to.  `--profile
+      PATH` additionally runs one profiled heat48/pint simulation, writes
+      its Chrome trace to PATH and merges the "obs.*" aggregates into the
+      JSON. *)
 
 open Bechamel
 open Toolkit
@@ -350,11 +354,29 @@ let median samples =
   else if n mod 2 = 1 then a.(n / 2)
   else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
 
-let json_mode ~path ~runs =
+(* One profiled representative run (fig1's heat48/pint under the simulator,
+   virtual-time clock): writes the Chrome trace next to the bench JSON and
+   returns the aggregate "obs.*" metrics for the JSON's "obs" object. *)
+let profiled_run ~path () =
+  let w = Registry.find "heat" in
+  let inst = w.Workload.make ~size:small ~base:8 in
+  let obs = Obs.create ~clock:(Clock.manual ()) () in
+  let d, stages = Option.get (Systems.make_detector ~obs "pint") in
+  let driver = Obs_hooks.instrument obs d.Detector.driver in
+  let config =
+    { Sim_exec.default_config with n_workers = 4; stages; obs_clock = Obs.clock obs }
+  in
+  ignore (Sim_exec.run ~config ~driver inst.Workload.run);
+  d.Detector.drain ();
+  Obs.write_chrome ~meta:[ ("bench", "fig1:heat48/pint"); ("exec", "sim") ] obs ~path;
+  Printf.printf "  profiled heat48/pint -> %s\n%!" path;
+  Obs.summary obs
+
+let json_mode ~path ~runs ~profile =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": 2,\n";
+  add "  \"schema\": 3,\n";
   add "  \"generated_by\": \"bench/main.exe --json\",\n";
   add "  \"runs\": %d,\n" runs;
   add "  \"figures\": {\n";
@@ -366,6 +388,10 @@ let json_mode ~path ~runs =
           Printf.printf "  %s / %s ...%!" group case;
           let samples = ref [] and diags = ref [] in
           for _ = 1 to runs do
+            (* start every sample from a compacted heap: the detectors are
+               allocation-heavy and inherited major-heap state otherwise
+               makes run-to-run timings bimodal *)
+            Gc.compact ();
             let t0 = Unix.gettimeofday () in
             diags := run ();
             samples := (Unix.gettimeofday () -. t0) :: !samples
@@ -374,6 +400,9 @@ let json_mode ~path ~runs =
           Printf.printf " %.3fs median\n%!" med;
           add "      %S: {\n" case;
           add "        \"median_s\": %.6f,\n" med;
+          add "        \"min_s\": %.6f,\n" (List.fold_left min infinity !samples);
+          add "        \"max_s\": %.6f,\n" (List.fold_left max neg_infinity !samples);
+          add "        \"n\": %d,\n" (List.length !samples);
           add "        \"samples_s\": [%s],\n"
             (String.concat ", " (List.rev_map (Printf.sprintf "%.6f") !samples));
           let kept =
@@ -387,7 +416,13 @@ let json_mode ~path ~runs =
         cases;
       add "    }%s\n" (if gi = List.length json_cases - 1 then "" else ","))
     json_cases;
-  add "  }\n";
+  (match profile with
+  | None -> add "  }\n"
+  | Some ppath ->
+      add "  },\n";
+      let s = profiled_run ~path:ppath () in
+      add "  \"obs\": {%s}\n"
+        (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %.3f" k v) s)));
   add "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -397,7 +432,7 @@ let json_mode ~path ~runs =
 let () =
   let argv = Sys.argv in
   let n = Array.length argv in
-  let json_path = ref None and runs = ref 5 in
+  let json_path = ref None and runs = ref 5 and profile = ref None in
   let i = ref 1 in
   while !i < n do
     (match argv.(!i) with
@@ -406,15 +441,19 @@ let () =
           incr i;
           json_path := Some argv.(!i)
         end
-        else json_path := Some "BENCH_2.json"
+        else json_path := Some "BENCH_5.json"
     | "--runs" when !i + 1 < n ->
         incr i;
         runs := int_of_string argv.(!i)
+    | "--profile" when !i + 1 < n ->
+        incr i;
+        profile := Some argv.(!i)
     | a ->
-        Printf.eprintf "bench: unknown argument %s (supported: --json [PATH] --runs N)\n" a;
+        Printf.eprintf
+          "bench: unknown argument %s (supported: --json [PATH] --runs N --profile PATH)\n" a;
         exit 2);
     incr i
   done;
   match !json_path with
-  | Some path -> json_mode ~path ~runs:!runs
+  | Some path -> json_mode ~path ~runs:!runs ~profile:!profile
   | None -> default_main ()

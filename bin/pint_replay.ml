@@ -5,6 +5,7 @@
      stats     print a trace's metadata and summary counts
      replay    drive one detector from a trace (no workload execution)
      diff      replay two detectors from the same trace and diff race sets
+     profile   replay with pipeline tracing and export a Chrome trace
 
    Examples:
      pint_replay capture -w heat -n 32 -b 8 --racy -o heat.trace
@@ -28,8 +29,8 @@ let load_trace path =
       Printf.eprintf "cannot read trace: %s\n" msg;
       exit 2
 
-let make_detector name =
-  match Systems.make_detector name with
+let make_detector ?obs name =
+  match Systems.make_detector ?obs name with
   | Some ds -> ds
   | None ->
       Printf.eprintf "unknown detector %S (%s)\n" name (String.concat "|" Systems.detector_names);
@@ -166,6 +167,40 @@ let replay_cmd =
       $ Arg.(value & opt string "pint" & info [ "d"; "detector" ] ~doc:"none|stint|cracer|pint.")
       $ max_report_arg)
 
+(* -- profile ------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run path detector out =
+    let t = load_trace path in
+    (* counter clock: replay has no meaningful timeline; ticks give each
+       track a monotone, deterministic time base *)
+    let obs = Obs.create ~clock:(Clock.counter ()) () in
+    let det, _ = make_detector ~obs detector in
+    let o =
+      try Replay.run ~wrap:(Obs_hooks.instrument obs) t det
+      with Replay.Corrupt msg ->
+        Printf.eprintf "%s: inconsistent trace: %s\n" path msg;
+        exit 2
+    in
+    let meta = ("trace", path) :: ("detector", detector) :: t.Tracefile.meta in
+    Obs.write_chrome ~meta obs ~path:out;
+    Printf.printf "replayed %d strand(s) through %s; %d race(s)\n" o.Replay.n_strands
+      o.Replay.detector
+      (List.length o.Replay.races);
+    Printf.printf "profile written to %s (%d event(s), %d dropped)\n" out (Obs.events obs)
+      (Obs.dropped obs);
+    List.iter (fun (k, v) -> Printf.printf "  %s = %g\n" k v) (Obs.summary obs)
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Replay a trace with pipeline tracing and export a Chrome trace")
+    Term.(
+      const run $ trace_arg
+      $ Arg.(value & opt string "pint" & info [ "d"; "detector" ] ~doc:"none|stint|cracer|pint.")
+      $ Arg.(
+          value
+          & opt string "profile.trace.json"
+          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Chrome trace-event JSON to write."))
+
 (* -- diff ---------------------------------------------------------------- *)
 
 let diff_cmd =
@@ -196,4 +231,4 @@ let () =
   let info =
     Cmd.info "pint_replay" ~doc:"Capture, replay and differentially check run traces"
   in
-  exit (Cmd.eval (Cmd.group info [ capture_cmd; stats_cmd; replay_cmd; diff_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ capture_cmd; stats_cmd; replay_cmd; diff_cmd; profile_cmd ]))

@@ -16,7 +16,7 @@ type exec_kind = Seq | Sim | Par
 
 let exec_name = function Seq -> "seq" | Sim -> "sim" | Par -> "par"
 
-let run_one workload detector exec workers size base racy seed max_report capture =
+let run_one workload detector exec workers size base racy seed max_report capture profile =
   let w =
     try Registry.find workload
     with Not_found ->
@@ -35,8 +35,17 @@ let run_one workload detector exec workers size base racy seed max_report captur
           exit 2
     else w.Workload.make ~size ~base
   in
+  let obs =
+    match profile with
+    | None -> Obs.disabled
+    | Some _ ->
+        (* sim runs profile on the virtual timeline (deterministic traces);
+           real executors use wall-time microseconds *)
+        let clock = match exec with Sim -> Clock.manual () | Seq | Par -> Clock.monotonic in
+        Obs.create ~clock ()
+  in
   let det, stages =
-    match Systems.make_detector detector with
+    match Systems.make_detector ~obs detector with
     | Some ds -> ds
     | None ->
         Printf.eprintf "unknown detector %S (%s)\n" detector
@@ -60,6 +69,9 @@ let run_one workload detector exec workers size base racy seed max_report captur
         in
         Tracefile.capture ~meta ~path det.Detector.driver
   in
+  (* outermost wrapper: the finish timestamp must be taken before any inner
+     hook (capture serialization included) runs *)
+  let driver = Obs_hooks.instrument obs driver in
   Printf.printf "workload=%s size=%d base=%d detector=%s racy=%b\n%!" workload size base detector
     racy;
   (match exec with
@@ -68,7 +80,10 @@ let run_one workload detector exec workers size base racy seed max_report captur
       Printf.printf "executor=seq strands=%d spawns=%d syncs=%d\n" r.Seq_exec.n_strands
         r.Seq_exec.n_spawns r.Seq_exec.n_syncs
   | Sim ->
-      let config = { Sim_exec.default_config with n_workers = workers; seed; stages } in
+      let config =
+        { Sim_exec.default_config with n_workers = workers; seed; stages;
+          obs_clock = Obs.clock obs }
+      in
       let r = Sim_exec.run ~config ~driver inst.Workload.run in
       Printf.printf "executor=sim workers=%d strands=%d steals=%d makespan=%d total=%d\n" workers
         r.Sim_exec.n_strands r.Sim_exec.n_steals r.Sim_exec.makespan r.Sim_exec.total
@@ -79,6 +94,22 @@ let run_one workload detector exec workers size base racy seed max_report captur
         r.Par_exec.n_strands r.Par_exec.n_steals r.Par_exec.elapsed_s);
   (match capture with Some path -> Printf.printf "trace captured to %s\n" path | None -> ());
   let races = Detector.races det in
+  (match profile with
+  | None -> ()
+  | Some path ->
+      let meta =
+        [
+          ("workload", workload);
+          ("detector", detector);
+          ("exec", exec_name exec);
+          ("workers", string_of_int workers);
+          ("seed", string_of_int seed);
+        ]
+      in
+      Obs.write_chrome ~meta obs ~path;
+      Printf.printf "profile written to %s (%d event(s), %d dropped)\n" path (Obs.events obs)
+        (Obs.dropped obs);
+      List.iter (fun (k, v) -> Printf.printf "  %s = %g\n" k v) (Obs.summary obs));
   Printf.printf "result check: %s\n" (if inst.Workload.check () then "PASS" else "FAIL (racy run?)");
   Printf.printf "races: %d distinct pair(s)\n" (List.length races);
   List.iteri
@@ -113,10 +144,20 @@ let capture_arg =
     & opt (some string) None
     & info [ "capture" ] ~docv:"FILE" ~doc:"Record the run to a trace file (see pint_replay).")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Trace the pipeline and write a Chrome trace-event JSON (open in Perfetto or \
+           chrome://tracing). Under --exec sim the trace uses virtual time and is deterministic \
+           for a fixed seed.")
+
 let () =
   let term =
     Term.(
       const run_one $ workload_arg $ detector_arg $ exec_arg $ workers_arg $ size_arg $ base_arg
-      $ racy_arg $ seed_arg $ max_report_arg $ capture_arg)
+      $ racy_arg $ seed_arg $ max_report_arg $ capture_arg $ profile_arg)
   in
   exit (Cmd.eval (Cmd.v (Cmd.info "pint_run" ~doc:"Run a benchmark under a race detector") term))

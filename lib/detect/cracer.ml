@@ -6,13 +6,16 @@ type cell = {
 
 type shard = { lock : Mutex.t; tbl : (int, cell) Hashtbl.t }
 
-let make ?(shards = 64) () =
+let make ?(shards = 64) ?(obs = Obs.disabled) () =
   let report = Report.create () in
   let diags = ref [] in
   let driver (ctx : Hooks.ctx) =
     let sp = ctx.sp in
     let map = Array.init shards (fun _ -> { lock = Mutex.create (); tbl = Hashtbl.create 1024 }) in
     let coals = Array.init ctx.n_workers (fun _ -> Coalescer.create ()) in
+    let rings =
+      Array.init ctx.n_workers (fun w -> Obs.track obs (Printf.sprintf "cracer%d" w))
+    in
     let accesses = Atomic.make 0 in
     let shard_of addr = map.(addr land (shards - 1)) in
     let with_cell addr f =
@@ -143,7 +146,15 @@ let make ?(shards = 64) () =
           let reads, writes = Coalescer.finish coals.(wid) in
           u.Srec.reads <- reads;
           u.Srec.writes <- writes;
-          process u);
+          let ring = rings.(wid) in
+          if not (Evring.enabled ring) then process u
+          else begin
+            let dv = Array.length reads + Array.length writes in
+            let t0 = Evring.now ring in
+            process u;
+            let dur = if Evring.is_virtual ring then dv else Evring.now ring - t0 in
+            Evring.emit_span ring ~ts:t0 ~dur ~kind:Ev.treap_op ~arg:dv
+          end);
       on_done = (fun () -> diags := [ ("accesses", float_of_int (Atomic.get accesses)) ]);
     }
   in

@@ -8,4 +8,7 @@
     sharded hash table with per-shard locks so the detector also runs under
     the real multi-domain executor. *)
 
-val make : ?shards:int -> unit -> Detector.t
+(** [obs]: with a live session, each strand's shadow-map processing is
+    emitted as a span on the finishing worker's ["cracer<w>"] track
+    (span arg = coalesced interval count). *)
+val make : ?shards:int -> ?obs:Obs.t -> unit -> Detector.t

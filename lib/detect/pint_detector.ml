@@ -44,6 +44,19 @@ type run = {
   agg_intervals : int Atomic.t;
   agg_work : int Atomic.t;
   agg_raw_events : int Atomic.t;
+  (* observability (all Evring.null / unregistered when profiling is off):
+     [obs_w] is the writer stage's track, [obs_r].(k) queue-reader [k]'s;
+     [lat_collect] is the finish→collected histogram (writer-owned);
+     [lat_done].(k) the finish→all-treaps-done histogram bumped by
+     whichever stage performed the last done_count increment (slot 2S for
+     the writer), merged into the session's registered histogram once the
+     pipeline drains ([lat_published] latches that hand-off). *)
+  obs_w : Evring.t;
+  obs_r : Evring.t array;
+  lat_collect : Histo.t;
+  lat_done : Histo.t array;
+  done_target : int;
+  mutable lat_published : bool;
 }
 
 type t = {
@@ -55,6 +68,7 @@ type t = {
   mutable run : run option;
   mutable stage_list : Stage.t list;
   mutable last_diags : (string * float) list;
+  mutable obs : Obs.t;
 }
 
 let dummy_trace = Trace.create ~id:(-1) ~owner:(-1)
@@ -79,7 +93,18 @@ let make ?(seed = 4242) ?(queue_capacity = 4096) ?(reader_shards = 1)
     run = None;
     stage_list = [];
     last_diags = [];
+    obs = Obs.disabled;
   }
+
+let set_obs t obs = t.obs <- obs
+
+(* Track name of queue-reader [idx] — must match the stage names built in
+   [reader_steps] so the AHQ hooks and the engine share one track. *)
+let reader_name t idx =
+  if idx < t.shards then
+    Printf.sprintf "lreader%s" (if t.shards = 1 then "" else string_of_int idx)
+  else
+    Printf.sprintf "rreader%s" (if t.shards = 1 then "" else string_of_int (idx - t.shards))
 
 let active t = match t.run with Some r -> r | None -> failwith "Pint: no active run"
 
@@ -120,8 +145,15 @@ let driver t (ctx : Hooks.ctx) =
       agg_intervals = Atomic.make 0;
       agg_work = Atomic.make 0;
       agg_raw_events = Atomic.make 0;
+      obs_w = Obs.track t.obs "writer";
+      obs_r = Array.init (2 * s) (fun idx -> Obs.track t.obs (reader_name t idx));
+      lat_collect = Obs.histo t.obs "lat.finish_to_collect";
+      lat_done = Array.init ((2 * s) + 1) (fun _ -> Histo.create ());
+      done_target = 1 + (2 * s);
+      lat_published = false;
     }
   in
+  Ahq.set_obs r.ahq ~writer:r.obs_w ~readers:r.obs_r;
   for wid = 0 to ctx.n_workers - 1 do
     ignore (new_trace r ~wid)
   done;
@@ -223,6 +255,16 @@ let process_reader t r idx (u : Srec.t) =
   r.reader_strands.(idx) <- r.reader_strands.(idx) + 1;
   Itreap.visits treap - v0
 
+(* Last done_count bump (the 1 + 2S'th): the strand has passed all treap
+   workers.  [slot] indexes the bumping stage's private histogram; the
+   ring is the bumping stage's own track, so the emit stays single-owner. *)
+let note_complete r ~slot ~ring (u : Srec.t) =
+  if Evring.enabled ring then begin
+    let ts = Evring.now ring in
+    Evring.emit_at ring ~ts ~kind:Ev.complete ~arg:u.Srec.uid;
+    Histo.add r.lat_done.(slot) (ts - u.Srec.obs_ts)
+  end
+
 (* Algorithm 2: Collect. *)
 let collect t r (u : Srec.t) =
   if not (Ahq.try_enqueue r.ahq u) then false
@@ -231,7 +273,16 @@ let collect t r (u : Srec.t) =
     | Some c when u.Srec.is_spawn || u.Srec.child_is_sync -> Atomic.decr c.Srec.pred
     | _ -> ());
     r.n_collected <- r.n_collected + 1;
-    ignore (Atomic.fetch_and_add u.Srec.done_count 1);
+    (if Evring.enabled r.obs_w then begin
+       let ts = Evring.now r.obs_w in
+       Evring.emit_at r.obs_w ~ts ~kind:Ev.collect ~arg:u.Srec.uid;
+       Histo.add r.lat_collect (ts - u.Srec.obs_ts)
+     end);
+    let prev = Atomic.fetch_and_add u.Srec.done_count 1 in
+    (* under Par_exec readers can outrun the writer's own bump, so the
+       writer may observe the completing increment; slot 2S is its own *)
+    if prev = r.done_target - 1 then
+      note_complete r ~slot:(r.done_target - 1) ~ring:r.obs_w u;
     ignore (process_writer t r u : int);
     true
   end
@@ -297,7 +348,8 @@ let reader_step_idx t idx : Step.t =
     for k = 0 to n - 1 do
       let u = buf.(k) in
       visits := !visits + process_reader t r idx u;
-      ignore (Atomic.fetch_and_add u.Srec.done_count 1)
+      let prev = Atomic.fetch_and_add u.Srec.done_count 1 in
+      if prev = r.done_target - 1 then note_complete r ~slot:idx ~ring:r.obs_r.(idx) u
     done;
     Ahq.advance_n r.ahq idx n;
     Step.worked ~records:n !visits
@@ -307,15 +359,7 @@ let lreader_step t = reader_step_idx t 0
 let rreader_step t = reader_step_idx t t.shards
 
 let reader_steps t =
-  List.init (2 * t.shards) (fun idx ->
-      let name =
-        if idx < t.shards then
-          Printf.sprintf "lreader%s" (if t.shards = 1 then "" else string_of_int idx)
-        else
-          Printf.sprintf "rreader%s"
-            (if t.shards = 1 then "" else string_of_int (idx - t.shards))
-      in
-      (name, fun () -> reader_step_idx t idx))
+  List.init (2 * t.shards) (fun idx -> (reader_name t idx, fun () -> reader_step_idx t idx))
 
 (* The pipeline stages: the writer treap worker plus the [2·S] reader treap
    workers, registered with the engine.  The same stage values are used by
@@ -335,7 +379,22 @@ let stages ?(cost = default_step_cost) t =
 
 let current_stages t = match t.stage_list with [] -> stages t | l -> l
 
-let drain t = Pipeline.drive (Pipeline.of_stages (current_stages t))
+(* After the pipeline has drained, merge the per-stage finish→done
+   histograms into the session's registered aggregate.  Latched: drain can
+   be called repeatedly (Detector.races drains on every query), the merge
+   must happen once.  Runs on the draining thread after every stage is
+   done, so reading the per-stage histograms is race-free. *)
+let publish_latencies t =
+  match t.run with
+  | Some r when Obs.enabled t.obs && not r.lat_published ->
+      r.lat_published <- true;
+      let dst = Obs.histo t.obs "lat.finish_to_done" in
+      Array.iter (fun src -> Histo.merge_into ~src ~dst) r.lat_done
+  | _ -> ()
+
+let drain t =
+  Pipeline.drive (Pipeline.of_stages (current_stages t));
+  publish_latencies t
 
 let collected t = match t.run with Some r -> r.n_collected | None -> 0
 

@@ -47,6 +47,14 @@ val make : ?seed:int -> ?queue_capacity:int -> ?reader_shards:int -> ?batch:int 
 (** The generic handle (driver/report/drain) for this instance. *)
 val detector : t -> Detector.t
 
+(** Attach an observability session.  Must be called before the first strand
+    finishes (i.e. before the executor starts): the run's tracks — "writer"
+    plus one per reader shard — and the pipeline-latency histograms
+    ("lat.finish_to_collect", "lat.finish_to_done") are registered lazily
+    when the first trace record arrives.  With a disabled session (the
+    default) every hot-path hook short-circuits to the null ring. *)
+val set_obs : t -> Obs.t -> unit
+
 (** The pipeline as engine stages: the writer stage followed by the [2·S]
     reader stages.  [cost] converts a step's treap-node visit count into
     virtual cycles (the harness supplies the calibrated model; the default

@@ -1,5 +1,6 @@
-let make ?(seed = 2022) () =
+let make ?(seed = 2022) ?(obs = Obs.disabled) () =
   let report = Report.create () in
+  let ring = Obs.track obs "stint" in
   let diags = ref [] in
   (* installed by the driver once the treaps exist *)
   let validators = ref (fun () -> ()) in
@@ -80,7 +81,16 @@ let make ?(seed = 2022) () =
           let reads, writes = Coalescer.finish coal in
           u.reads <- reads;
           u.writes <- writes;
-          process u);
+          if not (Evring.enabled ring) then process u
+          else begin
+            let visits () = Itreap.visits writer + Itreap.visits lreader + Itreap.visits rreader in
+            let v0 = visits () in
+            let t0 = Evring.now ring in
+            process u;
+            let dv = visits () - v0 in
+            let dur = if Evring.is_virtual ring then dv else Evring.now ring - t0 in
+            Evring.emit_span ring ~ts:t0 ~dur ~kind:Ev.treap_op ~arg:dv
+          end);
       on_done =
         (fun () ->
           let sum3 f = f writer + f lreader + f rreader in

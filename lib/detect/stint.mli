@@ -10,4 +10,7 @@
     executor is a usage error (its treaps are not synchronized) and is
     rejected at [driver] time when [ctx.n_workers > 1]. *)
 
-val make : ?seed:int -> unit -> Detector.t
+(** [obs]: with a live session, each strand's treap processing is emitted
+    as a span on the ["stint"] track (span arg = treap-node visits; on a
+    virtual clock the visit count is also the duration). *)
+val make : ?seed:int -> ?obs:Obs.t -> unit -> Detector.t

@@ -42,6 +42,16 @@ val cost : t -> records:int -> visits:int -> int
 val metrics : t -> metrics
 val reset_metrics : t -> unit
 
+(** Attach an observability track: every subsequent {!exec} emits a
+    treap-op span per productive step (virtual-clock spans are priced by
+    the stage's [cost] hook, real-clock spans by clock deltas) and
+    coalesces consecutive [`Stalled] steps into one stall span.  Defaults
+    to {!Evring.null} — tracing disabled, zero per-step cost beyond one
+    bool load. *)
+val set_ring : t -> Evring.t -> unit
+
+val ring : t -> Evring.t
+
 (** Drive the stage one step and record the outcome in its metrics. *)
 val exec : t -> Step.t
 

@@ -1,0 +1,29 @@
+(* Driver instrumentation: wrap any detector driver so that every strand
+   finish stamps the record with the observability clock and emits a
+   finish instant on the finishing worker's "core<w>" track.  Same wrapping
+   shape as [Tracefile.capturing]; composes with it freely.
+
+   Ordering matters: [obs_ts] is written before the inner [on_finish]
+   runs, i.e. strictly before [Trace.push] publishes the record to the
+   pipeline — so the stages' latency reads are covered by the Srec
+   publication discipline (OWNERSHIP.md, [Srec.t.*]). *)
+
+let instrument (obs : Obs.t) (driver : Hooks.driver) : Hooks.driver =
+ fun ctx ->
+  let h = driver ctx in
+  if not (Obs.enabled obs) then h
+  else begin
+    let rings =
+      Array.init ctx.Hooks.n_workers (fun w -> Obs.track obs (Printf.sprintf "core%d" w))
+    in
+    {
+      h with
+      Hooks.on_finish =
+        (fun ~wid u kind ->
+          let r = rings.(wid) in
+          let ts = Evring.now r in
+          u.Srec.obs_ts <- ts;
+          Evring.emit_at r ~ts ~kind:Ev.strand_finish ~arg:u.Srec.uid;
+          h.Hooks.on_finish ~wid u kind);
+    }
+  end

@@ -1,0 +1,10 @@
+(** Observability instrumentation for detector drivers.
+
+    [instrument obs driver] wraps a {!Hooks.driver} so each strand finish
+    (on any executor) stamps [Srec.obs_ts] with the session clock and
+    emits an {!Ev.strand_finish} instant on the finishing worker's
+    ["core<w>"] track — the upstream anchor of the pipeline-latency
+    histograms.  With a disabled session the driver is returned unchanged.
+    Composes with [Tracefile.capture]/[capturing] wrapping. *)
+
+val instrument : Obs.t -> Hooks.driver -> Hooks.driver

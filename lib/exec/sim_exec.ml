@@ -8,6 +8,7 @@ type config = {
   c_steal : int;
   c_steal_fail : int;
   stages : Stage.t list;
+  obs_clock : Clock.t;
 }
 
 type result = {
@@ -41,6 +42,7 @@ let default_config =
     c_steal = 200;
     c_steal_fail = 50;
     stages = [];
+    obs_clock = Clock.null;
   }
 
 (* ---------------------------------------------------------------- fibers *)
@@ -182,13 +184,21 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
     u.Srec.finished_at <- w.clock;
     core_work := !core_work + c
   in
-  let commit_finish w kind = hooks.Hooks.on_finish ~wid:w.wid w.cur kind in
+  (* Pin the (virtual) observability clock to the acting worker's own
+     timeline before every boundary hook: instrumented drivers stamp
+     finishes at the worker's simulated time, deterministically. *)
+  let oclk = config.obs_clock in
+  let commit_finish w kind =
+    Clock.set oclk w.clock;
+    hooks.Hooks.on_finish ~wid:w.wid w.cur kind
+  in
   let finish w kind =
     precharge w kind;
     commit_finish w kind
   in
   let start w r kind =
     w.cur <- r;
+    Clock.set oclk w.clock;
     hooks.Hooks.on_start ~wid:w.wid r kind
   in
 
@@ -365,6 +375,8 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
       (fun progressed a ->
         if a.s_done then progressed
         else begin
+          (* each stage emits on its own virtual timeline *)
+          Clock.set oclk a.s_clock;
           let st = Stage.exec a.stage in
           if Step.is_done st then begin
             a.s_done <- true;

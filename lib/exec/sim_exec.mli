@@ -39,6 +39,11 @@ type config = {
   c_steal : int;
   c_steal_fail : int;
   stages : Stage.t list;  (** pipeline stages stepped in virtual time *)
+  obs_clock : Clock.t;
+      (** profiling clock (default {!Clock.null}); when a manual clock from
+          a live [Obs] session is supplied, the simulator pins it to the
+          acting worker's or stage's virtual timeline before every hook and
+          stage step, making seeded profiled runs trace-deterministic *)
 }
 
 type result = {

@@ -16,6 +16,7 @@ type t = {
   done_count : int Atomic.t;
   mutable finished_at : int;
   mutable cost : int;
+  mutable obs_ts : int;
 }
 
 let make ~uid sp =
@@ -37,6 +38,7 @@ let make ~uid sp =
     done_count = Atomic.make 0;
     finished_at = 0;
     cost = 0;
+    obs_ts = 0;
   }
 
 let sp_id t = Sp_order.id t.sp

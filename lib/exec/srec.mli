@@ -37,6 +37,11 @@ type t = {
   done_count : int Atomic.t;
   mutable finished_at : int;
   mutable cost : int;
+  mutable obs_ts : int;
+      (** profiling: observability timestamp of the strand's finish, written
+          by the finishing core worker strictly before [Trace.push]
+          publishes the record (same discipline as the fields above); the
+          pipeline stages read it to compute finish→collect/done latencies *)
 }
 
 (** [make ~uid sp] — a fresh record with empty intervals and zeroed

@@ -8,24 +8,28 @@ let system_name = function
 
 let detector_names = [ "none"; "stint"; "cracer"; "pint" ]
 
-let make_detector ?seed ?(shards = 1) ?stage_cost name =
+let make_detector ?seed ?(shards = 1) ?stage_cost ?(obs = Obs.disabled) name =
   match name with
   | "none" -> Some (Nodetect.make (), [])
   | "stint" ->
-      let d = match seed with Some s -> Stint.make ~seed:s () | None -> Stint.make () in
+      let d =
+        match seed with Some s -> Stint.make ~seed:s ~obs () | None -> Stint.make ~obs ()
+      in
       Some (d, [])
-  | "cracer" -> Some (Cracer.make (), [])
+  | "cracer" -> Some (Cracer.make ~obs (), [])
   | "pint" ->
       let p =
         match seed with
         | Some s -> Pint_detector.make ~seed:s ~reader_shards:shards ()
         | None -> Pint_detector.make ~reader_shards:shards ()
       in
+      Pint_detector.set_obs p obs;
       let stages =
         match stage_cost with
         | Some cost -> Pint_detector.stages ~cost p
         | None -> Pint_detector.stages p
       in
+      List.iter (fun s -> Stage.set_ring s (Obs.track obs (Stage.name s))) stages;
       Some (Pint_detector.detector p, stages)
   | _ -> None
 
@@ -61,6 +65,7 @@ let run ?(model = Cost_model.default) ?(seed = 2022) ?(shards = 1) ~(workload : 
       c_steal = model.Cost_model.c_steal;
       c_steal_fail = model.Cost_model.c_steal_fail;
       stages;
+      obs_clock = Clock.null;
     }
   in
   let finishup ~det ~sim_res ~time ~writer_time ~lreader_time ~rreader_time =

@@ -30,11 +30,16 @@ val detector_names : string list
     place no matter who steps them).  [seed] defaults to each detector's own
     default; [shards] (PINT only) selects §VI address-sharded readers;
     [stage_cost] (PINT only) prices a stage step for the virtual-time
-    simulator.  [None] for an unknown name. *)
+    simulator.  [obs] (default {!Obs.disabled}) attaches an observability
+    session: detector-side tracks and histograms are registered here, and
+    for PINT each pipeline stage gets the session ring matching its stage
+    name, so stage spans and AHQ counters land on the right Chrome-trace
+    track.  [None] for an unknown name. *)
 val make_detector :
   ?seed:int ->
   ?shards:int ->
   ?stage_cost:(records:int -> visits:int -> int) ->
+  ?obs:Obs.t ->
   string ->
   (Detector.t * Stage.t list) option
 

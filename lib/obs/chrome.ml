@@ -1,0 +1,89 @@
+(* Chrome trace-event JSON exporter (the chrome://tracing / Perfetto
+   format): one thread per track, metadata "thread_name" records naming
+   them, spans as "X" complete events, occupancy samples as "C" counters,
+   everything else as thread-scoped instants.
+
+   Determinism: all payloads are ints rendered with %d and tracks are
+   emitted in registration order with a stable per-track sort on ts, so a
+   deterministic run (virtual clock, fixed seed) exports byte-identical
+   JSON. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Per-track stable sort: a ring's events are emitted in owner-program
+   order, but a span's start can precede instants emitted during the step
+   (the span is appended when the step ends).  Sorting by ts — stable, so
+   equal timestamps keep emission order — restores per-track monotone ts,
+   which Perfetto requires and the schema test checks. *)
+let sorted_events ring =
+  let n = Evring.retained ring in
+  let ts = Array.make n 0 and dur = Array.make n 0 in
+  let kind = Array.make n 0 and arg = Array.make n 0 in
+  let i = ref 0 in
+  Evring.iter ring (fun ~ts:t ~dur:d ~kind:k ~arg:a ->
+      ts.(!i) <- t;
+      dur.(!i) <- d;
+      kind.(!i) <- k;
+      arg.(!i) <- a;
+      incr i);
+  let idx = Array.init n (fun k -> k) in
+  Array.stable_sort (fun a b -> compare (ts.(a) : int) ts.(b)) idx;
+  (idx, ts, dur, kind, arg)
+
+let add_event buf ~tid ~ts ~dur ~kind ~arg ~first =
+  if not first then Buffer.add_string buf ",\n";
+  let name = Ev.name kind and lbl = Ev.arg_label kind in
+  if Ev.is_span kind then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "    {\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":\"%s\",\"args\":{\"%s\":%d}}"
+         tid ts dur name lbl arg)
+  else if Ev.is_counter kind then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "    {\"ph\":\"C\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"name\":\"%s\",\"args\":{\"%s\":%d}}"
+         tid ts name lbl arg)
+  else
+    Buffer.add_string buf
+      (Printf.sprintf
+         "    {\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"name\":\"%s\",\"args\":{\"%s\":%d}}"
+         tid ts name lbl arg)
+
+let export ?(meta = []) ~(tracks : (string * Evring.t) list) () =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+    meta;
+  Buffer.add_string buf "},\n\"traceEvents\":[\n";
+  let first = ref true in
+  List.iteri
+    (fun i (name, ring) ->
+      let tid = i + 1 in
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"ts\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+           tid (escape name));
+      let idx, ts, dur, kind, arg = sorted_events ring in
+      Array.iter
+        (fun k ->
+          add_event buf ~tid ~ts:ts.(k) ~dur:dur.(k) ~kind:kind.(k) ~arg:arg.(k) ~first:false)
+        idx)
+    tracks;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Chrome trace-event JSON exporter.
+
+    Renders a set of named {!Evring} tracks as the [chrome://tracing] /
+    Perfetto trace-event format: one [tid] per track (named via a
+    ["thread_name"] metadata record), {!Ev.treap_op}/{!Ev.stall} spans as
+    ["X"] complete events, {!Ev.enqueue} occupancy samples as ["C"]
+    counters, and every other kind as a thread-scoped instant.
+
+    The export is deterministic: int-only payloads, tracks in registration
+    order, and a stable per-track sort on [ts] (restoring per-track
+    monotonicity for spans appended at step end). *)
+
+val export : ?meta:(string * string) list -> tracks:(string * Evring.t) list -> unit -> string

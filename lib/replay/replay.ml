@@ -143,8 +143,8 @@ let drive ?aspace (tf : Tracefile.t) (driver : Hooks.driver) =
       (Tracefile.entry_count tf);
   !next_uid
 
-let run ?aspace tf (d : Detector.t) =
-  let n = drive ?aspace tf d.Detector.driver in
+let run ?aspace ?(wrap = fun d -> d) tf (d : Detector.t) =
+  let n = drive ?aspace tf (wrap d.Detector.driver) in
   d.Detector.drain ();
   {
     detector = d.Detector.name;

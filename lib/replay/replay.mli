@@ -40,9 +40,11 @@ type outcome = {
     @raise Corrupt if the trace's DAG links are inconsistent. *)
 val drive : ?aspace:Aspace.t -> Tracefile.t -> Hooks.driver -> int
 
-(** [run ?aspace trace det] — replay through a detector instance and drain
-    its pipeline.  The detector must be fresh (one instance per replay). *)
-val run : ?aspace:Aspace.t -> Tracefile.t -> Detector.t -> outcome
+(** [run ?aspace ?wrap trace det] — replay through a detector instance and
+    drain its pipeline.  The detector must be fresh (one instance per
+    replay).  [wrap] (default identity) is applied to the detector's driver
+    before replay — e.g. {!Obs_hooks.instrument} to profile a replay. *)
+val run : ?aspace:Aspace.t -> ?wrap:(Hooks.driver -> Hooks.driver) -> Tracefile.t -> Detector.t -> outcome
 
 (** {2 Differential detection} *)
 

@@ -16,6 +16,11 @@ type t = {
      hence no atomic needed. *)
   mutable cached_min : int;
   mutable min_rescans : int;
+  (* observability hooks, installed before the pipeline starts; the writer
+     ring is written only from [try_enqueue] (writer stage), reader ring
+     [i] only from reader [i]'s [advance_n].  Evring.null when disabled. *)
+  mutable obs_w : Evring.t;
+  mutable obs_r : Evring.t array;
 }
 
 let create ?(capacity = 4096) ?(readers = 2) () =
@@ -28,9 +33,17 @@ let create ?(capacity = 4096) ?(readers = 2) () =
     cursors = Array.init readers (fun _ -> Atomic.make 0);
     cached_min = 0;
     min_rescans = 0;
+    obs_w = Evring.null;
+    obs_r = Array.make readers Evring.null;
   }
 
 let n_readers t = Array.length t.cursors
+
+let set_obs t ~writer ~readers =
+  if Array.length readers <> Array.length t.cursors then
+    invalid_arg "Ahq.set_obs: one reader ring per cursor";
+  t.obs_w <- writer;
+  t.obs_r <- readers
 
 (* Int-specialized min: [Stdlib.min] is an out-of-line call into the
    polymorphic compare runtime even at int (pint_lint rule R2 flags it on
@@ -54,6 +67,10 @@ let[@pint.hot] try_enqueue t s =
   else begin
     t.slots.(h mod t.cap) <- Some s;
     Atomic.incr t.head;
+    (* occupancy sample against the cached bound: conservative (the true
+       occupancy may be lower) but free, and exact whenever the cache was
+       just refreshed *)
+    Evring.emit t.obs_w ~kind:Ev.enqueue ~arg:(h + 1 - t.cached_min);
     true
   end
 
@@ -112,7 +129,14 @@ let advance_n t i n =
   for pos = pos0 to clear_upto - 1 do
     t.slots.(pos mod t.cap) <- None
   done;
-  Atomic.set c (pos0 + n)
+  Atomic.set c (pos0 + n);
+  let obs = t.obs_r.(i) in
+  if Evring.enabled obs then begin
+    if clear_upto > pos0 then Evring.emit obs ~kind:Ev.recycle ~arg:(clear_upto - pos0);
+    (* occupancy after this advance: the new global minimum cursor is the
+       smaller of our new position and the other readers' snapshot *)
+    Evring.emit obs ~kind:Ev.enqueue ~arg:(Atomic.get t.head - imin (pos0 + n) !min_other)
+  end
 
 let advance t i = advance_n t i 1
 

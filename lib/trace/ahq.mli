@@ -27,6 +27,13 @@ val create : ?capacity:int -> ?readers:int -> unit -> t
 
 val n_readers : t -> int
 
+(** Install observability tracks (before the pipeline starts): the writer
+    ring receives an {!Ev.enqueue} occupancy sample per successful enqueue,
+    reader ring [i] receives {!Ev.recycle} slot-recycling events and
+    occupancy samples from reader [i]'s cursor advances.  Disabled rings
+    ({!Evring.null}, the default) make all of it a no-op. *)
+val set_obs : t -> writer:Evring.t -> readers:Evring.t array -> unit
+
 (** {2 Writer treap worker} *)
 
 (** [try_enqueue t s] — false iff the ring is full.  Occupancy is checked

@@ -1,0 +1,157 @@
+(* Minimal recursive-descent JSON parser — enough for the bench --json
+   schema and Chrome trace exports.  No external json dependency exists in
+   the build environment, and the consumers (tools/bench_gate, the obs
+   schema tests) only need read access to small documents, so a ~100-line
+   parser beats growing the dependency set. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let error c fmt = Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at %d: %s" c.pos m))) fmt
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.s
+    && match c.s.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> error c "expected %C, got %C" ch x
+  | None -> error c "expected %C, got end of input" ch
+
+let lit c word v =
+  let n = String.length word in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else error c "invalid literal"
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if c.pos >= String.length c.s then error c "unterminated string";
+    let ch = c.s.[c.pos] in
+    c.pos <- c.pos + 1;
+    match ch with
+    | '"' -> Buffer.contents buf
+    | '\\' -> begin
+        if c.pos >= String.length c.s then error c "unterminated escape";
+        let e = c.s.[c.pos] in
+        c.pos <- c.pos + 1;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+            if c.pos + 4 > String.length c.s then error c "short \\u escape";
+            let code = int_of_string ("0x" ^ String.sub c.s c.pos 4) in
+            c.pos <- c.pos + 4;
+            (* BMP-only, encoded as UTF-8; enough for our ASCII payloads *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+        | _ -> error c "bad escape %C" e);
+        go ()
+      end
+    | ch -> Buffer.add_char buf ch; go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let num_char ch =
+    match ch with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while c.pos < String.length c.s && num_char c.s.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then error c "expected number";
+  match float_of_string_opt (String.sub c.s start (c.pos - start)) with
+  | Some f -> Num f
+  | None -> error c "bad number %S" (String.sub c.s start (c.pos - start))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin c.pos <- c.pos + 1; Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' -> c.pos <- c.pos + 1; members ((k, v) :: acc)
+          | Some '}' -> c.pos <- c.pos + 1; Obj (List.rev ((k, v) :: acc))
+          | _ -> error c "expected ',' or '}'"
+        in
+        members []
+      end
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin c.pos <- c.pos + 1; Arr [] end
+      else begin
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' -> c.pos <- c.pos + 1; items (v :: acc)
+          | Some ']' -> c.pos <- c.pos + 1; Arr (List.rev (v :: acc))
+          | _ -> error c "expected ',' or ']'"
+        in
+        items []
+      end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> lit c "true" (Bool true)
+  | Some 'f' -> lit c "false" (Bool false)
+  | Some 'n' -> lit c "null" Null
+  | Some _ -> parse_number c
+  | None -> error c "unexpected end of input"
+
+let parse s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then error c "trailing garbage";
+  v
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function Arr l -> Some l | _ -> None
+let to_obj = function Obj kvs -> Some kvs | _ -> None

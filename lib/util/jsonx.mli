@@ -1,0 +1,26 @@
+(** Minimal JSON parser (read-only) for bench results and Chrome traces.
+
+    Covers the full JSON grammar with BMP-only [\u] escapes; the consumers
+    are the CI perf gate ([tools/bench_gate]) and the obs schema tests, so
+    a dependency-free ~150-line parser is preferred over adding a json
+    package to the build environment. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+
+(** Object member lookup; [None] on non-objects or missing keys. *)
+val member : string -> t -> t option
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

@@ -1,0 +1,109 @@
+(* bench_gate logic tests, driven on synthetic bench JSON through the
+   gate_core library — no processes, no files. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* a minimal schema-3 figures document with one group *)
+let doc cases =
+  let case (name, median, minv, n) =
+    Printf.sprintf "%S: {\"median_s\": %f, \"min_s\": %f, \"max_s\": %f, \"n\": %d}" name median
+      minv (median *. 2.) n
+  in
+  Printf.sprintf "{\"schema\": 3, \"figures\": {\"g\": {%s}}}"
+    (String.concat ", " (List.map case cases))
+
+let cases_of cases = Gate.cases_of_json (Jsonx.parse (doc cases))
+
+let count p verdicts = List.length (List.filter p verdicts)
+let is_regressed = function Gate.Regressed _ -> true | _ -> false
+let is_ok = function Gate.Ok_case _ -> true | _ -> false
+let is_skipped = function Gate.Skipped _ -> true | _ -> false
+let is_waived = function Gate.Waived _ -> true | _ -> false
+
+let base = cases_of [ ("a", 0.1, 0.09, 5); ("b", 0.2, 0.19, 5) ]
+
+let gate ?threshold ?min_samples ?waivers current =
+  Gate.compare_cases ?threshold ?min_samples ?waivers ~baseline:base ~current ()
+
+let identical_passes () =
+  let v = gate base in
+  check_int "all ok" 2 (count is_ok v);
+  check_int "no regressions" 0 (count is_regressed v)
+
+let doubled_fails () =
+  let v = gate (cases_of [ ("a", 0.2, 0.18, 5); ("b", 0.2, 0.19, 5) ]) in
+  check_int "a regressed" 1 (count is_regressed v);
+  check_int "b ok" 1 (count is_ok v)
+
+let small_improvement_passes () =
+  let v = gate (cases_of [ ("a", 0.09, 0.085, 5); ("b", 0.21, 0.2, 5) ]) in
+  check_int "no regressions" 0 (count is_regressed v)
+
+let undersampled_skips () =
+  (* n=1 smoke data must never produce a verdict, even when 10x slower *)
+  let v = gate (cases_of [ ("a", 1.0, 1.0, 1); ("b", 0.2, 0.19, 1) ]) in
+  check_int "all skipped" 2 (count is_skipped v);
+  check_int "no regressions" 0 (count is_regressed v)
+
+let too_fast_skips () =
+  let tiny = cases_of [ ("a", 0.0001, 0.0001, 5) ] in
+  let v = Gate.compare_cases ~baseline:tiny ~current:tiny () in
+  check_int "sub-millisecond case skipped" 1 (count is_skipped v)
+
+let unknown_case_skips () =
+  let v = gate (cases_of [ ("new-case", 9.9, 9.9, 5) ]) in
+  check_int "not in baseline -> skip" 1 (count is_skipped v)
+
+let waiver_suppresses () =
+  let cur = cases_of [ ("a", 0.2, 0.18, 5); ("b", 0.2, 0.19, 5) ] in
+  let v = gate ~waivers:[ ("g/a", "known issue") ] cur in
+  check_int "waived" 1 (count is_waived v);
+  check_int "no regressions" 0 (count is_regressed v);
+  (* the waiver only covers g/a *)
+  let v2 = gate ~waivers:[ ("g/b", "wrong case") ] cur in
+  check_int "unrelated waiver does not help" 1 (count is_regressed v2)
+
+let waiver_parsing () =
+  let ws =
+    Gate.parse_waivers "# comment\n\n g/a -- flaky on CI \ng/b\n# g/c -- commented out\n"
+  in
+  check_int "two waivers" 2 (List.length ws);
+  check_bool "reason kept" true (List.assoc "g/a" ws = "flaky on CI");
+  check_bool "missing reason defaulted" true (List.assoc "g/b" ws = "no reason given")
+
+let threshold_respected () =
+  (* 1.2x is over a 10% threshold but under the default 25% *)
+  let cur = cases_of [ ("a", 0.12, 0.108, 5); ("b", 0.2, 0.19, 5) ] in
+  check_int "default passes" 0 (count is_regressed (gate cur));
+  check_int "tight threshold trips" 1 (count is_regressed (gate ~threshold:0.1 cur))
+
+let schema2_fallbacks () =
+  (* no "n"/"min_s": count and min come from samples_s *)
+  let j =
+    Jsonx.parse
+      "{\"figures\": {\"g\": {\"a\": {\"median_s\": 0.1, \"samples_s\": [0.11, 0.1, 0.09]}}}}"
+  in
+  match Gate.cases_of_json j with
+  | [ c ] ->
+      check_int "n from samples" 3 c.Gate.n;
+      check_bool "min from samples" true (abs_float (c.Gate.min_s -. 0.09) < 1e-9)
+  | l -> Alcotest.failf "expected 1 case, got %d" (List.length l)
+
+let () =
+  Alcotest.run "bench_gate"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "identical passes" `Quick identical_passes;
+          Alcotest.test_case "2x fails" `Quick doubled_fails;
+          Alcotest.test_case "improvement passes" `Quick small_improvement_passes;
+          Alcotest.test_case "undersampled skips" `Quick undersampled_skips;
+          Alcotest.test_case "too-fast skips" `Quick too_fast_skips;
+          Alcotest.test_case "unknown case skips" `Quick unknown_case_skips;
+          Alcotest.test_case "waiver suppresses" `Quick waiver_suppresses;
+          Alcotest.test_case "waiver parsing" `Quick waiver_parsing;
+          Alcotest.test_case "threshold respected" `Quick threshold_respected;
+          Alcotest.test_case "schema-2 fallbacks" `Quick schema2_fallbacks;
+        ] );
+    ]

@@ -1,0 +1,75 @@
+(* bench_gate — CI perf-regression gate over bench --json files.
+
+   Usage:
+     bench_gate --baseline BENCH_5.json --current BENCH_smoke.json
+                [--threshold 0.25] [--min-samples 3] [--min-time 0.005]
+                [--waivers GATE_WAIVERS] [--inflate F]
+
+   Compares per-case best-of-N times (see gate.ml for why min, not
+   median); exits 1 if any case regressed past the threshold and is not
+   waived, 0 otherwise (skipped cases never fail the gate).  --inflate
+   multiplies every current sample by F before comparing — CI uses it to
+   prove the gate actually trips on a doctored 2x-slower result. *)
+
+let usage () =
+  prerr_endline
+    "usage: bench_gate --baseline FILE --current FILE [--threshold F] [--min-samples N]\n\
+    \       [--waivers FILE] [--inflate F]";
+  exit 2
+
+let () =
+  let baseline = ref None
+  and current = ref None
+  and threshold = ref 0.25
+  and min_samples = ref 3
+  and min_time = ref 0.005
+  and waiver_file = ref None
+  and inflate = ref 1.0 in
+  let argv = Sys.argv in
+  let i = ref 1 in
+  let next () =
+    incr i;
+    if !i >= Array.length argv then usage ();
+    argv.(!i)
+  in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "--baseline" -> baseline := Some (next ())
+    | "--current" -> current := Some (next ())
+    | "--threshold" -> threshold := float_of_string (next ())
+    | "--min-samples" -> min_samples := int_of_string (next ())
+    | "--min-time" -> min_time := float_of_string (next ())
+    | "--waivers" -> waiver_file := Some (next ())
+    | "--inflate" -> inflate := float_of_string (next ())
+    | _ -> usage ());
+    incr i
+  done;
+  let baseline_path = match !baseline with Some p -> p | None -> usage () in
+  let current_path = match !current with Some p -> p | None -> usage () in
+  let base_cases = Gate.cases_of_file baseline_path in
+  let cur_cases =
+    List.map
+      (fun (c : Gate.case) ->
+        { c with Gate.median_s = c.Gate.median_s *. !inflate; min_s = c.Gate.min_s *. !inflate })
+      (Gate.cases_of_file current_path)
+  in
+  let waivers =
+    match !waiver_file with
+    | Some p when Sys.file_exists p -> Gate.parse_waivers (Gate.load_file p)
+    | _ -> []
+  in
+  Printf.printf "bench_gate: %s vs baseline %s (threshold +%.0f%%, min %d samples%s)\n"
+    current_path baseline_path (100. *. !threshold) !min_samples
+    (if !inflate <> 1.0 then Printf.sprintf ", medians inflated %.2fx" !inflate else "");
+  let verdicts =
+    Gate.compare_cases ~threshold:!threshold ~min_samples:!min_samples ~min_time:!min_time
+      ~waivers ~baseline:base_cases ~current:cur_cases ()
+  in
+  List.iter (Gate.pp_verdict stdout) verdicts;
+  match Gate.regressions verdicts with
+  | [] ->
+      print_endline "bench_gate: PASS";
+      exit 0
+  | rs ->
+      Printf.printf "bench_gate: FAIL (%d unwaived regression(s))\n" (List.length rs);
+      exit 1

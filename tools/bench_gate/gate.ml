@@ -1,0 +1,152 @@
+(* Perf-regression gate core: compare a freshly-measured bench JSON
+   (schema >= 2) against a committed baseline, case by case.
+
+   A case regresses when its current best (minimum) sample exceeds the
+   baseline's by more than the threshold fraction.  The minimum, not the
+   median, is compared: scheduling and frequency noise only ever inflate a
+   wall-clock sample, so best-of-N is the stable estimate of the true cost
+   and the one that doesn't flag identical code at small N.  Noise control
+   is otherwise structural, not statistical: a case is only judged when
+   both sides carry at least [min_samples] samples (schema-3 files say so
+   via "n"; for schema-2 baselines the "samples_s" array length is used) —
+   so a --runs 1 smoke file never produces a verdict — and when its
+   baseline median clears [min_time] (sub-millisecond cases are jitter,
+   not signal).  Known/accepted regressions are waived by listing
+   "group/case" in a waiver file, one per line, with an optional
+   " -- reason" suffix; '#' lines are comments.
+
+   The logic lives in a library (separate from the CLI) so the test suite
+   can drive it on synthetic JSON without spawning processes. *)
+
+type case = { group : string; name : string; median_s : float; min_s : float; n : int }
+
+type verdict =
+  | Ok_case of { key : string; base : float; cur : float }
+  | Regressed of { key : string; base : float; cur : float; ratio : float }
+  | Waived of { key : string; base : float; cur : float; reason : string }
+  | Skipped of { key : string; why : string }
+
+let key c = c.group ^ "/" ^ c.name
+
+(* -- parsing ------------------------------------------------------------- *)
+
+let parse_error fmt = Printf.ksprintf (fun s -> failwith s) fmt
+
+let cases_of_json (j : Jsonx.t) : case list =
+  let obj name v =
+    match Jsonx.to_obj v with
+    | Some o -> o
+    | None -> parse_error "bench json: %S is not an object" name
+  in
+  let figures =
+    match Jsonx.member "figures" j with
+    | Some f -> obj "figures" f
+    | None -> parse_error "bench json: no \"figures\" member"
+  in
+  List.concat_map
+    (fun (group, gj) ->
+      List.map
+        (fun (name, cj) ->
+          let median_s =
+            match Option.bind (Jsonx.member "median_s" cj) Jsonx.to_float with
+            | Some m -> m
+            | None -> parse_error "bench json: %s/%s has no median_s" group name
+          in
+          let samples =
+            match Option.bind (Jsonx.member "samples_s" cj) Jsonx.to_list with
+            | Some l -> List.filter_map Jsonx.to_float l
+            | None -> []
+          in
+          let n =
+            match Option.bind (Jsonx.member "n" cj) Jsonx.to_float with
+            | Some n -> int_of_float n
+            | None -> List.length samples (* schema 2 predates the explicit count *)
+          in
+          let min_s =
+            match Option.bind (Jsonx.member "min_s" cj) Jsonx.to_float with
+            | Some m -> m
+            | None -> List.fold_left min median_s samples
+          in
+          { group; name; median_s; min_s; n })
+        (obj group gj))
+    figures
+
+let load_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let cases_of_file path = cases_of_json (Jsonx.parse (load_file path))
+
+(* -- waivers ------------------------------------------------------------- *)
+
+let split_on_first ~sep s =
+  let sl = String.length sep and n = String.length s in
+  let rec find i =
+    if i + sl > n then None else if String.sub s i sl = sep then Some i else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + sl) (n - i - sl))
+  | None -> None
+
+(* "group/case -- reason" per line; '#' starts a comment, blanks ignored. *)
+let parse_waivers text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match split_on_first ~sep:" -- " line with
+           | Some (k, reason) -> Some (String.trim k, String.trim reason)
+           | None -> Some (line, "no reason given"))
+
+(* -- comparison ---------------------------------------------------------- *)
+
+let compare_cases ?(threshold = 0.25) ?(min_samples = 3) ?(min_time = 0.005) ?(waivers = [])
+    ~baseline ~current () =
+  let base_tbl = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace base_tbl (key c) c) baseline;
+  List.map
+    (fun cur ->
+      let k = key cur in
+      match Hashtbl.find_opt base_tbl k with
+      | None -> Skipped { key = k; why = "not in baseline" }
+      | Some base ->
+          if base.n < min_samples || cur.n < min_samples then
+            Skipped
+              {
+                key = k;
+                why =
+                  Printf.sprintf "insufficient samples (base n=%d, current n=%d, need %d)"
+                    base.n cur.n min_samples;
+              }
+          else if base.median_s < min_time then
+            Skipped
+              {
+                key = k;
+                why = Printf.sprintf "too fast to gate (%.4fs median < %.3fs)" base.median_s min_time;
+              }
+          else if base.min_s <= 0. then Skipped { key = k; why = "zero baseline time" }
+          else
+            let ratio = cur.min_s /. base.min_s in
+            if ratio <= 1. +. threshold then
+              Ok_case { key = k; base = base.min_s; cur = cur.min_s }
+            else begin
+              match List.assoc_opt k waivers with
+              | Some reason -> Waived { key = k; base = base.min_s; cur = cur.min_s; reason }
+              | None -> Regressed { key = k; base = base.min_s; cur = cur.min_s; ratio }
+            end)
+    current
+
+let regressions verdicts =
+  List.filter_map (function Regressed _ as r -> Some r | _ -> None) verdicts
+
+let pp_verdict out = function
+  | Ok_case { key; base; cur } -> Printf.fprintf out "  ok       %-32s %.4fs -> %.4fs\n" key base cur
+  | Regressed { key; base; cur; ratio } ->
+      Printf.fprintf out "  REGRESS  %-32s %.4fs -> %.4fs (%.2fx)\n" key base cur ratio
+  | Waived { key; base; cur; reason } ->
+      Printf.fprintf out "  waived   %-32s %.4fs -> %.4fs (%s)\n" key base cur reason
+  | Skipped { key; why } -> Printf.fprintf out "  skip     %-32s %s\n" key why
