@@ -25,7 +25,7 @@ let small = 48 (* small workload size so each bechamel sample is a full run *)
 
 (* All detector construction goes through the shared factory so bench,
    pint_run and pint_replay agree on what each name means. *)
-let make_det name = Option.get (Systems.make_detector name)
+let make_det ?(shards = 1) name = Option.get (Systems.make_detector ~shards name)
 
 let run_detector_once name workers detector () =
   let w = Registry.find name in
@@ -102,9 +102,9 @@ let replay_trace =
      ignore (Seq_exec.run ~driver inst.Workload.run);
      finished ())
 
-let replay_run det () =
+let replay_run ?shards det () =
   let t = Lazy.force replay_trace in
-  let d, _ = make_det det in
+  let d, _ = make_det ?shards det in
   (Replay.run t d).Replay.diagnostics
 
 let replay_tests =
@@ -276,10 +276,10 @@ let default_main () =
 (* One run of a (workload, detector) configuration; returns the detector's
    diagnostics so the JSON can carry treap visits / fast-path rates next to
    the wall-clock numbers. *)
-let detector_run ~workload ~size ~base ~workers det () =
+let detector_run ?shards ~workload ~size ~base ~workers det () =
   let w = Registry.find workload in
   let inst = w.Workload.make ~size ~base in
-  let d, stages = make_det det in
+  let d, stages = make_det ?shards det in
   (match det with
   | "stint" -> ignore (Seq_exec.run ~driver:d.Detector.driver inst.Workload.run)
   | _ ->
@@ -322,6 +322,21 @@ let json_cases =
         ("pint", replay_run "pint");
         ("cracer", replay_run "cracer");
       ] );
+    (* Shard sweeps: the same fig1 heat48/pint configuration at increasing
+       address-range shard counts.  Wall time barely moves (the simulator
+       drives every stage on one OS thread) — the payload is the
+       "detect_span" diagnostic, the virtual-cycle critical path of the
+       slowest treap worker, which must decrease as the access history is
+       split across more {writer,lreader,rreader} triples. *)
+    ( "fig1:shards",
+      [
+        ("heat48/s1", detector_run ~shards:1 ~workload:"heat" ~size:small ~base:8 ~workers:4 "pint");
+        ("heat48/s2", detector_run ~shards:2 ~workload:"heat" ~size:small ~base:8 ~workers:4 "pint");
+        ("heat48/s4", detector_run ~shards:4 ~workload:"heat" ~size:small ~base:8 ~workers:4 "pint");
+        ("heat48/s8", detector_run ~shards:8 ~workload:"heat" ~size:small ~base:8 ~workers:4 "pint");
+      ] );
+    ( "replay:heat48:shards",
+      [ ("pint/s1", replay_run ~shards:1 "pint"); ("pint/s4", replay_run ~shards:4 "pint") ] );
   ]
 
 (* Diagnostics worth tracking release-over-release; anything absent for a
@@ -344,6 +359,13 @@ let tracked_diags =
     "ahq_batch";
     "intervals";
     "raw_events";
+    "shards";
+    "detect_span";
+    "split_intervals";
+    "split_subranges";
+    "split_rate";
+    "lane_rejects";
+    "lane_peak_depth";
   ]
 
 let median samples =
@@ -441,7 +463,7 @@ let () =
           incr i;
           json_path := Some argv.(!i)
         end
-        else json_path := Some "BENCH_5.json"
+        else json_path := Some "BENCH_6.json"
     | "--runs" when !i + 1 < n ->
         incr i;
         runs := int_of_string argv.(!i)

@@ -29,17 +29,19 @@ let load_trace path =
       Printf.eprintf "cannot read trace: %s\n" msg;
       exit 2
 
-let make_detector ?obs name =
-  match Systems.make_detector ?obs name with
+let make_detector ?obs ?(shards = 1) name =
+  match Systems.make_detector ~shards ?obs name with
   | Some ds -> ds
   | None ->
       Printf.eprintf "unknown detector %S (%s)\n" name (String.concat "|" Systems.detector_names);
       exit 2
 
+let shards_arg ?(names = [ "shards" ]) ~doc () = Arg.(value & opt int 1 & info names ~doc)
+
 (* -- capture ------------------------------------------------------------- *)
 
 let capture_cmd =
-  let run workload size base racy exec workers seed detector out =
+  let run workload size base racy exec workers seed detector shards out =
     let w =
       try Registry.find workload
       with Not_found ->
@@ -58,7 +60,7 @@ let capture_cmd =
             exit 2
       else w.Workload.make ~size ~base
     in
-    let det, stages = make_detector detector in
+    let det, stages = make_detector ~shards detector in
     let meta =
       [
         ("workload", workload);
@@ -113,9 +115,13 @@ let capture_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file to write.")
   in
+  let shards =
+    shards_arg ~doc:"Address-range shards for the capture-time detector (pint only)." ()
+  in
   Cmd.v
     (Cmd.info "capture" ~doc:"Run a workload and record its trace")
-    Term.(const run $ workload $ size $ base $ racy $ exec $ workers $ seed $ detector $ out)
+    Term.(
+      const run $ workload $ size $ base $ racy $ exec $ workers $ seed $ detector $ shards $ out)
 
 (* -- stats --------------------------------------------------------------- *)
 
@@ -141,9 +147,9 @@ let stats_cmd =
 let max_report_arg = Arg.(value & opt int 10 & info [ "max-report" ] ~doc:"Races to print.")
 
 let replay_cmd =
-  let run path detector max_report =
+  let run path detector shards max_report =
     let t = load_trace path in
-    let det, _ = make_detector detector in
+    let det, _ = make_detector ~shards detector in
     let o =
       try Replay.run t det
       with Replay.Corrupt msg ->
@@ -165,17 +171,18 @@ let replay_cmd =
     Term.(
       const run $ trace_arg
       $ Arg.(value & opt string "pint" & info [ "d"; "detector" ] ~doc:"none|stint|cracer|pint.")
+      $ shards_arg ~doc:"Address-range shards for the replayed detector (pint only)." ()
       $ max_report_arg)
 
 (* -- profile ------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run path detector out =
+  let run path detector shards out =
     let t = load_trace path in
     (* counter clock: replay has no meaningful timeline; ticks give each
        track a monotone, deterministic time base *)
     let obs = Obs.create ~clock:(Clock.counter ()) () in
-    let det, _ = make_detector ~obs detector in
+    let det, _ = make_detector ~obs ~shards detector in
     let o =
       try Replay.run ~wrap:(Obs_hooks.instrument obs) t det
       with Replay.Corrupt msg ->
@@ -196,6 +203,7 @@ let profile_cmd =
     Term.(
       const run $ trace_arg
       $ Arg.(value & opt string "pint" & info [ "d"; "detector" ] ~doc:"none|stint|cracer|pint.")
+      $ shards_arg ~doc:"Address-range shards for the profiled detector (pint only)." ()
       $ Arg.(
           value
           & opt string "profile.trace.json"
@@ -204,9 +212,10 @@ let profile_cmd =
 (* -- diff ---------------------------------------------------------------- *)
 
 let diff_cmd =
-  let run path left right =
+  let run path left left_shards right right_shards =
     let t = load_trace path in
-    let dl, _ = make_detector left and dr, _ = make_detector right in
+    let dl, _ = make_detector ~shards:left_shards left
+    and dr, _ = make_detector ~shards:right_shards right in
     let d =
       try Replay.differential t dl dr
       with Replay.Corrupt msg ->
@@ -225,7 +234,9 @@ let diff_cmd =
     Term.(
       const run $ trace_arg
       $ Arg.(value & opt string "pint" & info [ "left" ] ~doc:"Left detector.")
-      $ Arg.(value & opt string "stint" & info [ "right" ] ~doc:"Right detector."))
+      $ shards_arg ~names:[ "left-shards" ] ~doc:"Shards for the left detector (pint only)." ()
+      $ Arg.(value & opt string "stint" & info [ "right" ] ~doc:"Right detector.")
+      $ shards_arg ~names:[ "right-shards" ] ~doc:"Shards for the right detector (pint only)." ())
 
 let () =
   let info =

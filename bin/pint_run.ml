@@ -16,7 +16,7 @@ type exec_kind = Seq | Sim | Par
 
 let exec_name = function Seq -> "seq" | Sim -> "sim" | Par -> "par"
 
-let run_one workload detector exec workers size base racy seed max_report capture profile =
+let run_one workload detector exec workers shards size base racy seed max_report capture profile =
   let w =
     try Registry.find workload
     with Not_found ->
@@ -45,7 +45,7 @@ let run_one workload detector exec workers size base racy seed max_report captur
         Obs.create ~clock ()
   in
   let det, stages =
-    match Systems.make_detector ~obs detector with
+    match Systems.make_detector ~shards ~obs detector with
     | Some ds -> ds
     | None ->
         Printf.eprintf "unknown detector %S (%s)\n" detector
@@ -72,8 +72,8 @@ let run_one workload detector exec workers size base racy seed max_report captur
   (* outermost wrapper: the finish timestamp must be taken before any inner
      hook (capture serialization included) runs *)
   let driver = Obs_hooks.instrument obs driver in
-  Printf.printf "workload=%s size=%d base=%d detector=%s racy=%b\n%!" workload size base detector
-    racy;
+  Printf.printf "workload=%s size=%d base=%d detector=%s shards=%d racy=%b\n%!" workload size base
+    detector shards racy;
   (match exec with
   | Seq ->
       let r = Seq_exec.run ~driver inst.Workload.run in
@@ -132,6 +132,14 @@ let detector_arg =
 let exec_conv = Arg.enum [ ("seq", Seq); ("sim", Sim); ("par", Par) ]
 let exec_arg = Arg.(value & opt exec_conv Sim & info [ "e"; "exec" ] ~doc:"Executor: seq, sim or par.")
 let workers_arg = Arg.(value & opt int 4 & info [ "p"; "workers" ] ~doc:"Core workers.")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ]
+        ~doc:"Address-range shards for pint: each shard runs its own writer/lreader/rreader \
+              treap triple on its own AHQ lane. 1 is the paper's topology.")
 let size_arg = Arg.(value & opt (some int) None & info [ "n"; "size" ] ~doc:"Problem size.")
 let base_arg = Arg.(value & opt (some int) None & info [ "b"; "base" ] ~doc:"Base-case size.")
 let racy_arg = Arg.(value & flag & info [ "racy" ] ~doc:"Run the race-injected variant.")
@@ -157,7 +165,7 @@ let profile_arg =
 let () =
   let term =
     Term.(
-      const run_one $ workload_arg $ detector_arg $ exec_arg $ workers_arg $ size_arg $ base_arg
-      $ racy_arg $ seed_arg $ max_report_arg $ capture_arg $ profile_arg)
+      const run_one $ workload_arg $ detector_arg $ exec_arg $ workers_arg $ shards_arg $ size_arg
+      $ base_arg $ racy_arg $ seed_arg $ max_report_arg $ capture_arg $ profile_arg)
   in
   exit (Cmd.eval (Cmd.v (Cmd.info "pint_run" ~doc:"Run a benchmark under a race detector") term))

@@ -1,42 +1,109 @@
-(* Address-range sharding for the §VI extension: reader-treap work can be
-   split across [shards] workers per role because race checks are
-   per-address — worker k owns the 4096-word blocks whose index is ≡ k
-   (mod shards), each with its own sequential treap, so no concurrent treap
-   is ever needed.  [shards = 1] is the paper's configuration. *)
-let shard_block = 4096
+(* The N-shard access-history topology (ROADMAP item 1, generalizing the
+   paper's fixed {writer, lreader, rreader} triple and the §VI sharding
+   sketch): address-range shard k owns the [Lanes.shard_block]-word blocks
+   congruent to k and runs its own {writer, lreader, rreader} treap triple
+   off its own AHQ lane.  Race checks are per-address, so routing every
+   block-aligned subrange to exactly one shard preserves the race set while
+   every treap stays sequential — no concurrent treap is ever needed.
+   [shards = 1] is the paper's configuration: one lane, three treap
+   workers, nothing ever split.
 
-let iter_shard_subranges ~shards ~shard (iv : Interval.t) f =
-  if shards = 1 then f iv
-  else begin
-    let rec go lo =
-      if lo <= iv.Interval.hi then begin
-        let bstart = lo / shard_block * shard_block in
-        let hi = min iv.Interval.hi (bstart + shard_block - 1) in
-        if lo / shard_block mod shards = shard then f (Interval.make lo hi);
-        go (hi + 1)
-      end
-    in
-    go iv.Interval.lo
-  end
+   Stage/worker layout for N shards (stage index = position below):
+     [0]            the collector: scans traces in DAG order (Algorithm 2),
+                    splits each strand's interval batch per shard, commits
+                    the pieces to all N lanes atomically, and doubles as
+                    shard 0's writer treap worker (processing its piece
+                    synchronously, exactly the paper's writer at N = 1);
+     [1 .. N-1]     shard k's writer treap worker, consuming lane k;
+     [N .. 2N-1]    shard k's left-most reader treap worker;
+     [2N .. 3N-1]   shard k's right-most reader treap worker.
+   Every lane carries the full DAG-ordered strand stream (restricted to the
+   shard's address range), so per-shard clear/free ordering is preserved
+   verbatim. *)
+
+(* Re-exported shard-decomposition helper (the router owns the scheme). *)
+let iter_shard_subranges ~shards ~shard iv f = Lanes.iter_subranges ~shards ~shard iv f
+
+(* ------------------------------------------------------------- stage roles *)
+
+type role = Writer | Lreader | Rreader
+
+let role_prefix = function Writer -> "writer" | Lreader -> "lreader" | Rreader -> "rreader"
+
+(* Stage/track names: the paper's bare "writer"/"lreader"/"rreader" at one
+   shard (so the default topology's tracks, clocks and diagnostics keep
+   their historical names), "writer2"/"lreader0"/… when sharded.  Obs
+   tracks, Chrome-trace threads and [Systems.run] stage clocks all key on
+   these, so this is the single naming authority. *)
+let stage_name_of ~shards role k =
+  if shards = 1 then role_prefix role else role_prefix role ^ string_of_int k
+
+let role_of_stage_name name =
+  let strip prefix =
+    let lp = String.length prefix and ln = String.length name in
+    if ln >= lp && String.sub name 0 lp = prefix then
+      if ln = lp then Some 0 else int_of_string_opt (String.sub name lp (ln - lp))
+    else None
+  in
+  (* reader prefixes first: "writer" must not swallow nothing, but no reader
+     name starts with "writer" and vice versa — order is just defensive *)
+  match strip "lreader" with
+  | Some k -> Some (Lreader, k)
+  | None -> (
+      match strip "rreader" with
+      | Some k -> Some (Rreader, k)
+      | None -> ( match strip "writer" with Some k -> Some (Writer, k) | None -> None))
+
+(* Mean over the clocks of one role's stages — the per-role reduction the
+   harness uses instead of pattern-matching stage-name prefixes. *)
+let role_mean role clocks =
+  let tot = ref 0. and n = ref 0 in
+  List.iter
+    (fun (name, c) ->
+      match role_of_stage_name name with
+      | Some (ro, _) when ro = role ->
+          tot := !tot +. float_of_int c;
+          incr n
+      | _ -> ())
+    clocks;
+  if !n = 0 then 0. else !tot /. float_of_int !n
+
+(* --------------------------------------------------------------- run state *)
+
+(* What a lane carries: the strand record plus this shard's block-aligned
+   subranges of its read/write batches, computed once at collect time.  The
+   record itself is shared across lanes (its done_count/pred atomics must
+   be the strand's, not a copy's); at one shard the interval arrays are the
+   record's own — the split only materializes when there is something to
+   split. *)
+type lane_rec = {
+  u : Srec.t;
+  s_reads : Interval.t array;
+  s_writes : Interval.t array;
+}
 
 (* State that exists only while a run is active. *)
 type run = {
   ctx : Hooks.ctx;
   coals : Coalescer.t array; (* per core worker *)
   cur_traces : Trace.t array; (* per core worker *)
-  registry : Trace.t Vec.t; (* active traces, writer-side scanned *)
+  registry : Trace.t Vec.t; (* active traces, collector-side scanned *)
   reg_lock : Mutex.t;
-  ahq : Ahq.t;
-  reader_bufs : Srec.t array array; (* per queue-reader reusable batch buffer *)
-  writer : Sp_order.strand Itreap.t;
-  lreaders : Sp_order.strand Itreap.t array; (* one per shard *)
+  lanes : lane_rec Lanes.t; (* one AHQ lane per shard *)
+  consume_bufs : lane_rec array array; (* per consuming stage, reusable; slot 0 unused *)
+  writers : Sp_order.strand Itreap.t array; (* one per shard *)
+  lreaders : Sp_order.strand Itreap.t array;
   rreaders : Sp_order.strand Itreap.t array;
   core_done : bool Atomic.t;
-  writer_done : bool Atomic.t;
+  collect_done : bool Atomic.t;
   mutable scan_cursor : int;
   mutable n_collected : int;
-  mutable writer_strands : int;
-  reader_strands : int array; (* per queue-reader index *)
+  (* Collector-side split accounting: source intervals seen vs per-shard
+     subranges committed; the ratio is the split rate (1.0 = no interval
+     ever straddled an ownership boundary). *)
+  mutable split_intervals : int;
+  mutable split_subranges : int;
+  stage_strands : int array; (* strands processed, per stage index *)
   mutable next_trace_id : int;
   (* Aggregate workload counters, bumped from [on_finish] which runs on
      every core-worker domain concurrently under [Par_exec] — hence atomic
@@ -45,17 +112,15 @@ type run = {
   agg_work : int Atomic.t;
   agg_raw_events : int Atomic.t;
   (* observability (all Evring.null / unregistered when profiling is off):
-     [obs_w] is the writer stage's track, [obs_r].(k) queue-reader [k]'s;
-     [lat_collect] is the finish→collected histogram (writer-owned);
-     [lat_done].(k) the finish→all-treaps-done histogram bumped by
-     whichever stage performed the last done_count increment (slot 2S for
-     the writer), merged into the session's registered histogram once the
+     [obs_stage].(i) is stage i's track; [lat_collect] the finish→collected
+     histogram (collector-owned); [lat_done].(i) the finish→all-treaps-done
+     histogram bumped by whichever stage performed the last done_count
+     increment, merged into the session's registered histogram once the
      pipeline drains ([lat_published] latches that hand-off). *)
-  obs_w : Evring.t;
-  obs_r : Evring.t array;
+  obs_stage : Evring.t array;
   lat_collect : Histo.t;
   lat_done : Histo.t array;
-  done_target : int;
+  done_target : int; (* 3 · shards: every stage processes every strand *)
   mutable lat_published : bool;
 }
 
@@ -75,19 +140,24 @@ let dummy_trace = Trace.create ~id:(-1) ~owner:(-1)
 
 (* Placeholder filling the reusable batch buffers before their first use;
    never processed (peek_batch_into reports how many slots are live). *)
-let dummy_srec =
+let dummy_lane_rec =
   lazy
     (let _, root = Sp_order.create () in
-     Srec.make ~uid:(-1) root)
+     { u = Srec.make ~uid:(-1) root; s_reads = [||]; s_writes = [||] })
 
-let make ?(seed = 4242) ?(queue_capacity = 4096) ?(reader_shards = 1)
+let make ?(seed = 4242) ?(queue_capacity = 4096) ?shards ?reader_shards
     ?(batch = Ahq.default_batch) () =
-  if reader_shards < 1 then invalid_arg "Pint_detector.make: reader_shards must be >= 1";
+  (* [reader_shards] is the deprecated spelling from the readers-only
+     sharding era; [shards] wins when both are given *)
+  let shards =
+    match (shards, reader_shards) with Some s, _ -> s | None, Some s -> s | None, None -> 1
+  in
+  if shards < 1 then invalid_arg "Pint_detector.make: shards must be >= 1";
   if batch < 1 then invalid_arg "Pint_detector.make: batch must be >= 1";
   {
     seed;
     queue_capacity;
-    shards = reader_shards;
+    shards;
     batch;
     report = Report.create ();
     run = None;
@@ -96,15 +166,16 @@ let make ?(seed = 4242) ?(queue_capacity = 4096) ?(reader_shards = 1)
     obs = Obs.disabled;
   }
 
+let shards t = t.shards
 let set_obs t obs = t.obs <- obs
+let stage_name t role k = stage_name_of ~shards:t.shards role k
 
-(* Track name of queue-reader [idx] — must match the stage names built in
-   [reader_steps] so the AHQ hooks and the engine share one track. *)
-let reader_name t idx =
-  if idx < t.shards then
-    Printf.sprintf "lreader%s" (if t.shards = 1 then "" else string_of_int idx)
-  else
-    Printf.sprintf "rreader%s" (if t.shards = 1 then "" else string_of_int (idx - t.shards))
+(* Stage index layout (see the header comment). *)
+let stage_name_of_idx t i =
+  let s = t.shards in
+  if i < s then stage_name t Writer i
+  else if i < 2 * s then stage_name t Lreader (i - s)
+  else stage_name t Rreader (i - (2 * s))
 
 let active t = match t.run with Some r -> r | None -> failwith "Pint: no active run"
 
@@ -123,6 +194,31 @@ let new_trace r ~wid =
 let driver t (ctx : Hooks.ctx) =
   let owner_eq = ( == ) in
   let s = t.shards in
+  let n_stages = 3 * s in
+  let obs_stage = Array.init n_stages (fun i -> Obs.track t.obs (stage_name_of_idx t i)) in
+  let lanes =
+    (* lane 0 has no writer cursor (the collector processes shard 0's piece
+       synchronously at collect time, exactly the paper's writer worker) *)
+    Lanes.create ~capacity:t.queue_capacity ~shards:s
+      ~readers_of_lane:(fun k -> if k = 0 then 2 else 3)
+      ()
+  in
+  (* Lane obs wiring.  One shard: the lane's producer ring IS the writer
+     stage's track (the historical single-queue occupancy counter).  When
+     sharded, each lane gets its own "lane<k>" track so per-shard occupancy
+     renders as separate Chrome counter tracks; all of them are emitted
+     from the collector stage, which is the single producer on every
+     lane. *)
+  for k = 0 to s - 1 do
+    let writer_ring =
+      if s = 1 then obs_stage.(0) else Obs.track t.obs (Printf.sprintf "lane%d" k)
+    in
+    let readers =
+      if k = 0 then [| obs_stage.(s); obs_stage.(2 * s) |]
+      else [| obs_stage.(k); obs_stage.(s + k); obs_stage.(2 * s + k) |]
+    in
+    Ahq.set_obs (Lanes.lane lanes k) ~writer:writer_ring ~readers
+  done;
   let r =
     {
       ctx;
@@ -130,30 +226,35 @@ let driver t (ctx : Hooks.ctx) =
       cur_traces = Array.make ctx.n_workers dummy_trace;
       registry = Vec.create ~capacity:64 dummy_trace;
       reg_lock = Mutex.create ();
-      ahq = Ahq.create ~capacity:t.queue_capacity ~readers:(2 * s) ();
-      reader_bufs = Array.init (2 * s) (fun _ -> Array.make t.batch (Lazy.force dummy_srec));
-      writer = Itreap.create ~seed:t.seed ~owner_eq ();
+      lanes;
+      consume_bufs =
+        Array.init n_stages (fun _ -> Array.make t.batch (Lazy.force dummy_lane_rec));
+      (* shard 0's writer keeps the historical seed so the one-shard treap
+         shapes (and hence visit counts) match the paper configuration and
+         STINT's matched-seed comparison exactly *)
+      writers =
+        Array.init s (fun k ->
+            Itreap.create ~seed:(if k = 0 then t.seed else t.seed + 211 + k) ~owner_eq ());
       lreaders = Array.init s (fun k -> Itreap.create ~seed:(t.seed + 1 + k) ~owner_eq ());
       rreaders = Array.init s (fun k -> Itreap.create ~seed:(t.seed + 101 + k) ~owner_eq ());
       core_done = Atomic.make false;
-      writer_done = Atomic.make false;
+      collect_done = Atomic.make false;
       scan_cursor = 0;
       n_collected = 0;
-      writer_strands = 0;
-      reader_strands = Array.make (2 * s) 0;
+      split_intervals = 0;
+      split_subranges = 0;
+      stage_strands = Array.make n_stages 0;
       next_trace_id = 0;
       agg_intervals = Atomic.make 0;
       agg_work = Atomic.make 0;
       agg_raw_events = Atomic.make 0;
-      obs_w = Obs.track t.obs "writer";
-      obs_r = Array.init (2 * s) (fun idx -> Obs.track t.obs (reader_name t idx));
+      obs_stage;
       lat_collect = Obs.histo t.obs "lat.finish_to_collect";
-      lat_done = Array.init ((2 * s) + 1) (fun _ -> Histo.create ());
-      done_target = 1 + (2 * s);
+      lat_done = Array.init n_stages (fun _ -> Histo.create ());
+      done_target = n_stages;
       lat_published = false;
     }
   in
-  Ahq.set_obs r.ahq ~writer:r.obs_w ~readers:r.obs_r;
   for wid = 0 to ctx.n_workers - 1 do
     ignore (new_trace r ~wid)
   done;
@@ -206,56 +307,86 @@ let process_clears ?(shards = 1) ?(shard = 0) treap (u : Srec.t) =
   List.iter clear u.clears;
   List.iter clear u.frees
 
-let process_writer t r (u : Srec.t) =
-  let v0 = Itreap.visits r.writer in
+(* The per-shard split of one interval batch: two passes (count, fill) so
+   the result is an exact-sized array.  Only reached when shards > 1. *)
+let split_owned ~shards ~shard (ivs : Interval.t array) =
+  let n = ref 0 in
+  Array.iter (fun iv -> iter_shard_subranges ~shards ~shard iv (fun _ -> incr n)) ivs;
+  if !n = 0 then [||]
+  else begin
+    let out = Array.make !n (Interval.make 0 0) in
+    let i = ref 0 in
+    Array.iter
+      (fun iv ->
+        iter_shard_subranges ~shards ~shard iv (fun sub ->
+            out.(!i) <- sub;
+            incr i))
+      ivs;
+    out
+  end
+
+let lane_payload t (u : Srec.t) k =
+  if t.shards = 1 then { u; s_reads = u.Srec.reads; s_writes = u.Srec.writes }
+  else
+    {
+      u;
+      s_reads = split_owned ~shards:t.shards ~shard:k u.Srec.reads;
+      s_writes = split_owned ~shards:t.shards ~shard:k u.Srec.writes;
+    }
+
+(* Shard k's writer-treap work for one record: check this shard's read
+   subranges against the last-writer treap (Write_read), check-and-insert
+   the write subranges (Write_write), apply this shard's share of the
+   clears/frees.  At one shard this is exactly the paper's writer worker
+   minus the heap recycling, which stays with the collector. *)
+let process_writer t r ~shard (lr : lane_rec) =
+  let treap = r.writers.(shard) in
+  let v0 = Itreap.visits treap in
+  let u = lr.u in
   let s = u.Srec.sp in
   let check kind iv =
-    Itreap.query r.writer iv ~f:(fun seg prior ->
+    Itreap.query treap iv ~f:(fun seg prior ->
         if Policies.race r.ctx.sp ~prior ~current:s then
           Report.add t.report kind ~prior:(Sp_order.id prior) ~current:(Sp_order.id s)
             (Interval.inter seg iv))
   in
-  Array.iter (fun iv -> check Report.Write_read iv) u.reads;
+  Array.iter (fun iv -> check Report.Write_read iv) lr.s_reads;
   Array.iter
     (fun iv ->
       check Report.Write_write iv;
-      Itreap.insert_replace r.writer iv s)
-    u.writes;
-  process_clears r.writer u;
-  (* the delayed frees become real here: the writer treap worker owns
-     recycling (§III-D, §III-F) *)
-  List.iter (fun (b, l) -> Aspace.heap_free r.ctx.aspace ~base:b ~len:l) u.frees;
-  r.writer_strands <- r.writer_strands + 1;
-  Itreap.visits r.writer - v0
+      Itreap.insert_replace treap iv s)
+    lr.s_writes;
+  process_clears ~shards:t.shards ~shard treap u;
+  r.stage_strands.(shard) <- r.stage_strands.(shard) + 1;
+  Itreap.visits treap - v0
 
-(* Queue-reader index [idx] maps to role L for idx < shards (shard = idx)
-   and role R otherwise (shard = idx - shards). *)
-let process_reader t r idx (u : Srec.t) =
-  let shards = t.shards in
-  let treap, keep, shard =
-    if idx < shards then (r.lreaders.(idx), Policies.keep_leftmost, idx)
-    else (r.rreaders.(idx - shards), Policies.keep_rightmost, idx - shards)
+(* Shard k's reader-treap work: the lane record's subranges are already
+   this shard's share, so no re-splitting — check writes against the reader
+   treap (Read_write), insert reads under the role's keep policy. *)
+let process_reader t r ~right ~shard ~sidx (lr : lane_rec) =
+  let treap, keep =
+    if right then (r.rreaders.(shard), Policies.keep_rightmost)
+    else (r.lreaders.(shard), Policies.keep_leftmost)
   in
   let v0 = Itreap.visits treap in
+  let u = lr.u in
   let s = u.Srec.sp in
   Array.iter
     (fun iv ->
-      iter_shard_subranges ~shards ~shard iv (fun sub ->
-          Itreap.query treap sub ~f:(fun seg prior ->
-              if Policies.race r.ctx.sp ~prior ~current:s then
-                Report.add t.report Report.Read_write ~prior:(Sp_order.id prior)
-                  ~current:(Sp_order.id s) (Interval.inter seg sub))))
-    u.writes;
+      Itreap.query treap iv ~f:(fun seg prior ->
+          if Policies.race r.ctx.sp ~prior ~current:s then
+            Report.add t.report Report.Read_write ~prior:(Sp_order.id prior)
+              ~current:(Sp_order.id s) (Interval.inter seg iv)))
+    lr.s_writes;
   Array.iter
     (fun iv ->
-      iter_shard_subranges ~shards ~shard iv (fun sub ->
-          Itreap.insert_merge treap sub s ~keep:(fun ~incumbent -> keep r.ctx.sp ~s ~incumbent)))
-    u.reads;
-  process_clears ~shards ~shard treap u;
-  r.reader_strands.(idx) <- r.reader_strands.(idx) + 1;
+      Itreap.insert_merge treap iv s ~keep:(fun ~incumbent -> keep r.ctx.sp ~s ~incumbent))
+    lr.s_reads;
+  process_clears ~shards:t.shards ~shard treap u;
+  r.stage_strands.(sidx) <- r.stage_strands.(sidx) + 1;
   Itreap.visits treap - v0
 
-(* Last done_count bump (the 1 + 2S'th): the strand has passed all treap
+(* Last done_count bump (the 3N'th): the strand has passed all treap
    workers.  [slot] indexes the bumping stage's private histogram; the
    ring is the bumping stage's own track, so the emit stays single-owner. *)
 let note_complete r ~slot ~ring (u : Srec.t) =
@@ -265,25 +396,48 @@ let note_complete r ~slot ~ring (u : Srec.t) =
     Histo.add r.lat_done.(slot) (ts - u.Srec.obs_ts)
   end
 
-(* Algorithm 2: Collect. *)
+let bump_done r ~slot ~ring (u : Srec.t) =
+  let prev = Atomic.fetch_and_add u.Srec.done_count 1 in
+  if prev = r.done_target - 1 then note_complete r ~slot ~ring u
+
+(* Algorithm 2: Collect, generalized to N lanes.  The commit is
+   all-or-nothing — either every shard's lane accepts the strand or none
+   does (and the collector stalls) — so a strand is never half-visible to
+   the shard set and per-lane DAG order is preserved. *)
 let collect t r (u : Srec.t) =
-  if not (Ahq.try_enqueue r.ahq u) then false
+  let p0 = ref None in
+  let subs = ref 0 in
+  let committed =
+    Lanes.enqueue_each r.lanes (fun k ->
+        let p = lane_payload t u k in
+        subs := !subs + Array.length p.s_reads + Array.length p.s_writes;
+        if k = 0 then p0 := Some p;
+        p)
+  in
+  if not committed then false
   else begin
     (match u.Srec.child with
     | Some c when u.Srec.is_spawn || u.Srec.child_is_sync -> Atomic.decr c.Srec.pred
     | _ -> ());
     r.n_collected <- r.n_collected + 1;
-    (if Evring.enabled r.obs_w then begin
-       let ts = Evring.now r.obs_w in
-       Evring.emit_at r.obs_w ~ts ~kind:Ev.collect ~arg:u.Srec.uid;
+    r.split_intervals <- r.split_intervals + Array.length u.Srec.reads + Array.length u.Srec.writes;
+    r.split_subranges <- r.split_subranges + !subs;
+    let ring = r.obs_stage.(0) in
+    (if Evring.enabled ring then begin
+       let ts = Evring.now ring in
+       Evring.emit_at ring ~ts ~kind:Ev.collect ~arg:u.Srec.uid;
+       if t.shards > 1 then Evring.emit_at ring ~ts ~kind:Ev.split ~arg:!subs;
        Histo.add r.lat_collect (ts - u.Srec.obs_ts)
      end);
-    let prev = Atomic.fetch_and_add u.Srec.done_count 1 in
-    (* under Par_exec readers can outrun the writer's own bump, so the
-       writer may observe the completing increment; slot 2S is its own *)
-    if prev = r.done_target - 1 then
-      note_complete r ~slot:(r.done_target - 1) ~ring:r.obs_w u;
-    ignore (process_writer t r u : int);
+    (* under Par_exec downstream stages can outrun the collector's own
+       bump, so the collector may observe the completing increment *)
+    bump_done r ~slot:0 ~ring u;
+    (match !p0 with
+    | Some p -> ignore (process_writer t r ~shard:0 p : int)
+    | None -> assert false (* enqueue_each evaluated f 0 iff it committed *));
+    (* the delayed frees become real here: the collector owns heap
+       recycling (§III-D, §III-F), after shard 0's treaps saw the clear *)
+    List.iter (fun (b, l) -> Aspace.heap_free r.ctx.aspace ~base:b ~len:l) u.Srec.frees;
     true
   end
 
@@ -292,7 +446,7 @@ let writer_step t : Step.t =
   let n = Vec.length r.registry in
   if n = 0 then
     if Atomic.get r.core_done then begin
-      Atomic.set r.writer_done true;
+      Atomic.set r.collect_done true;
       Step.finished
     end
     else Step.idle
@@ -316,13 +470,13 @@ let writer_step t : Step.t =
         else if Trace.unlocked tr then begin
           match Trace.peek tr with
           | Some u ->
-              let v0 = Itreap.visits r.writer in
+              let v0 = Itreap.visits r.writers.(0) in
               if collect t r u then begin
                 Trace.pop tr;
                 r.scan_cursor <- idx;
-                Step.worked (Itreap.visits r.writer - v0)
+                Step.worked (Itreap.visits r.writers.(0) - v0)
               end
-              else Step.stalled (* queue full: stall until readers catch up *)
+              else Step.stalled (* some lane full: stall until its consumers catch up *)
           | None -> scan (idx + 1) (tried + 1)
         end
         else scan (idx + 1) (tried + 1)
@@ -330,28 +484,56 @@ let writer_step t : Step.t =
     in
     match scan r.scan_cursor 0 with
     | `Idle when Vec.length r.registry = 0 && Atomic.get r.core_done ->
-        Atomic.set r.writer_done true;
+        Atomic.set r.collect_done true;
         Step.finished
     | other -> other
   end
 
-(* Readers consume the queue in batches: one cursor update and one
-   slot-recycling scan per batch instead of per record, through a reusable
-   per-reader buffer so the batch itself allocates nothing. *)
-let reader_step_idx t idx : Step.t =
+(* Shard k's (k >= 1) writer treap worker: consume lane k through cursor 0
+   in batches, mirroring the reader consumption pattern. *)
+let shard_writer_step t k : Step.t =
   let r = active t in
-  let buf = r.reader_bufs.(idx) in
-  let n = Ahq.peek_batch_into r.ahq idx buf in
-  if n = 0 then if Atomic.get r.writer_done then Step.finished else Step.idle
+  let lane = Lanes.lane r.lanes k in
+  let buf = r.consume_bufs.(k) in
+  let n = Ahq.peek_batch_into lane 0 buf in
+  if n = 0 then if Atomic.get r.collect_done then Step.finished else Step.idle
   else begin
     let visits = ref 0 in
-    for k = 0 to n - 1 do
-      let u = buf.(k) in
-      visits := !visits + process_reader t r idx u;
-      let prev = Atomic.fetch_and_add u.Srec.done_count 1 in
-      if prev = r.done_target - 1 then note_complete r ~slot:idx ~ring:r.obs_r.(idx) u
+    for i = 0 to n - 1 do
+      let lr = buf.(i) in
+      visits := !visits + process_writer t r ~shard:k lr;
+      bump_done r ~slot:k ~ring:r.obs_stage.(k) lr.u
     done;
-    Ahq.advance_n r.ahq idx n;
+    Ahq.advance_n lane 0 n;
+    Step.worked ~records:n !visits
+  end
+
+(* Queue-reader index [idx] maps to role L for idx < shards (shard = idx)
+   and role R otherwise (shard = idx - shards).  Readers consume their
+   shard's lane in batches: one cursor update and one slot-recycling scan
+   per batch, through a reusable per-stage buffer so the batch itself
+   allocates nothing. *)
+let reader_step_idx t idx : Step.t =
+  let r = active t in
+  let s = t.shards in
+  let right = idx >= s in
+  let shard = if right then idx - s else idx in
+  let sidx = s + idx in
+  (* lane 0 has no writer cursor: {lreader, rreader} sit at {0, 1} there
+     and at {1, 2} on every other lane (cursor 0 is the shard writer's) *)
+  let cursor = (if right then 1 else 0) + if shard = 0 then 0 else 1 in
+  let lane = Lanes.lane r.lanes shard in
+  let buf = r.consume_bufs.(sidx) in
+  let n = Ahq.peek_batch_into lane cursor buf in
+  if n = 0 then if Atomic.get r.collect_done then Step.finished else Step.idle
+  else begin
+    let visits = ref 0 in
+    for i = 0 to n - 1 do
+      let lr = buf.(i) in
+      visits := !visits + process_reader t r ~right ~shard ~sidx lr;
+      bump_done r ~slot:sidx ~ring:r.obs_stage.(sidx) lr.u
+    done;
+    Ahq.advance_n lane cursor n;
     Step.worked ~records:n !visits
   end
 
@@ -359,25 +541,46 @@ let lreader_step t = reader_step_idx t 0
 let rreader_step t = reader_step_idx t t.shards
 
 let reader_steps t =
-  List.init (2 * t.shards) (fun idx -> (reader_name t idx, fun () -> reader_step_idx t idx))
+  List.init (2 * t.shards) (fun idx ->
+      let role = if idx < t.shards then Lreader else Rreader in
+      let k = if idx < t.shards then idx else idx - t.shards in
+      (stage_name t role k, fun () -> reader_step_idx t idx))
 
-(* The pipeline stages: the writer treap worker plus the [2·S] reader treap
-   workers, registered with the engine.  The same stage values are used by
-   every executor (the simulator steps them in virtual time, the
-   multi-domain executor gives each its own domain, [drain] round-robins
-   them), so the per-stage metrics accumulate in one place regardless of
-   who drives the pipeline. *)
+(* The pipeline stages, in stage-index order: the collector, the shard
+   writer workers, then the [2·N] reader workers, registered with the
+   engine.  The same stage values are used by every executor (the simulator
+   steps them in virtual time, the multi-domain executor gives each its own
+   domain, [drain] round-robins them), so the per-stage metrics accumulate
+   in one place regardless of who drives the pipeline. *)
 let default_step_cost ~records ~visits = (100 * records) + (5 * visits)
 
 let stages ?(cost = default_step_cost) t =
-  let all =
-    Stage.make ~name:"writer" ~cost (fun () -> writer_step t)
-    :: List.map (fun (name, step) -> Stage.make ~name ~cost step) (reader_steps t)
+  let s = t.shards in
+  let writers =
+    List.init s (fun k ->
+        let step = if k = 0 then fun () -> writer_step t else fun () -> shard_writer_step t k in
+        Stage.make ~name:(stage_name t Writer k) ~cost step)
   in
+  let readers =
+    List.map (fun (name, step) -> Stage.make ~name ~cost step) (reader_steps t)
+  in
+  let all = writers @ readers in
   t.stage_list <- all;
   all
 
 let current_stages t = match t.stage_list with [] -> stages t | l -> l
+
+(* The treap-side critical path under the stages' cost model: the slowest
+   single stage, which is what bounds detection when every stage has its
+   own worker.  Sharding's whole point is pushing this down — records per
+   stage stay (at most) the strand count while each stage's visit share
+   shrinks. *)
+let detection_span t =
+  List.fold_left
+    (fun acc s ->
+      let m = Stage.metrics s in
+      Float.max acc (float_of_int (Stage.cost s ~records:m.Stage.records ~visits:m.Stage.visits)))
+    0. t.stage_list
 
 (* After the pipeline has drained, merge the per-stage finish→done
    histograms into the session's registered aggregate.  Latched: drain can
@@ -402,27 +605,31 @@ let stage_diagnostics t =
   match t.stage_list with
   | [] -> []
   | sl ->
-      let readers = List.filter (fun s -> Stage.name s <> "writer") sl in
-      let sum f = List.fold_left (fun acc s -> acc + f (Stage.metrics s)) 0 readers in
-      let rsteps = sum (fun m -> m.Stage.steps) and rrecords = sum (fun m -> m.Stage.records) in
+      let collector_name = stage_name t Writer 0 in
+      let consumers = List.filter (fun s -> Stage.name s <> collector_name) sl in
+      let sum f = List.fold_left (fun acc s -> acc + f (Stage.metrics s)) 0 consumers in
+      let csteps = sum (fun m -> m.Stage.steps) and crecords = sum (fun m -> m.Stage.records) in
       let writer_stalls =
-        match List.find_opt (fun s -> Stage.name s = "writer") sl with
+        match List.find_opt (fun s -> Stage.name s = collector_name) sl with
         | Some w -> (Stage.metrics w).Stage.stalls
         | None -> 0
       in
       ("writer_stalls", float_of_int writer_stalls)
-      :: ("ahq_batch", float_of_int rrecords /. float_of_int (max 1 rsteps))
+      :: ("ahq_batch", float_of_int crecords /. float_of_int (max 1 csteps))
+      :: ("detect_span", detection_span t)
       :: Pipeline.diagnostics (Pipeline.of_stages sl)
 
 let diagnostics t () =
   match t.run with
   | None -> t.last_diags
   | Some r ->
+      let s = t.shards in
       let sum f arr = Array.fold_left (fun acc x -> acc +. f x) 0. arr in
-      let sum_treaps f =
-        f r.writer
-        + Array.fold_left (fun a tr -> a + f tr) 0 r.lreaders
-        + Array.fold_left (fun a tr -> a + f tr) 0 r.rreaders
+      let sum_role f arr = Array.fold_left (fun a tr -> a + f tr) 0 arr in
+      let sum_treaps f = sum_role f r.writers + sum_role f r.lreaders + sum_role f r.rreaders in
+      let role_strands lo =
+        float_of_int (Array.fold_left ( + ) 0 (Array.sub r.stage_strands lo s))
+        /. float_of_int s
       in
       let fast = sum_treaps Itreap.fastpath_hits and slow = sum_treaps Itreap.slowpath_hits in
       [
@@ -430,40 +637,42 @@ let diagnostics t () =
         ("slowpath_hits", float_of_int slow);
         ("fastpath_rate", float_of_int fast /. float_of_int (max 1 (fast + slow)));
         ("scratch_reuse", float_of_int (sum_treaps Itreap.scratch_reuse));
-        ("queue_min_rescans", float_of_int (Ahq.min_rescans r.ahq));
+        ("queue_min_rescans", float_of_int (Lanes.total_min_rescans r.lanes));
         ( "coal_sort_skips",
           sum (fun c -> float_of_int (fst (Coalescer.sort_stats c))) r.coals );
         ("coal_sorts", sum (fun c -> float_of_int (snd (Coalescer.sort_stats c))) r.coals);
         ("collected", float_of_int r.n_collected);
-        ("writer_strands", float_of_int r.writer_strands);
-        ( "l_strands",
-          float_of_int (Array.fold_left ( + ) 0 (Array.sub r.reader_strands 0 t.shards))
-          /. float_of_int t.shards );
-        ( "r_strands",
-          float_of_int (Array.fold_left ( + ) 0 (Array.sub r.reader_strands t.shards t.shards))
-          /. float_of_int t.shards );
-        ("writer_visits", float_of_int (Itreap.visits r.writer));
-        ("lreader_visits", sum (fun tr -> float_of_int (Itreap.visits tr)) r.lreaders);
-        ("rreader_visits", sum (fun tr -> float_of_int (Itreap.visits tr)) r.rreaders);
-        ("writer_size", float_of_int (Itreap.size r.writer));
-        ("lreader_size", sum (fun tr -> float_of_int (Itreap.size tr)) r.lreaders);
-        ("rreader_size", sum (fun tr -> float_of_int (Itreap.size tr)) r.rreaders);
-        ("queue_enqueued", float_of_int (Ahq.enqueued r.ahq));
+        ("writer_strands", role_strands 0);
+        ("l_strands", role_strands s);
+        ("r_strands", role_strands (2 * s));
+        ("writer_visits", float_of_int (sum_role Itreap.visits r.writers));
+        ("lreader_visits", float_of_int (sum_role Itreap.visits r.lreaders));
+        ("rreader_visits", float_of_int (sum_role Itreap.visits r.rreaders));
+        ("writer_size", float_of_int (sum_role Itreap.size r.writers));
+        ("lreader_size", float_of_int (sum_role Itreap.size r.lreaders));
+        ("rreader_size", float_of_int (sum_role Itreap.size r.rreaders));
+        ("queue_enqueued", float_of_int (Lanes.total_enqueued r.lanes));
+        ("lane_rejects", float_of_int (Lanes.total_rejects r.lanes));
+        ("lane_peak_depth", float_of_int (Lanes.max_peak_occupancy r.lanes));
+        ("split_intervals", float_of_int r.split_intervals);
+        ("split_subranges", float_of_int r.split_subranges);
+        ( "split_rate",
+          float_of_int r.split_subranges /. float_of_int (max 1 r.split_intervals) );
         ("traces", float_of_int r.next_trace_id);
         ("intervals", float_of_int (Atomic.get r.agg_intervals));
         ("work", float_of_int (Atomic.get r.agg_work));
         ("raw_events", float_of_int (Atomic.get r.agg_raw_events));
-        ("shards", float_of_int t.shards);
+        ("shards", float_of_int s);
       ]
       @ stage_diagnostics t
 
-(* Structural invariants of all 1 + 2·S treaps: heap order on priorities,
+(* Structural invariants of all 3·N treaps: heap order on priorities,
    BST order on intervals, pairwise disjointness, size counters. *)
 let validate t =
   match t.run with
   | None -> ()
   | Some r ->
-      Itreap.validate r.writer;
+      Array.iter Itreap.validate r.writers;
       Array.iter Itreap.validate r.lreaders;
       Array.iter Itreap.validate r.rreaders
 

@@ -1,4 +1,5 @@
-(** PINT — the paper's parallel interval-based race detector.
+(** PINT — the paper's parallel interval-based race detector, with an
+    N-shard access-history topology.
 
     Core-side (driven through the detector hooks by whichever executor is
     running the computation):
@@ -9,17 +10,30 @@
     - a worker switches to a fresh trace when it starts a stolen
       continuation or passes a non-trivial sync.
 
-    Access-history side: three logical treap workers, packaged as engine
-    {!Stage}s so that every execution mode can drive them through the
-    shared pipeline machinery —
-    - the {b writer} treap worker collects ready strands from traces in a
-      DAG-conforming order (Algorithm 2), moves them into the shared
-      access-history queue, checks read/write intervals against the
-      last-writer treap, performs delayed heap frees;
-    - the {b left-most} / {b right-most} reader treap workers follow the
-      queue in batches ({!Ahq.peek_batch}), check write intervals against
-      their reader treap and insert read intervals under their respective
-      keep policies.
+    Access-history side: [shards] address-range shards, each owning its own
+    {writer, lreader, rreader} treap triple and its own AHQ lane (routed by
+    {!Lanes}: block [b] belongs to shard [b mod shards]).  All workers are
+    packaged as engine {!Stage}s so every execution mode can drive them
+    through the shared pipeline machinery —
+    - the {b collector} (stage ["writer"] / ["writer0"]) collects ready
+      strands from traces in a DAG-conforming order (Algorithm 2), splits
+      each strand's interval batch into block-aligned per-shard subranges,
+      commits them to all lanes atomically (all-or-nothing, stalling on
+      backpressure), performs the delayed heap frees, and doubles as shard
+      0's writer treap worker — at one shard this {e is} the paper's writer
+      worker, byte for byte;
+    - shard k's {b writer} treap worker (k ≥ 1) consumes lane k, checking
+      read/write subranges against the shard's last-writer treap;
+    - shard k's {b left-most} / {b right-most} reader treap workers follow
+      lane k in batches ({!Ahq.peek_batch_into}), check write subranges
+      against their reader treap and insert read subranges under their
+      respective keep policies.
+
+    Race-set invariant: every address belongs to exactly one shard per
+    role, and every lane carries the full DAG-ordered strand stream
+    restricted to that shard's range — so for any shard count the reported
+    race set equals the [shards = 1] paper configuration's (the golden
+    differential-replay suite asserts this at Theorem-5 granularity).
 
     The sequential executor calls {!drain} once at the end (the paper's
     one-core PINT configuration: all core work first, then the access
@@ -30,61 +44,105 @@
 
 type t
 
-(** [make ?seed ?queue_capacity ?reader_shards ?batch ()].
+(** [make ?seed ?queue_capacity ?shards ?reader_shards ?batch ()].
 
-    [reader_shards] implements the paper's §VI future-work direction —
-    parallelizing the treap component: each reader role (left-most /
-    right-most) is split across that many workers, worker [k] owning the
-    4096-word address blocks congruent to [k]; every shard has its own
-    sequential treap, so correctness needs no concurrent treap.  The default
-    [1] is the paper's three-treap-worker configuration.
+    [shards] (default 1, the paper's three-treap-worker configuration)
+    selects the address-range shard count: each shard owns the
+    {!Lanes.shard_block}-word blocks congruent to it and runs a private
+    {writer, lreader, rreader} treap triple off a private AHQ lane; every
+    treap stays sequential, so correctness needs no concurrent treap.
+    [reader_shards] is a deprecated alias from the readers-only sharding
+    era ([shards] wins when both are given).
 
-    [batch] bounds how many queued records a reader treap worker consumes
+    [batch] bounds how many lane records a consuming treap worker takes
     per step (default {!Ahq.default_batch}), amortizing cursor updates and
     slot-recycling checks. *)
-val make : ?seed:int -> ?queue_capacity:int -> ?reader_shards:int -> ?batch:int -> unit -> t
+val make :
+  ?seed:int ->
+  ?queue_capacity:int ->
+  ?shards:int ->
+  ?reader_shards:int ->
+  ?batch:int ->
+  unit ->
+  t
+
+(** The configured shard count. *)
+val shards : t -> int
 
 (** The generic handle (driver/report/drain) for this instance. *)
 val detector : t -> Detector.t
 
 (** Attach an observability session.  Must be called before the first strand
-    finishes (i.e. before the executor starts): the run's tracks — "writer"
-    plus one per reader shard — and the pipeline-latency histograms
-    ("lat.finish_to_collect", "lat.finish_to_done") are registered lazily
-    when the first trace record arrives.  With a disabled session (the
-    default) every hot-path hook short-circuits to the null ring. *)
+    finishes (i.e. before the executor starts): the run's tracks — one per
+    stage, plus per-lane occupancy tracks ["lane<k>"] when sharded — and
+    the pipeline-latency histograms ("lat.finish_to_collect",
+    "lat.finish_to_done") are registered lazily when the first trace record
+    arrives.  With a disabled session (the default) every hot-path hook
+    short-circuits to the null ring. *)
 val set_obs : t -> Obs.t -> unit
 
-(** The pipeline as engine stages: the writer stage followed by the [2·S]
-    reader stages.  [cost] converts a step's treap-node visit count into
-    virtual cycles (the harness supplies the calibrated model; the default
-    charges a small constant plus a per-visit cost).  The returned stages
-    are remembered by the detector: {!drain} drives the same values, and
-    their per-stage metrics appear in [Detector.diagnostics] (keys
-    [stage.<name>.<counter>], plus [writer_stalls] and the achieved
-    [ahq_batch] size). *)
+(** {2 Stage roles and naming}
+
+    The naming authority shared by obs tracks, Chrome-trace threads and
+    the harness's stage clocks: bare ["writer"]/["lreader"]/["rreader"] at
+    one shard, ["writer0"], ["lreader2"], … when sharded. *)
+
+type role = Writer | Lreader | Rreader
+
+(** [stage_name t role k] — the stage/track name of shard [k]'s worker for
+    [role]. *)
+val stage_name : t -> role -> int -> string
+
+(** Parse a stage name back to its role and shard ([Some (role, 0)] for the
+    bare one-shard names); [None] for non-detector stage names. *)
+val role_of_stage_name : string -> (role * int) option
+
+(** [role_mean role clocks] — mean of the named clocks belonging to [role]
+    (0 when the role has no stages in the list).  The per-role reduction
+    the harness uses on [Sim_exec.stage_clocks] instead of pattern-matching
+    name prefixes. *)
+val role_mean : role -> (string * int) list -> float
+
+(** {2 Pipeline} *)
+
+(** The pipeline as engine stages, in stage-index order: the collector,
+    the shard writer workers (shards ≥ 2), then the [2·N] reader workers.
+    [cost] converts a step's treap-node visit count into virtual cycles
+    (the harness supplies the calibrated model; the default charges a small
+    constant plus a per-visit cost).  The returned stages are remembered by
+    the detector: {!drain} drives the same values, and their per-stage
+    metrics appear in [Detector.diagnostics] (keys
+    [stage.<name>.<counter>], plus [writer_stalls], the achieved
+    [ahq_batch] size and the [detect_span] critical path). *)
 val stages : ?cost:(records:int -> visits:int -> int) -> t -> Stage.t list
 
-(** One writer-treap-worker step (exposed for tests and custom drivers). *)
+(** One collector step (exposed for tests and custom drivers). *)
 val writer_step : t -> Step.t
 
-(** Shard 0 of each role (the only shard in the default configuration). *)
+(** Shard 0 of each reader role (the only shard in the default
+    configuration). *)
 val lreader_step : t -> Step.t
 
 val rreader_step : t -> Step.t
 
-(** All reader workers, named ("lreader", "rreader" for one shard;
-    "lreader0", "rreader1", … when sharded). *)
+(** All reader workers, named per {!stage_name}. *)
 val reader_steps : t -> (string * (unit -> Step.t)) list
 
 (** Run all treap workers round-robin to completion via the engine's
     {!Pipeline.drive}. *)
 val drain : t -> unit
 
-(** Number of strands the writer worker has collected so far. *)
+(** Number of strands the collector has committed so far. *)
 val collected : t -> int
+
+(** The treap-side critical path: the maximum over stages of the stage's
+    cost applied to its accumulated metrics.  With one worker per stage
+    this is what bounds detection latency; sharding exists to push it
+    down. *)
+val detection_span : t -> float
 
 (** [iter_shard_subranges ~shards ~shard iv f] — the block-aligned subranges
     of [iv] owned by [shard]; the shards partition every interval exactly.
-    Exposed for tests and for building custom shard workers. *)
+    (Alias of {!Lanes.iter_subranges} at the default block size, kept for
+    tests and custom shard workers.) *)
 val iter_shard_subranges : shards:int -> shard:int -> Interval.t -> (Interval.t -> unit) -> unit

@@ -55,6 +55,12 @@ let pint_core_cost m u kind = stint_core_cost m u kind + m.c_trace_push
 
 let cracer_core_cost m u kind = base_cost m u kind + (m.c_hash_word * u.Srec.work)
 
+(* The virtual treap workers an N-shard PINT pipeline occupies: every
+   shard runs a {writer, lreader, rreader} triple, and the collector rides
+   on shard 0's writer.  The paper's "P cores = (P−3) core workers +
+   3 treap workers" accounting generalizes to P − treap_workers. *)
+let treap_workers ~shards = 3 * shards
+
 let treap_step_cost m ~records ~visits =
   (m.c_treap_strand * records) + (m.c_treap_visit * visits)
 

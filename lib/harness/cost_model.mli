@@ -49,6 +49,12 @@ val stint_core_cost : t -> Srec.t -> Events.finish_kind -> int
 val pint_core_cost : t -> Srec.t -> Events.finish_kind -> int
 val cracer_core_cost : t -> Srec.t -> Events.finish_kind -> int
 
+(** Virtual treap workers an N-shard PINT pipeline occupies (3 per shard:
+    writer, lreader, rreader — the collector rides on shard 0's writer).
+    The paper's "P cores = (P−3) core workers + 3 treap workers" worker
+    accounting, generalized. *)
+val treap_workers : shards:int -> int
+
 (** Treap-worker step cost from a step's record and node-visit counts.
     Charged per record so a batched step cannot amortize the per-strand
     constant [c_treap_strand]. *)

@@ -34,7 +34,7 @@ let fig1 ?model ?(cores = 20) () =
           pint1 = go Systems.Pint_sys 1;
           cracer1 = go Systems.Cracer_sys 1;
           base_p = go Systems.Base cores;
-          pint_p = go Systems.Pint_sys (cores - 3);
+          pint_p = go Systems.Pint_sys (cores - Cost_model.treap_workers ~shards:1);
           cracer_p = go Systems.Cracer_sys cores;
         })
       (Registry.all ())
@@ -95,7 +95,7 @@ let fig2 ?model ?(cores = 20) () =
         let size, base = default_sizes w in
         let stint1 = run ?model ~workload:w ~size ~base ~workers:1 Systems.Stint_sys in
         let pint1 = run ?model ~workload:w ~size ~base ~workers:1 Systems.Pint_sys in
-        let pint_p = run ?model ~workload:w ~size ~base ~workers:(cores - 3) Systems.Pint_sys in
+        let pint_p = run ?model ~workload:w ~size ~base ~workers:(cores - Cost_model.treap_workers ~shards:1) Systems.Pint_sys in
         {
           f2_name = w.name;
           par_overhead = pint1.Systems.time /. stint1.Systems.time;
@@ -132,7 +132,7 @@ let fig2 ?model ?(cores = 20) () =
         (Printf.sprintf
            "Figure 2: PINT parallelization overhead (PINT1/STINT1), one-core work breakdown, and \
             %d-core core-vs-total times (virtual seconds, %d core workers)."
-           cores (cores - 3))
+           cores (cores - Cost_model.treap_workers ~shards:1))
       ~header body
   in
   (rows, txt)

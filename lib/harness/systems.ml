@@ -20,8 +20,8 @@ let make_detector ?seed ?(shards = 1) ?stage_cost ?(obs = Obs.disabled) name =
   | "pint" ->
       let p =
         match seed with
-        | Some s -> Pint_detector.make ~seed:s ~reader_shards:shards ()
-        | None -> Pint_detector.make ~reader_shards:shards ()
+        | Some s -> Pint_detector.make ~seed:s ~shards ()
+        | None -> Pint_detector.make ~shards ()
       in
       Pint_detector.set_obs p obs;
       let stages =
@@ -50,9 +50,6 @@ type measurement = {
 }
 
 let vsec cycles = cycles /. 1e6
-
-let stage_clock (r : Sim_exec.result) name =
-  match List.assoc_opt name r.stage_clocks with Some c -> float_of_int c | None -> 0.
 
 let run ?(model = Cost_model.default) ?(seed = 2022) ?(shards = 1) ~(workload : Workload.t)
     ~size ~base ~workers system =
@@ -136,22 +133,21 @@ let run ?(model = Cost_model.default) ?(seed = 2022) ?(shards = 1) ~(workload : 
       in
       let config = mk_config (Cost_model.pint_core_cost model) stages workers in
       let r = Sim_exec.run ~config ~driver:det.Detector.driver inst.Workload.run in
-      let w = stage_clock r "writer" in
-      let reader_clocks =
-        List.filter_map
-          (fun (n, c) -> if n <> "writer" then Some (float_of_int c) else None)
-          r.Sim_exec.stage_clocks
-      in
-      let l = if shards = 1 then stage_clock r "lreader" else List.fold_left ( +. ) 0. (List.filteri (fun i _ -> i < shards) reader_clocks) /. float_of_int shards
-      and rr = if shards = 1 then stage_clock r "rreader" else List.fold_left ( +. ) 0. (List.filteri (fun i _ -> i >= shards) reader_clocks) /. float_of_int shards in
+      (* per-role means come from the detector's own naming/role reduction,
+         so the harness never pattern-matches stage-name prefixes *)
+      let clocks = r.Sim_exec.stage_clocks in
+      let w = Pint_detector.role_mean Pint_detector.Writer clocks
+      and l = Pint_detector.role_mean Pint_detector.Lreader clocks
+      and rr = Pint_detector.role_mean Pint_detector.Rreader clocks in
+      let clock_values = List.map (fun (_, c) -> float_of_int c) clocks in
       let time =
         if workers = 1 then
-          (* §IV-A one-core configuration: core first, then access history *)
-          float_of_int r.Sim_exec.makespan +. w
-          +. List.fold_left ( +. ) 0. reader_clocks
+          (* §IV-A one-core configuration: core first, then access history —
+             every treap-worker clock runs back to back *)
+          List.fold_left ( +. ) (float_of_int r.Sim_exec.makespan) clock_values
         else
-          List.fold_left Float.max
-            (Float.max (float_of_int r.Sim_exec.makespan) w)
-            reader_clocks
+          (* each of the 3·shards treap workers has its own core: the run
+             ends when the slowest component does *)
+          List.fold_left Float.max (float_of_int r.Sim_exec.makespan) clock_values
       in
       finishup ~det:(Some det) ~sim_res:r ~time ~writer_time:w ~lreader_time:l ~rreader_time:rr

@@ -28,8 +28,10 @@ val detector_names : string list
     writer + reader treap-worker stages for PINT (the same {!Stage.t} values
     the detector's own [drain] falls back to, so metrics accumulate in one
     place no matter who steps them).  [seed] defaults to each detector's own
-    default; [shards] (PINT only) selects §VI address-sharded readers;
-    [stage_cost] (PINT only) prices a stage step for the virtual-time
+    default; [shards] (PINT only) selects the address-range shard count —
+    each shard runs its own {writer, lreader, rreader} treap triple off its
+    own AHQ lane; [stage_cost] (PINT only) prices a stage step for the
+    virtual-time
     simulator.  [obs] (default {!Obs.disabled}) attaches an observability
     session: detector-side tracks and histograms are registered here, and
     for PINT each pipeline stage gets the session ring matching its stage
@@ -59,8 +61,9 @@ type measurement = {
   diags : (string * float) list;
 }
 
-(** [shards] (default 1) runs PINT with address-sharded reader treap
-    workers — the §VI extension; ignored for the other systems. *)
+(** [shards] (default 1) runs PINT with the N-shard access-history
+    topology (shards × {writer, lreader, rreader} treap workers, one AHQ
+    lane per shard); ignored for the other systems. *)
 val run :
   ?model:Cost_model.t ->
   ?seed:int ->

@@ -7,7 +7,8 @@ let collect = 2
 let treap_op = 3 (* span; arg = treap-node visits of the step *)
 let stall = 4 (* span; writer blocked on a full AHQ *)
 let recycle = 5 (* arg = slots recycled by this cursor advance *)
-let complete = 6 (* all 1 + 2S treap workers have processed the strand *)
+let complete = 6 (* all 3N treap workers have processed the strand *)
+let split = 7 (* arg = per-shard subranges the strand's intervals split into *)
 
 let name = function
   | 0 -> "finish"
@@ -17,6 +18,7 @@ let name = function
   | 4 -> "stall"
   | 5 -> "recycle"
   | 6 -> "complete"
+  | 7 -> "split"
   | k -> "ev" ^ string_of_int k
 
 (* The exporter's phase split: spans render as Chrome "X" complete events,
@@ -28,5 +30,6 @@ let arg_label = function
   | 1 -> "occupancy"
   | 3 -> "visits"
   | 5 -> "slots"
+  | 7 -> "subranges"
   | 0 | 2 | 6 -> "uid"
   | _ -> "arg"

@@ -11,6 +11,10 @@ val stall : int
 val recycle : int
 val complete : int
 
+(** Collector-side: a strand's interval batch was split and committed to
+    the per-shard lanes; the payload is the subrange count. *)
+val split : int
+
 (** Chrome-trace display name for a kind code. *)
 val name : int -> string
 

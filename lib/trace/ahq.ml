@@ -3,8 +3,8 @@ type reader = int
 let l = 0
 let r = 1
 
-type t = {
-  slots : Srec.t option array;
+type 'a t = {
+  slots : 'a option array;
   cap : int;
   head : int Atomic.t; (* total enqueued; writer-owned *)
   cursors : int Atomic.t array; (* total processed, per reader *)
@@ -16,6 +16,9 @@ type t = {
      hence no atomic needed. *)
   mutable cached_min : int;
   mutable min_rescans : int;
+  (* Writer-private occupancy high-water mark (against the cached bound, so
+     conservative the same way the emitted samples are). *)
+  mutable peak_occ : int;
   (* observability hooks, installed before the pipeline starts; the writer
      ring is written only from [try_enqueue] (writer stage), reader ring
      [i] only from reader [i]'s [advance_n].  Evring.null when disabled. *)
@@ -33,6 +36,7 @@ let create ?(capacity = 4096) ?(readers = 2) () =
     cursors = Array.init readers (fun _ -> Atomic.make 0);
     cached_min = 0;
     min_rescans = 0;
+    peak_occ = 0;
     obs_w = Evring.null;
     obs_r = Array.make readers Evring.null;
   }
@@ -53,24 +57,32 @@ let imin (a : int) b = if a <= b then a else b
 let min_cursor t =
   Array.fold_left (fun m c -> imin m (Atomic.get c)) max_int t.cursors
 
-let[@pint.hot] try_enqueue t s =
+(* Writer-side room probe: refreshes the cached cursor minimum only when
+   the cached bound would reject the enqueue.  Exposed so a multi-lane
+   router can check every lane before committing an all-or-nothing
+   enqueue — with a single producer, room observed here cannot shrink
+   before the enqueue that follows. *)
+let[@pint.hot] has_room t =
   let h = Atomic.get t.head in
-  let has_room =
-    h - t.cached_min < t.cap
-    || begin
-         t.min_rescans <- t.min_rescans + 1;
-         t.cached_min <- min_cursor t;
-         h - t.cached_min < t.cap
-       end
-  in
-  if not has_room then false
+  h - t.cached_min < t.cap
+  || begin
+       t.min_rescans <- t.min_rescans + 1;
+       t.cached_min <- min_cursor t;
+       h - t.cached_min < t.cap
+     end
+
+let[@pint.hot] try_enqueue t s =
+  if not (has_room t) then false
   else begin
+    let h = Atomic.get t.head in
     t.slots.(h mod t.cap) <- Some s;
     Atomic.incr t.head;
     (* occupancy sample against the cached bound: conservative (the true
        occupancy may be lower) but free, and exact whenever the cache was
        just refreshed *)
-    Evring.emit t.obs_w ~kind:Ev.enqueue ~arg:(h + 1 - t.cached_min);
+    let occ = h + 1 - t.cached_min in
+    if occ > t.peak_occ then t.peak_occ <- occ;
+    Evring.emit t.obs_w ~kind:Ev.enqueue ~arg:occ;
     true
   end
 
@@ -143,6 +155,11 @@ let advance t i = advance_n t i 1
 let enqueued t = Atomic.get t.head
 let processed t i = Atomic.get (cursor t i)
 let min_rescans t = t.min_rescans
+let peak_occupancy t = t.peak_occ
+
+(* Exact current depth: enqueued minus the slowest cursor.  Diagnostics
+   only — scans the cursors every call. *)
+let depth t = Atomic.get t.head - min_cursor t
 
 let drained t =
   let h = Atomic.get t.head in

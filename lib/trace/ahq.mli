@@ -1,19 +1,21 @@
-(** The global access-history queue.
+(** An access-history queue lane.
 
-    A bounded ring written only by the writer treap worker and read by the
-    reader treap workers, each through its own cursor — the paper's "only
-    the writer treap worker modifies it, the reader treap workers only read
-    it" design.  A slot is recycled (and its record reference dropped) once
-    every reader has moved past it; if the ring is full the writer stalls,
-    which is the natural backpressure when the reader treaps fall behind.
+    A bounded ring written only by one producer (the collector / writer
+    treap worker) and read by consumer treap workers, each through its own
+    cursor — the paper's "only the writer treap worker modifies it, the
+    reader treap workers only read it" design.  A slot is recycled (and its
+    record reference dropped) once every reader has moved past it; if the
+    ring is full the producer stalls, which is the natural backpressure
+    when the treap workers fall behind.
 
-    The paper runs exactly two readers (the left-most and right-most reader
-    treap workers); the sharded-treap extension (§VI future work, see
-    [Pint_detector.make ~reader_shards]) runs [2·S] of them, so the queue
-    supports an arbitrary reader count.  Readers are identified by index;
-    {!l} and {!r} name the classic two. *)
+    The paper runs one lane with exactly two readers (the left-most and
+    right-most reader treap workers); the sharded access history
+    ([Pint_detector.make ~shards], routed by {!Lanes}) runs one lane per
+    address-range shard, each with its own reader set, so the ring is
+    polymorphic in its payload and supports an arbitrary reader count.
+    Readers are identified by index; {!l} and {!r} name the classic two. *)
 
-type t
+type 'a t
 
 type reader = int
 
@@ -23,35 +25,42 @@ val l : reader
 val r : reader
 
 (** [create ?capacity ~readers ()] — [readers >= 1] cursors. *)
-val create : ?capacity:int -> ?readers:int -> unit -> t
+val create : ?capacity:int -> ?readers:int -> unit -> 'a t
 
-val n_readers : t -> int
+val n_readers : 'a t -> int
 
 (** Install observability tracks (before the pipeline starts): the writer
     ring receives an {!Ev.enqueue} occupancy sample per successful enqueue,
     reader ring [i] receives {!Ev.recycle} slot-recycling events and
     occupancy samples from reader [i]'s cursor advances.  Disabled rings
     ({!Evring.null}, the default) make all of it a no-op. *)
-val set_obs : t -> writer:Evring.t -> readers:Evring.t array -> unit
+val set_obs : 'a t -> writer:Evring.t -> readers:Evring.t array -> unit
 
-(** {2 Writer treap worker} *)
+(** {2 Producer (writer treap worker)} *)
 
-(** [try_enqueue t s] — false iff the ring is full.  Occupancy is checked
-    against a cached lower bound on the minimum reader cursor (cursors only
-    advance, so the bound stays valid); the cursors are rescanned only when
-    the cached bound would reject the enqueue, making the common
-    ring-not-near-full enqueue O(1) in the reader count. *)
-val try_enqueue : t -> Srec.t -> bool
+(** [has_room t] — true when the next {!try_enqueue} would succeed.
+    Checked against a cached lower bound on the minimum reader cursor
+    (cursors only advance, so the bound stays valid); the cursors are
+    rescanned only when the cached bound would reject.  Producer-side only:
+    the cache it refreshes is writer-private.  With a single producer the
+    answer stays valid until that producer enqueues, which is what lets
+    {!Lanes.enqueue_each} commit all-or-nothing across lanes. *)
+val has_room : 'a t -> bool
 
-(** {2 Reader treap workers} *)
+(** [try_enqueue t s] — false iff the ring is full (same bound as
+    {!has_room}, making the common ring-not-near-full enqueue O(1) in the
+    reader count). *)
+val try_enqueue : 'a t -> 'a -> bool
 
-(** Next record for this reader, if the writer has published one. *)
-val peek : t -> reader -> Srec.t option
+(** {2 Consumers (reader treap workers)} *)
+
+(** Next record for this reader, if the producer has published one. *)
+val peek : 'a t -> reader -> 'a option
 
 (** Advance this reader's cursor past the record returned by [peek]; also
     clears the slot once every reader has passed it.
     @raise Failure if nothing is pending for this reader. *)
-val advance : t -> reader -> unit
+val advance : 'a t -> reader -> unit
 
 (** Default [max] for {!peek_batch}. *)
 val default_batch : int
@@ -61,7 +70,7 @@ val default_batch : int
     Batched consumption lets a reader amortize its cursor update and
     slot-recycling scan over the whole batch: follow with
     [advance_n t i (Array.length batch)]. *)
-val peek_batch : ?max:int -> t -> reader -> Srec.t array
+val peek_batch : ?max:int -> 'a t -> reader -> 'a array
 
 (** [peek_batch_into t i buf] — like {!peek_batch} with [max = Array.length
     buf], but fills the caller-provided buffer instead of allocating a fresh
@@ -69,24 +78,32 @@ val peek_batch : ?max:int -> t -> reader -> Srec.t array
     The reader owns [buf] and reuses it across steps; entries past the
     returned count are stale leftovers from earlier batches.
     @raise Invalid_argument if [buf] is empty. *)
-val peek_batch_into : t -> reader -> Srec.t array -> int
+val peek_batch_into : 'a t -> reader -> 'a array -> int
 
 (** Advance reader [i]'s cursor by [n] records, recycling every slot all
     other readers have already passed, with a single scan of the other
     cursors for the whole batch.
     @raise Failure if fewer than [n] records are pending. *)
-val advance_n : t -> reader -> int -> unit
+val advance_n : 'a t -> reader -> int -> unit
 
 (** {2 Diagnostics} *)
 
-val enqueued : t -> int
-val processed : t -> reader -> int
+val enqueued : 'a t -> int
+val processed : 'a t -> reader -> int
 
-(** Number of times {!try_enqueue} had to rescan the reader cursors because
-    the cached minimum-cursor bound would have rejected the enqueue. *)
-val min_rescans : t -> int
+(** Number of times the producer had to rescan the reader cursors because
+    the cached minimum-cursor bound would have rejected an enqueue. *)
+val min_rescans : 'a t -> int
 
-(** All readers fully caught up with the writer. *)
-val drained : t -> bool
+(** High-water occupancy mark observed by the producer (against the cached
+    cursor bound, so conservative the same way the emitted samples are). *)
+val peak_occupancy : 'a t -> int
 
-val capacity : t -> int
+(** Exact current depth (enqueued minus the slowest cursor); scans the
+    cursors, so diagnostics-side only. *)
+val depth : 'a t -> int
+
+(** All readers fully caught up with the producer. *)
+val drained : 'a t -> bool
+
+val capacity : 'a t -> int

@@ -1,0 +1,91 @@
+(* Address-range sharding router for the access history.
+
+   Shard ownership is by aligned block: block [b] belongs to shard
+   [b mod shards].  Race checks are per-address, so splitting every
+   interval batch along block boundaries and routing each piece to its
+   owning shard preserves the race set exactly — each address is seen by
+   exactly one {writer, lreader, rreader} treap triple, every treap stays
+   sequential, and no synchronization between shards is ever needed.
+   [shards = 1] routes everything to lane 0 unsplit, which is the paper's
+   configuration.
+
+   The block size trades split frequency against balance: bigger blocks
+   split fewer coalesced intervals, smaller blocks interleave a single
+   allocation's addresses across more shards.  256 words keeps splits
+   rare (coalesced intervals are usually one stencil row / merge run of a
+   few dozen words, so most fit inside one block) while still spreading a
+   few-thousand-word working set — the evaluation workloads' scale —
+   across 8 shards.
+
+   The router itself is a fixed array of AHQ lanes plus producer-private
+   backpressure counters; all mutation is on the single collector stage
+   (the lanes' own single-producer discipline is documented in Ahq). *)
+
+let shard_block = 1024
+
+let owner ?(block = shard_block) ~shards addr = addr / block mod shards
+
+let iter_subranges ?(block = shard_block) ~shards ~shard (iv : Interval.t) f =
+  if shards = 1 then f iv
+  else begin
+    let rec go lo =
+      if lo <= iv.Interval.hi then begin
+        let bstart = lo / block * block in
+        let hi = min iv.Interval.hi (bstart + block - 1) in
+        if lo / block mod shards = shard then f (Interval.make lo hi);
+        go (hi + 1)
+      end
+    in
+    go iv.Interval.lo
+  end
+
+type 'a t = {
+  lanes : 'a Ahq.t array;
+  (* Per-lane all-or-nothing rejections — how often THIS lane was the one
+     without room when the collector tried to commit a strand to every
+     lane.  Collector-owned (single producer). *)
+  rejects : int array;
+}
+
+let create ?capacity ~shards ~readers_of_lane () =
+  if shards < 1 then invalid_arg "Lanes.create: shards must be >= 1";
+  {
+    lanes = Array.init shards (fun k -> Ahq.create ?capacity ~readers:(readers_of_lane k) ());
+    rejects = Array.make shards 0;
+  }
+
+let shards t = Array.length t.lanes
+let lane t k = t.lanes.(k)
+
+(* All-or-nothing enqueue: probe every lane for room first, then build and
+   enqueue the per-lane payloads.  Sound because the collector is the only
+   producer on every lane — room observed by the probe cannot shrink before
+   the enqueues commit.  [f k] is only evaluated once all lanes have room,
+   so payload construction (the interval split) is never wasted work on a
+   stall. *)
+let enqueue_each t f =
+  let ok = ref true in
+  Array.iteri
+    (fun k lane ->
+      if not (Ahq.has_room lane) then begin
+        t.rejects.(k) <- t.rejects.(k) + 1;
+        ok := false
+      end)
+    t.lanes;
+  !ok
+  && begin
+       Array.iteri
+         (fun k lane ->
+           if not (Ahq.try_enqueue lane (f k)) then
+             (* unreachable by the single-producer argument above *)
+             failwith "Lanes.enqueue_each: lane lost room after probe")
+         t.lanes;
+       true
+     end
+
+let rejects t k = t.rejects.(k)
+let total_rejects t = Array.fold_left ( + ) 0 t.rejects
+let drained t = Array.for_all Ahq.drained t.lanes
+let total_enqueued t = Array.fold_left (fun acc l -> acc + Ahq.enqueued l) 0 t.lanes
+let total_min_rescans t = Array.fold_left (fun acc l -> acc + Ahq.min_rescans l) 0 t.lanes
+let max_peak_occupancy t = Array.fold_left (fun acc l -> max acc (Ahq.peak_occupancy l)) 0 t.lanes

@@ -78,6 +78,62 @@ let threshold_respected () =
   check_int "default passes" 0 (count is_regressed (gate cur));
   check_int "tight threshold trips" 1 (count is_regressed (gate ~threshold:0.1 cur))
 
+(* -- gated diagnostics: detect_span rides the same ratio test ----------- *)
+
+let doc_with_span cases =
+  let case (name, median, span) =
+    Printf.sprintf
+      "%S: {\"median_s\": %f, \"min_s\": %f, \"n\": 5, \"diagnostics\": {\"detect_span\": %f, \
+       \"shards\": 4.0}}"
+      name median median span
+  in
+  Printf.sprintf "{\"schema\": 3, \"figures\": {\"g\": {%s}}}"
+    (String.concat ", " (List.map case cases))
+
+let span_cases cases = Gate.cases_of_json (Jsonx.parse (doc_with_span cases))
+
+let diag_regression_trips () =
+  (* the case is far too fast for the wall-clock gate, but its detect_span
+     blew up 2x: the diag verdict must trip on its own *)
+  let base = span_cases [ ("s4", 0.001, 30000.) ] in
+  let v =
+    Gate.compare_cases ~baseline:base ~current:(span_cases [ ("s4", 0.001, 60000.) ]) ()
+  in
+  check_int "wall skipped (too fast)" 1 (count is_skipped v);
+  check_int "span regression trips" 1 (count is_regressed v);
+  (match List.find is_regressed v with
+  | Gate.Regressed { key; _ } -> check_bool "diag key" true (key = "g/s4#detect_span")
+  | _ -> assert false);
+  (* identical spans pass *)
+  let v2 = Gate.compare_cases ~baseline:base ~current:base () in
+  check_int "identical span ok" 0 (count is_regressed v2);
+  check_int "span verdict present" 1 (count is_ok v2)
+
+let diag_improvement_passes () =
+  let base = span_cases [ ("s4", 0.001, 30000.) ] in
+  let v =
+    Gate.compare_cases ~baseline:base ~current:(span_cases [ ("s4", 0.001, 20000.) ]) ()
+  in
+  check_int "no regressions" 0 (count is_regressed v)
+
+let diag_waiver_suppresses () =
+  let base = span_cases [ ("s4", 0.001, 30000.) ] in
+  let v =
+    Gate.compare_cases
+      ~waivers:[ ("g/s4#detect_span", "rebalanced") ]
+      ~baseline:base ~current:(span_cases [ ("s4", 0.001, 60000.) ]) ()
+  in
+  check_int "waived" 1 (count is_waived v);
+  check_int "no regressions" 0 (count is_regressed v)
+
+let diag_absent_is_silent () =
+  (* baseline without the diag (older schema): no verdict either way *)
+  let old = cases_of [ ("s4", 0.001, 0.001, 5) ] in
+  let v =
+    Gate.compare_cases ~baseline:old ~current:(span_cases [ ("s4", 0.001, 60000.) ]) ()
+  in
+  check_int "only the wall-clock skip" 1 (List.length v)
+
 let schema2_fallbacks () =
   (* no "n"/"min_s": count and min come from samples_s *)
   let j =
@@ -104,6 +160,10 @@ let () =
           Alcotest.test_case "waiver suppresses" `Quick waiver_suppresses;
           Alcotest.test_case "waiver parsing" `Quick waiver_parsing;
           Alcotest.test_case "threshold respected" `Quick threshold_respected;
+          Alcotest.test_case "diag regression trips" `Quick diag_regression_trips;
+          Alcotest.test_case "diag improvement passes" `Quick diag_improvement_passes;
+          Alcotest.test_case "diag waiver suppresses" `Quick diag_waiver_suppresses;
+          Alcotest.test_case "diag absent is silent" `Quick diag_absent_is_silent;
           Alcotest.test_case "schema-2 fallbacks" `Quick schema2_fallbacks;
         ] );
     ]

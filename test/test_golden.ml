@@ -65,6 +65,25 @@ let check_one path () =
   d.Detector.validate ();
   check_bool (path ^ ": replay = live rerun") true (snd (List.hd sigs) = live)
 
+(* Sharding must be invisible in the race set: replaying a golden trace
+   through the N-shard pipeline must produce exactly the shards=1 (paper
+   configuration) verdicts at Theorem-5 granularity — the differential
+   machinery compares deduplicated (kind, earlier, later) triples, the same
+   key [Report.add] dedups on, so split sub-intervals cannot leak through
+   as spurious differences. *)
+let check_sharded path () =
+  let t = Tracefile.load path in
+  List.iter
+    (fun shards ->
+      let d1, _ = make_det "pint" in
+      let dn, _ = Option.get (Systems.make_detector ~shards "pint") in
+      let d = Replay.differential t dn d1 in
+      if not (Replay.no_divergence d) then
+        Alcotest.failf "%s: pint shards=%d diverges from shards=1: %s" path shards
+          (Format.asprintf "%a" Replay.pp_divergence d);
+      dn.Detector.validate ())
+    [ 2; 4; 8 ]
+
 (* Corruption robustness: a damaged trace must always surface as a clean
    [Tracefile.Error] — never an escaping exception from the parser and
    never a silently wrong replay.  The format checks its magic and then a
@@ -138,6 +157,8 @@ let () =
     [
       ( "corpus",
         List.map (fun path -> Alcotest.test_case path `Quick (check_one path)) files );
+      ( "sharded",
+        List.map (fun path -> Alcotest.test_case path `Quick (check_sharded path)) files );
       ( "corruption",
         List.map (fun path -> Alcotest.test_case path `Quick (check_corrupt path)) files );
       ( "truncation",

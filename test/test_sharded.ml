@@ -1,15 +1,15 @@
-(* Tests for the §VI extension: address-sharded reader treap workers.
+(* Tests for the §VI extension: the address-sharded access history.
 
    Correctness: sharding must not change race verdicts (every address is
-   owned by exactly one shard per role, so exactly one L-treap and one
-   R-treap see each access).  Performance: the per-reader work drops, which
-   is the point of the extension. *)
+   owned by exactly one shard, so exactly one {writer, lreader, rreader}
+   treap triple sees each access).  Performance: the per-worker treap load
+   drops, which is the point of the extension. *)
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let run_sharded ?(n_workers = 4) ~shards prog =
-  let p = Pint_detector.make ~reader_shards:shards () in
+  let p = Pint_detector.make ~shards () in
   let det = Pint_detector.detector p in
   let config =
     { Sim_exec.default_config with n_workers; seed = 5; stages = Pint_detector.stages p }
@@ -19,7 +19,7 @@ let run_sharded ?(n_workers = 4) ~shards prog =
 
 let test_shard_subranges () =
   (* the shard decomposition partitions any interval exactly *)
-  let block = 4096 in
+  let block = Lanes.shard_block in
   List.iter
     (fun (lo, hi, shards) ->
       let iv = Interval.make lo hi in
@@ -53,7 +53,7 @@ let subranges ~shards ~shard iv =
 let check_ranges = Alcotest.(check (list (pair int int)))
 
 let test_shard_subranges_straddle () =
-  let block = 4096 in
+  let block = Lanes.shard_block in
   (* two blocks: the split lands exactly on the block boundary *)
   let iv = Interval.make (block - 6) (block + 4) in
   check_ranges "straddle shard0" [ (block - 6, block - 1) ] (subranges ~shards:2 ~shard:0 iv);
@@ -67,7 +67,7 @@ let test_shard_subranges_straddle () =
   check_ranges "straddle3 shard1" [ (block, (2 * block) - 1) ] (subranges ~shards:2 ~shard:1 iv3)
 
 let test_shard_subranges_single_word () =
-  let block = 4096 in
+  let block = Lanes.shard_block in
   List.iter
     (fun addr ->
       let iv = Interval.make addr addr in
@@ -80,7 +80,7 @@ let test_shard_subranges_single_word () =
     [ 0; block - 1; block; (2 * block) + 17 ]
 
 let test_shard_subranges_more_shards_than_blocks () =
-  let block = 4096 in
+  let block = Lanes.shard_block in
   (* a 2-block interval under 5 shards: shards 2..4 own nothing *)
   let iv = Interval.make 10 (block + 10) in
   check_ranges "shard0" [ (10, block - 1) ] (subranges ~shards:5 ~shard:0 iv);
@@ -91,6 +91,58 @@ let test_shard_subranges_more_shards_than_blocks () =
   (* shards = 1 never splits, whatever the interval *)
   let wide = Interval.make 0 (10 * block) in
   check_ranges "unsharded passthrough" [ (0, 10 * block) ] (subranges ~shards:1 ~shard:0 wide)
+
+(* Property: for random intervals, shard counts and block alignments, the
+   per-shard outputs of the splitter reconstruct the input exactly and
+   disjointly, and every subrange lands on the shard that owns its
+   addresses.  Exact disjoint coverage is equivalent to: sorted by [lo],
+   the subranges start at [iv.lo], chain with no gap or overlap, and end
+   at [iv.hi]. *)
+let splitter_partition_prop =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 9 >>= fun shards ->
+      int_range 4 13 >>= fun block_exp ->
+      int_range 0 100_000 >>= fun lo ->
+      int_range 0 40_000 >>= fun w -> return (shards, 1 lsl block_exp, lo, lo + w))
+  in
+  let print (shards, block, lo, hi) =
+    Printf.sprintf "shards=%d block=%d [%d,%d]" shards block lo hi
+  in
+  QCheck.Test.make ~name:"splitter partitions exactly onto owning shards" ~count:500
+    (QCheck.make ~print gen) (fun (shards, block, lo, hi) ->
+      let iv = Interval.make lo hi in
+      let subs = ref [] in
+      for shard = 0 to shards - 1 do
+        Lanes.iter_subranges ~block ~shards ~shard iv (fun sub ->
+            if Lanes.owner ~block ~shards sub.Interval.lo <> shard then
+              QCheck.Test.fail_reportf "lo %d not owned by shard %d" sub.Interval.lo shard;
+            if Lanes.owner ~block ~shards sub.Interval.hi <> shard then
+              QCheck.Test.fail_reportf "hi %d not owned by shard %d" sub.Interval.hi shard;
+            (* a subrange never crosses a block boundary once there is more
+               than one shard to cross into *)
+            if shards > 1 && sub.Interval.lo / block <> sub.Interval.hi / block then
+              QCheck.Test.fail_reportf "subrange [%d,%d] spans blocks" sub.Interval.lo
+                sub.Interval.hi;
+            subs := (sub.Interval.lo, sub.Interval.hi) :: !subs)
+      done;
+      let sorted = List.sort compare !subs in
+      let rec chain expect = function
+        | [] -> expect = hi + 1
+        | (l, h) :: rest ->
+            if l <> expect then
+              QCheck.Test.fail_reportf "gap or overlap: expected lo %d, got [%d,%d]" expect l h;
+            if h < l || h > hi then QCheck.Test.fail_reportf "bad subrange [%d,%d]" l h;
+            chain (h + 1) rest
+      in
+      chain lo sorted)
+
+let test_deprecated_alias () =
+  (* ?reader_shards is the deprecated spelling from the readers-only era *)
+  let p = Pint_detector.make ~reader_shards:3 () in
+  check_int "alias sets shard count" 3 (Pint_detector.shards p);
+  let both = Pint_detector.make ~shards:2 ~reader_shards:5 () in
+  check_int "new name wins over alias" 2 (Pint_detector.shards both)
 
 let racy_prog () =
   let b = Fj.alloc_f 8 in
@@ -149,7 +201,7 @@ let test_sharded_workloads_clean () =
 let test_sharding_reduces_reader_bottleneck () =
   (* the extension's point: on a treap-bound configuration, the max reader
      clock drops substantially when the readers are sharded.  mmul's buffers
-     span many 4096-word blocks, so the split is effective. *)
+     span many shard blocks, so the split is effective. *)
   let w = Registry.find "mmul" in
   let time shards =
     let m =
@@ -162,6 +214,37 @@ let test_sharding_reduces_reader_bottleneck () =
   check_bool (Printf.sprintf "sharded faster (%.2f -> %.2f vsec)" (Systems.vsec t1) (Systems.vsec t4))
     true
     (t4 < 0.6 *. t1)
+
+let test_detection_span_monotonic () =
+  (* acceptance anchor: on the fig1 configuration (heat48, 4 core workers,
+     paper cost model) the treap-side critical path — the max per-stage
+     virtual-cycle cost, "detect_span" in diagnostics — must fall strictly
+     as the access history is split across more shards *)
+  let w = Registry.find "heat" in
+  let span shards =
+    let m = Systems.run ~shards ~workload:w ~size:48 ~base:8 ~workers:4 Systems.Pint_sys in
+    List.assoc "detect_span" m.Systems.diags
+  in
+  let s1 = span 1 and s2 = span 2 and s4 = span 4 in
+  check_bool (Printf.sprintf "span falls 1->2 shards (%.0f -> %.0f)" s1 s2) true (s2 < s1);
+  check_bool (Printf.sprintf "span falls 2->4 shards (%.0f -> %.0f)" s2 s4) true (s4 < s2)
+
+let test_detection_span_monotonic_replay () =
+  (* same property on the replay path (bench group replay:heat48:shards):
+     one recorded strand stream, pure access-history work *)
+  let w = Registry.find "heat" in
+  let inst = w.Workload.make ~size:48 ~base:8 in
+  let d0, _ = Option.get (Systems.make_detector "none") in
+  let driver, finished = Tracefile.capturing d0.Detector.driver in
+  ignore (Seq_exec.run ~driver inst.Workload.run);
+  let t = finished () in
+  let span shards =
+    let d, _ = Option.get (Systems.make_detector ~shards "pint") in
+    List.assoc "detect_span" (Replay.run t d).Replay.diagnostics
+  in
+  let s1 = span 1 and s2 = span 2 and s4 = span 4 in
+  check_bool (Printf.sprintf "replay span falls 1->2 (%.0f -> %.0f)" s1 s2) true (s2 < s1);
+  check_bool (Printf.sprintf "replay span falls 2->4 (%.0f -> %.0f)" s2 s4) true (s4 < s2)
 
 let test_sharded_heap_and_frames () =
   let det, _ =
@@ -187,10 +270,15 @@ let () =
           Alcotest.test_case "subrange single word" `Quick test_shard_subranges_single_word;
           Alcotest.test_case "subrange shards>blocks" `Quick
             test_shard_subranges_more_shards_than_blocks;
+          QCheck_alcotest.to_alcotest splitter_partition_prop;
+          Alcotest.test_case "deprecated reader_shards alias" `Quick test_deprecated_alias;
           Alcotest.test_case "detects race" `Quick test_sharded_detects_race;
           Alcotest.test_case "random equivalence" `Quick test_sharded_random_equivalence;
           Alcotest.test_case "workloads clean" `Quick test_sharded_workloads_clean;
           Alcotest.test_case "reduces bottleneck" `Quick test_sharding_reduces_reader_bottleneck;
+          Alcotest.test_case "detection span monotone" `Quick test_detection_span_monotonic;
+          Alcotest.test_case "detection span monotone (replay)" `Quick
+            test_detection_span_monotonic_replay;
           Alcotest.test_case "heap+frames" `Quick test_sharded_heap_and_frames;
         ] );
     ]

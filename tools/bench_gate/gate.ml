@@ -15,10 +15,26 @@
    "group/case" in a waiver file, one per line, with an optional
    " -- reason" suffix; '#' lines are comments.
 
+   Wall clocks are not the only gated quantity: each case may carry
+   tracked detector diagnostics, and the deterministic ones named in
+   [gated_diags] (default: "detect_span", the treap-side critical path in
+   virtual cycles) are compared by the same ratio test under the key
+   "group/case#diag".  Unlike wall time these are exact functions of the
+   code, so they gate even the sub-millisecond cases the [min_time] floor
+   excludes — the shard-sweep groups exist for their detect_span, not
+   their stopwatch.
+
    The logic lives in a library (separate from the CLI) so the test suite
    can drive it on synthetic JSON without spawning processes. *)
 
-type case = { group : string; name : string; median_s : float; min_s : float; n : int }
+type case = {
+  group : string;
+  name : string;
+  median_s : float;
+  min_s : float;
+  n : int;
+  diags : (string * float) list;
+}
 
 type verdict =
   | Ok_case of { key : string; base : float; cur : float }
@@ -67,7 +83,15 @@ let cases_of_json (j : Jsonx.t) : case list =
             | Some m -> m
             | None -> List.fold_left min median_s samples
           in
-          { group; name; median_s; min_s; n })
+          let diags =
+            match Option.bind (Jsonx.member "diagnostics" cj) Jsonx.to_obj with
+            | Some kvs ->
+                List.filter_map
+                  (fun (dk, dv) -> Option.map (fun f -> (dk, f)) (Jsonx.to_float dv))
+                  kvs
+            | None -> []
+          in
+          { group; name; median_s; min_s; n; diags })
         (obj group gj))
     figures
 
@@ -104,49 +128,73 @@ let parse_waivers text =
 
 (* -- comparison ---------------------------------------------------------- *)
 
-let compare_cases ?(threshold = 0.25) ?(min_samples = 3) ?(min_time = 0.005) ?(waivers = [])
-    ~baseline ~current () =
+let compare_cases ?(threshold = 0.25) ?(min_samples = 3) ?(min_time = 0.005)
+    ?(gated_diags = [ "detect_span" ]) ?(waivers = []) ~baseline ~current () =
   let base_tbl = Hashtbl.create 16 in
   List.iter (fun c -> Hashtbl.replace base_tbl (key c) c) baseline;
-  List.map
+  (* one ratio test, shared by wall clocks and gated diagnostics *)
+  let judge ~key:k ~base ~cur =
+    let ratio = cur /. base in
+    if ratio <= 1. +. threshold then Ok_case { key = k; base; cur }
+    else begin
+      match List.assoc_opt k waivers with
+      | Some reason -> Waived { key = k; base; cur; reason }
+      | None -> Regressed { key = k; base; cur; ratio }
+    end
+  in
+  List.concat_map
     (fun cur ->
       let k = key cur in
       match Hashtbl.find_opt base_tbl k with
-      | None -> Skipped { key = k; why = "not in baseline" }
+      | None -> [ Skipped { key = k; why = "not in baseline" } ]
       | Some base ->
-          if base.n < min_samples || cur.n < min_samples then
-            Skipped
-              {
-                key = k;
-                why =
-                  Printf.sprintf "insufficient samples (base n=%d, current n=%d, need %d)"
-                    base.n cur.n min_samples;
-              }
-          else if base.median_s < min_time then
-            Skipped
-              {
-                key = k;
-                why = Printf.sprintf "too fast to gate (%.4fs median < %.3fs)" base.median_s min_time;
-              }
-          else if base.min_s <= 0. then Skipped { key = k; why = "zero baseline time" }
-          else
-            let ratio = cur.min_s /. base.min_s in
-            if ratio <= 1. +. threshold then
-              Ok_case { key = k; base = base.min_s; cur = cur.min_s }
-            else begin
-              match List.assoc_opt k waivers with
-              | Some reason -> Waived { key = k; base = base.min_s; cur = cur.min_s; reason }
-              | None -> Regressed { key = k; base = base.min_s; cur = cur.min_s; ratio }
-            end)
+          let wall =
+            if base.n < min_samples || cur.n < min_samples then
+              Skipped
+                {
+                  key = k;
+                  why =
+                    Printf.sprintf "insufficient samples (base n=%d, current n=%d, need %d)"
+                      base.n cur.n min_samples;
+                }
+            else if base.median_s < min_time then
+              Skipped
+                {
+                  key = k;
+                  why =
+                    Printf.sprintf "too fast to gate (%.4fs median < %.3fs)" base.median_s
+                      min_time;
+                }
+            else if base.min_s <= 0. then Skipped { key = k; why = "zero baseline time" }
+            else judge ~key:k ~base:base.min_s ~cur:cur.min_s
+          in
+          (* deterministic diagnostics gate whenever both sides carry them —
+             no sample floor and no min_time: they are exact, not measured *)
+          let diag_verdicts =
+            List.filter_map
+              (fun d ->
+                match (List.assoc_opt d base.diags, List.assoc_opt d cur.diags) with
+                | Some b, Some c when b > 0. -> Some (judge ~key:(k ^ "#" ^ d) ~base:b ~cur:c)
+                | _ -> None)
+              gated_diags
+          in
+          wall :: diag_verdicts)
     current
 
 let regressions verdicts =
   List.filter_map (function Regressed _ as r -> Some r | _ -> None) verdicts
 
+(* wall-clock keys print seconds; "#diag" keys print the raw metric *)
+let pp_value key v =
+  if String.contains key '#' then Printf.sprintf "%.6g" v else Printf.sprintf "%.4fs" v
+
 let pp_verdict out = function
-  | Ok_case { key; base; cur } -> Printf.fprintf out "  ok       %-32s %.4fs -> %.4fs\n" key base cur
+  | Ok_case { key; base; cur } ->
+      Printf.fprintf out "  ok       %-32s %s -> %s\n" key (pp_value key base) (pp_value key cur)
   | Regressed { key; base; cur; ratio } ->
-      Printf.fprintf out "  REGRESS  %-32s %.4fs -> %.4fs (%.2fx)\n" key base cur ratio
+      Printf.fprintf out "  REGRESS  %-32s %s -> %s (%.2fx)\n" key (pp_value key base)
+        (pp_value key cur) ratio
   | Waived { key; base; cur; reason } ->
-      Printf.fprintf out "  waived   %-32s %.4fs -> %.4fs (%s)\n" key base cur reason
+      Printf.fprintf out "  waived   %-32s %s -> %s (%s)\n" key (pp_value key base)
+        (pp_value key cur) reason
   | Skipped { key; why } -> Printf.fprintf out "  skip     %-32s %s\n" key why
