@@ -288,6 +288,37 @@ let detector_run ?shards ~workload ~size ~base ~workers det () =
   d.Detector.drain ();
   d.Detector.diagnostics ()
 
+(* Host core budget for the real-domain cases: --domains overrides the
+   machine's recommended count (CI pins it so the gate's scaling check has
+   a trustworthy "did this host actually have 4 cores" signal). *)
+let domains_override = ref None
+
+let host_domains () =
+  match !domains_override with Some d -> d | None -> Domain.recommended_domain_count ()
+
+(* One real-domain detection run: PINT sharded across micropool domains
+   under Par_exec, wall clock.  Core workers are fixed at 1 so the fork-join
+   side contributes identical work at every shard count; collector
+   backpressure is on (real consumers drain the lanes concurrently). *)
+let par_run ~shards ~workload ~size ~base () =
+  let w = Registry.find workload in
+  let inst = w.Workload.make ~size ~base in
+  let d, stages =
+    Option.get
+      (Systems.make_detector ~shards ~bp_rounds:Pint_detector.recommended_bp_rounds "pint")
+  in
+  let config =
+    { Par_exec.n_workers = 1; seed = 1; pools = Systems.micropools stages; obs = Obs.disabled }
+  in
+  let r = Par_exec.run ~config ~driver:d.Detector.driver inst.Workload.run in
+  d.Detector.drain ();
+  ("domains", float_of_int (host_domains ()))
+  :: ("domains_used", float_of_int r.Par_exec.n_domains)
+  :: ("steals", float_of_int r.Par_exec.n_steals)
+  :: ("steal_cas_failures", float_of_int r.Par_exec.n_steal_cas_failures)
+  :: ("parks", float_of_int r.Par_exec.n_parks)
+  :: d.Detector.diagnostics ()
+
 (* The representative case list: one group per paper figure, mirroring the
    bechamel groups above but sized to finish in seconds so CI can smoke it. *)
 let json_cases =
@@ -337,6 +368,21 @@ let json_cases =
       ] );
     ( "replay:heat48:shards",
       [ ("pint/s1", replay_run ~shards:1 "pint"); ("pint/s4", replay_run ~shards:4 "pint") ] );
+    (* Real-domain shard sweep: the same heat48/pint configuration under
+       Par_exec, where shard k's {writer,lreader,rreader} triple runs on
+       its own pinned micropool domain.  Core workers are fixed at 1 so the
+       computation side is identical across cases and detection parallelism
+       is the only variable — on a host with >= 4 cores the s4 wall clock
+       must beat s1 (tools/bench_gate --require-scaling asserts exactly
+       that; the recorded "domains" diagnostic lets it skip the assertion
+       on smaller hosts, where oversubscribed domains can only tie). *)
+    ( "par:heat48",
+      [
+        ("s1", par_run ~shards:1 ~workload:"heat" ~size:small ~base:8);
+        ("s2", par_run ~shards:2 ~workload:"heat" ~size:small ~base:8);
+        ("s4", par_run ~shards:4 ~workload:"heat" ~size:small ~base:8);
+        ("s8", par_run ~shards:8 ~workload:"heat" ~size:small ~base:8);
+      ] );
   ]
 
 (* Diagnostics worth tracking release-over-release; anything absent for a
@@ -366,6 +412,12 @@ let tracked_diags =
     "split_rate";
     "lane_rejects";
     "lane_peak_depth";
+    "backpressure_waits";
+    "domains";
+    "domains_used";
+    "steals";
+    "steal_cas_failures";
+    "parks";
   ]
 
 let median samples =
@@ -463,16 +515,21 @@ let () =
           incr i;
           json_path := Some argv.(!i)
         end
-        else json_path := Some "BENCH_6.json"
+        else json_path := Some "BENCH_7.json"
     | "--runs" when !i + 1 < n ->
         incr i;
         runs := int_of_string argv.(!i)
     | "--profile" when !i + 1 < n ->
         incr i;
         profile := Some argv.(!i)
+    | "--domains" when !i + 1 < n ->
+        incr i;
+        domains_override := Some (int_of_string argv.(!i))
     | a ->
         Printf.eprintf
-          "bench: unknown argument %s (supported: --json [PATH] --runs N --profile PATH)\n" a;
+          "bench: unknown argument %s (supported: --json [PATH] --runs N --profile PATH --domains \
+           N)\n"
+          a;
         exit 2);
     incr i
   done;

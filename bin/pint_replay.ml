@@ -83,7 +83,14 @@ let capture_cmd =
           let r = Sim_exec.run ~config ~driver inst.Workload.run in
           r.Sim_exec.n_strands
       | "par" ->
-          let config = { Par_exec.n_workers = workers; seed; stages } in
+          let config =
+            {
+              Par_exec.n_workers = workers;
+              seed;
+              pools = Systems.micropools stages;
+              obs = Obs.disabled;
+            }
+          in
           let r = Par_exec.run ~config ~driver inst.Workload.run in
           r.Par_exec.n_strands
       | e ->

@@ -16,7 +16,8 @@ type exec_kind = Seq | Sim | Par
 
 let exec_name = function Seq -> "seq" | Sim -> "sim" | Par -> "par"
 
-let run_one workload detector exec workers shards size base racy seed max_report capture profile =
+let run_one workload detector exec workers domains shards size base racy seed max_report capture
+    profile =
   let w =
     try Registry.find workload
     with Not_found ->
@@ -44,8 +45,13 @@ let run_one workload detector exec workers shards size base racy seed max_report
         let clock = match exec with Sim -> Clock.manual () | Seq | Par -> Clock.monotonic in
         Obs.create ~clock ()
   in
+  (* --domains is the real-core budget of a par run: pipeline micropools
+     are taken off the top (shards means cores), whatever remains feeds
+     the core workers unless --workers pins them explicitly *)
+  let domains = Option.value domains ~default:(Domain.recommended_domain_count ()) in
+  let bp_rounds = match exec with Par -> Pint_detector.recommended_bp_rounds | Seq | Sim -> 0 in
   let det, stages =
-    match Systems.make_detector ~shards ~obs detector with
+    match Systems.make_detector ~shards ~obs ~bp_rounds detector with
     | Some ds -> ds
     | None ->
         Printf.eprintf "unknown detector %S (%s)\n" detector
@@ -81,17 +87,27 @@ let run_one workload detector exec workers shards size base racy seed max_report
         r.Seq_exec.n_spawns r.Seq_exec.n_syncs
   | Sim ->
       let config =
-        { Sim_exec.default_config with n_workers = workers; seed; stages;
+        { Sim_exec.default_config with n_workers = Option.value workers ~default:4; seed; stages;
           obs_clock = Obs.clock obs }
       in
       let r = Sim_exec.run ~config ~driver inst.Workload.run in
-      Printf.printf "executor=sim workers=%d strands=%d steals=%d makespan=%d total=%d\n" workers
-        r.Sim_exec.n_strands r.Sim_exec.n_steals r.Sim_exec.makespan r.Sim_exec.total
+      Printf.printf "executor=sim workers=%d strands=%d steals=%d makespan=%d total=%d\n"
+        config.Sim_exec.n_workers r.Sim_exec.n_strands r.Sim_exec.n_steals r.Sim_exec.makespan
+        r.Sim_exec.total
   | Par ->
-      let config = { Par_exec.n_workers = workers; seed; stages } in
+      let pools = Systems.micropools stages in
+      let n_workers =
+        match workers with
+        | Some p -> p
+        | None -> max 1 (domains - List.length pools)
+      in
+      let config = { Par_exec.n_workers; seed; pools; obs } in
       let r = Par_exec.run ~config ~driver inst.Workload.run in
-      Printf.printf "executor=par workers=%d strands=%d steals=%d elapsed=%.3fs\n" workers
-        r.Par_exec.n_strands r.Par_exec.n_steals r.Par_exec.elapsed_s);
+      Printf.printf
+        "executor=par workers=%d pools=%d domains=%d strands=%d steals=%d steal_cas_failures=%d \
+         parks=%d elapsed=%.3fs\n"
+        n_workers (List.length pools) r.Par_exec.n_domains r.Par_exec.n_strands r.Par_exec.n_steals
+        r.Par_exec.n_steal_cas_failures r.Par_exec.n_parks r.Par_exec.elapsed_s);
   (match capture with Some path -> Printf.printf "trace captured to %s\n" path | None -> ());
   let races = Detector.races det in
   (match profile with
@@ -102,7 +118,9 @@ let run_one workload detector exec workers shards size base racy seed max_report
           ("workload", workload);
           ("detector", detector);
           ("exec", exec_name exec);
-          ("workers", string_of_int workers);
+          ( "workers",
+            match workers with Some p -> string_of_int p | None -> "auto" );
+          ("domains", string_of_int domains);
           ("seed", string_of_int seed);
         ]
       in
@@ -131,7 +149,23 @@ let detector_arg =
 
 let exec_conv = Arg.enum [ ("seq", Seq); ("sim", Sim); ("par", Par) ]
 let exec_arg = Arg.(value & opt exec_conv Sim & info [ "e"; "exec" ] ~doc:"Executor: seq, sim or par.")
-let workers_arg = Arg.(value & opt int 4 & info [ "p"; "workers" ] ~doc:"Core workers.")
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "p"; "workers" ]
+        ~doc:
+          "Core workers. Default: 4 under sim; under par, whatever \\$(b,--domains) leaves after \
+           the pipeline micropools (at least 1).")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ]
+        ~doc:
+          "Real-core budget for --exec par: core workers + one micropool domain per shard must \
+           fit in this many domains. Defaults to the machine's recommended domain count.")
 
 let shards_arg =
   Arg.(
@@ -165,7 +199,8 @@ let profile_arg =
 let () =
   let term =
     Term.(
-      const run_one $ workload_arg $ detector_arg $ exec_arg $ workers_arg $ shards_arg $ size_arg
-      $ base_arg $ racy_arg $ seed_arg $ max_report_arg $ capture_arg $ profile_arg)
+      const run_one $ workload_arg $ detector_arg $ exec_arg $ workers_arg $ domains_arg
+      $ shards_arg $ size_arg $ base_arg $ racy_arg $ seed_arg $ max_report_arg $ capture_arg
+      $ profile_arg)
   in
   exit (Cmd.eval (Cmd.v (Cmd.info "pint_run" ~doc:"Run a benchmark under a race detector") term))

@@ -134,6 +134,12 @@ type t = {
   mutable stage_list : Stage.t list;
   mutable last_diags : (string * float) list;
   mutable obs : Obs.t;
+  (* Lane backpressure window (Backoff rounds the collector rides out a
+     saturated lane before rejecting a commit).  0 — the default — is
+     mandatory under single-threaded drivers; real-domain runs opt in via
+     [set_backpressure] before the run starts.  Applied to the lanes at
+     wiring time (driver). *)
+  mutable bp_rounds : int;
 }
 
 let dummy_trace = Trace.create ~id:(-1) ~owner:(-1)
@@ -164,10 +170,22 @@ let make ?(seed = 4242) ?(queue_capacity = 4096) ?shards ?reader_shards
     stage_list = [];
     last_diags = [];
     obs = Obs.disabled;
+    bp_rounds = 0;
   }
 
 let shards t = t.shards
 let set_obs t obs = t.obs <- obs
+
+(* Recommended backpressure window for real-domain runs: the Backoff
+   ladder's spin rungs plus ~50 parked sleeps (≈2.5 ms at 50 µs each) —
+   long enough to ride out a treap worker's worst batch, short enough that
+   a genuinely wedged lane still surfaces as a reject/stall. *)
+let recommended_bp_rounds = 64
+
+let set_backpressure t ~rounds =
+  if rounds < 0 then invalid_arg "Pint_detector.set_backpressure: rounds must be >= 0";
+  t.bp_rounds <- rounds;
+  match t.run with Some r -> Lanes.set_backpressure r.lanes ~rounds | None -> ()
 let stage_name t role k = stage_name_of ~shards:t.shards role k
 
 (* Stage index layout (see the header comment). *)
@@ -203,6 +221,7 @@ let driver t (ctx : Hooks.ctx) =
       ~readers_of_lane:(fun k -> if k = 0 then 2 else 3)
       ()
   in
+  Lanes.set_backpressure lanes ~rounds:t.bp_rounds;
   (* Lane obs wiring.  One shard: the lane's producer ring IS the writer
      stage's track (the historical single-queue occupancy counter).  When
      sharded, each lane gets its own "lane<k>" track so per-shard occupancy
@@ -570,6 +589,17 @@ let stages ?(cost = default_step_cost) t =
 
 let current_stages t = match t.stage_list with [] -> stages t | l -> l
 
+(* The shard-micropool grouping of the stage list: pool k is shard k's
+   {writer, lreader, rreader} triple, so one pool domain owns everything
+   that touches lane k and its treaps (Micropool pins the group for the
+   whole run).  This is the authoritative grouping — the stage-index layout
+   is private to this module. *)
+let stage_pools t =
+  let sl = Array.of_list (current_stages t) in
+  let s = t.shards in
+  assert (Array.length sl = 3 * s);
+  List.init s (fun k -> [ sl.(k); sl.(s + k); sl.(2 * s + k) ])
+
 (* The treap-side critical path under the stages' cost model: the slowest
    single stage, which is what bounds detection when every stage has its
    own worker.  Sharding's whole point is pushing this down — records per
@@ -654,6 +684,7 @@ let diagnostics t () =
         ("queue_enqueued", float_of_int (Lanes.total_enqueued r.lanes));
         ("lane_rejects", float_of_int (Lanes.total_rejects r.lanes));
         ("lane_peak_depth", float_of_int (Lanes.max_peak_occupancy r.lanes));
+        ("backpressure_waits", float_of_int (Lanes.backpressure_waits r.lanes));
         ("split_intervals", float_of_int r.split_intervals);
         ("split_subranges", float_of_int r.split_subranges);
         ( "split_rate",

@@ -116,6 +116,27 @@ val role_mean : role -> (string * int) list -> float
     [ahq_batch] size and the [detect_span] critical path). *)
 val stages : ?cost:(records:int -> visits:int -> int) -> t -> Stage.t list
 
+(** The shard-micropool grouping of the pipeline for the real-domain
+    executor ([Par_exec.config.pools]): pool [k] is shard [k]'s {writer,
+    lreader, rreader} triple, so each micropool domain owns one lane and
+    its treaps outright.  Builds the stages if {!stages} has not been
+    called yet. *)
+val stage_pools : t -> Stage.t list list
+
+(** [set_backpressure t ~rounds] — let the collector ride out a saturated
+    lane for up to [rounds] {!Backoff} rounds before rejecting an
+    all-or-nothing commit (see {!Lanes.set_backpressure}).  Default 0
+    (reject immediately) — the only sound setting under single-threaded
+    drivers; enable only for real-domain runs, before the run starts.  The
+    producer rounds actually waited surface as the [backpressure_waits]
+    diagnostic. *)
+val set_backpressure : t -> rounds:int -> unit
+
+(** The [rounds] value real-domain callers should pass to
+    {!set_backpressure} absent a reason to differ (≈2.5 ms of waiting
+    before a commit is rejected). *)
+val recommended_bp_rounds : int
+
 (** One collector step (exposed for tests and custom drivers). *)
 val writer_step : t -> Step.t
 

@@ -1,9 +1,14 @@
-(** Exponential idle backoff for stage-driving loops.
+(** Exponential idle backoff for every spinning loop in the system.
 
-    [relax n] spins [min (2^n) 256] times on [Domain.cpu_relax], where [n]
-    is the number of consecutive unproductive rounds the caller has seen.
-    Replaces bare [Domain.cpu_relax] spinning: an idle stage burns little
-    CPU (and steals few cycles from the core workers sharing the machine)
-    while still reacting within a few hundred relaxes once work appears. *)
+    [relax n] — where [n] is the number of consecutive unproductive rounds
+    the caller has seen — spins [min (2^n) 256] times on
+    [Domain.cpu_relax] while the wait is young, then from {!yield_round}
+    on parks in a short sleep so that on oversubscribed hosts the waiting
+    domain yields its core to whichever domain it is waiting for.
+    Replaces bare [Domain.cpu_relax] spinning everywhere (stage drive
+    loops, micropools, idle core workers, backpressured lane producers). *)
 
 val relax : int -> unit
+
+(** First round at which {!relax} parks in a sleep instead of spinning. *)
+val yield_round : int

@@ -1,0 +1,95 @@
+(* Shard micropools: the fixed stage-to-domain topology of the real
+   executor (ROADMAP items 1-2, following the pinned-pool pattern of the
+   ebsl OCaml-multicore work).
+
+   One domain per pool, each cooperatively round-robining its own small
+   set of stages — for PINT, shard k's {writer, lreader, rreader} treap
+   triple — until every stage reports [`Done].  Stages are pinned for the
+   pool's whole lifetime: a stage never migrates between domains, so all
+   the single-owner state the stages carry (treaps, scratch buffers,
+   consume buffers, AHQ cursors, event rings) keeps exactly one writing
+   domain without any synchronization.  (OCaml exposes no portable OS-core
+   affinity API, so "pinned" means pinned to a domain; the OS scheduler
+   keeps a busy domain on its core in practice.)
+
+   This replaces the previous one-domain-per-stage spawn: 3·shards
+   domains, which oversubscribed the machine as soon as shards grew, and
+   whose idle stages each burned a core waiting on their lane.  A pool
+   interleaves its triple on one domain — the three stages of one shard
+   share one lane's data anyway, so co-scheduling them is cache-friendly —
+   and backs off with the engine {!Backoff} only when the whole triple is
+   unproductive. *)
+
+type pool = {
+  p_id : int;
+  p_stages : Stage.t array;
+  p_ring : Evring.t; (* the pool domain's own obs track (Evring.null off) *)
+  mutable p_parks : int; (* deep-backoff rounds: pool-idle diagnostics *)
+}
+
+type t = { pools : pool array; domains : unit Domain.t array }
+
+let park_kind = Ev.park
+
+(* Drive one pool to completion: round-robin every unfinished stage; any
+   productive step resets the backoff ladder.  [`Idle]/[`Stalled] steps
+   are counted by the stages themselves (Stage.exec), so per-stage
+   diagnostics stay attributable even though the pool shares the domain. *)
+let run_pool p =
+  let n = Array.length p.p_stages in
+  let finished = Array.make n false in
+  let remaining = ref n in
+  let idle_rounds = ref 0 in
+  while !remaining > 0 do
+    let progressed = ref false in
+    Array.iteri
+      (fun i s ->
+        if not finished.(i) then begin
+          let st = Stage.exec s in
+          if Step.is_done st then begin
+            finished.(i) <- true;
+            decr remaining
+          end
+          else if Step.progressed st then progressed := true
+        end)
+      p.p_stages;
+    if !remaining > 0 then
+      if !progressed then idle_rounds := 0
+      else begin
+        incr idle_rounds;
+        if !idle_rounds = Backoff.yield_round then begin
+          (* entering the parked regime: one instant per park episode,
+             emitted from the pool's own domain into its own ring *)
+          p.p_parks <- p.p_parks + 1;
+          Evring.emit p.p_ring ~kind:park_kind ~arg:p.p_id
+        end;
+        Backoff.relax !idle_rounds
+      end
+  done
+
+let make ?(rings = [||]) (groups : Stage.t list list) =
+  Array.of_list
+    (List.mapi
+       (fun i g ->
+         {
+           p_id = i;
+           p_stages = Array.of_list g;
+           p_ring = (if i < Array.length rings then rings.(i) else Evring.null);
+           p_parks = 0;
+         })
+       groups)
+
+(* Spawn one domain per pool.  The caller joins via {!join}; stages end on
+   their own (`Done) once the upstream pipeline drains. *)
+let spawn ?rings groups =
+  let pools = make ?rings groups in
+  let domains = Array.map (fun p -> Domain.spawn (fun () -> run_pool p)) pools in
+  { pools; domains }
+
+let join t = Array.iter Domain.join t.domains
+let n_pools t = Array.length t.pools
+let parks t = Array.fold_left (fun acc p -> acc + p.p_parks) 0 t.pools
+
+(* Every stage its own pool: the degenerate grouping for stage lists with
+   no shard structure (non-PINT detectors, ad-hoc stages). *)
+let singletons stages = List.map (fun s -> [ s ]) stages

@@ -1,0 +1,26 @@
+(** Shard micropools: one pinned domain per stage group.
+
+    Each pool domain cooperatively round-robins its own stages (for PINT,
+    one shard's {writer, lreader, rreader} treap triple) until all report
+    [`Done], backing off with {!Backoff} when the whole group is
+    unproductive.  Stages never migrate between domains, preserving every
+    single-owner invariant they rely on (OWNERSHIP.md).  See DESIGN.md
+    §13. *)
+
+type t
+
+(** [spawn ?rings groups] — one domain per group.  [rings.(i)], when
+    given, is pool [i]'s observability track (park events are emitted into
+    it from the pool's own domain). *)
+val spawn : ?rings:Evring.t array -> Stage.t list list -> t
+
+(** Wait for every pool domain; returns once all stages are [`Done]. *)
+val join : t -> unit
+
+val n_pools : t -> int
+
+(** Deep-backoff park episodes, summed over pools (idle diagnostics). *)
+val parks : t -> int
+
+(** The degenerate grouping: every stage is its own pool. *)
+val singletons : Stage.t list -> Stage.t list list

@@ -4,18 +4,22 @@ open Effect.Deep
 type config = {
   n_workers : int;
   seed : int;
-  stages : Stage.t list;
+  pools : Stage.t list list;
+  obs : Obs.t;
 }
 
 type result = {
   elapsed_s : float;
   n_steals : int;
+  n_steal_cas_failures : int;
   n_strands : int;
   n_spawns : int;
   n_nontrivial_syncs : int;
+  n_domains : int;
+  n_parks : int;
 }
 
-let default_config = { n_workers = 4; seed = 1; stages = [] }
+let default_config = { n_workers = 4; seed = 1; pools = []; obs = Obs.disabled }
 
 (* ---------------------------------------------------------------- fibers *)
 
@@ -46,7 +50,10 @@ type frame = {
      function body, so unsynchronized *)
   mutable sync_sp : Sp_order.strand option;
   mutable sync_rec : Srec.t option;
-  (* join state: touched by returning children concurrently *)
+  (* join state: touched by returning children concurrently.  This lock
+     arbitrates the join protocol only (outstanding counter + suspended
+     continuation hand-off) — it is never taken on the steal path, which is
+     the lock-free {!Cldeque}. *)
   lock : Mutex.t;
   mutable outstanding : int;
   stolen_in_block : bool Atomic.t;
@@ -72,88 +79,6 @@ let new_frame ~parent =
     suspended = None;
   }
 
-(* Mutex-protected double-ended queue.  Steals are rare and this container
-   is not the bottleneck of anything we measure (virtual-time performance
-   comes from Sim_exec), so the simple lock beats a hand-rolled Chase-Lev
-   for reviewability.
-
-   Two-list representation: [front] holds the bottom (newest-first), [back]
-   the top (oldest-first).  Pushes and pops touch only [front]; a steal pops
-   the head of [back].  When the needed side is empty, half of the other
-   side is moved across (one reversal), so every element is reversed O(1)
-   times amortized under any push/pop/steal mix — unlike the previous
-   single-list version whose every steal paid two O(n) [List.rev]s. *)
-module Lockdq = struct
-  type 'a t = {
-    lock : Mutex.t;
-    mutable front : 'a list; (* bottom side, newest first *)
-    mutable back : 'a list; (* top side, oldest first *)
-  }
-
-  let create () = { lock = Mutex.create (); front = []; back = [] }
-
-  (* Split [l] into its first [len l / 2] elements (kept on the source
-     side) and the rest reversed (moved to the other side).  The moved part
-     is never empty when [l] is non-empty. *)
-  let split_for_move l =
-    let n = List.length l in
-    let rec take k acc rest =
-      if k = 0 then (List.rev acc, rest) else
-        match rest with [] -> (List.rev acc, []) | x :: tl -> take (k - 1) (x :: acc) tl
-    in
-    let kept, moved = take (n / 2) [] l in
-    (kept, List.rev moved)
-
-  let[@pint.hot] push_bottom t x =
-    Mutex.lock t.lock;
-    t.front <- x :: t.front;
-    Mutex.unlock t.lock
-
-  let[@pint.hot] pop_bottom t =
-    Mutex.lock t.lock;
-    (match (t.front, t.back) with
-    | [], _ :: _ ->
-        (* newest elements sit at the tail of [back]; move that half over *)
-        let kept, moved = split_for_move t.back in
-        t.back <- kept;
-        t.front <- moved
-    | _ -> ());
-    let r =
-      match t.front with
-      | [] -> None
-      | x :: rest ->
-          t.front <- rest;
-          Some x
-    in
-    Mutex.unlock t.lock;
-    r
-
-  let[@pint.hot] steal_top t =
-    Mutex.lock t.lock;
-    (match (t.back, t.front) with
-    | [], _ :: _ ->
-        (* oldest elements sit at the tail of [front]; move that half over *)
-        let kept, moved = split_for_move t.front in
-        t.front <- kept;
-        t.back <- moved
-    | _ -> ());
-    let r =
-      match t.back with
-      | [] -> None
-      | x :: rest ->
-          t.back <- rest;
-          Some x
-    in
-    Mutex.unlock t.lock;
-    r
-
-  let is_empty t =
-    Mutex.lock t.lock;
-    let r = t.front == [] && t.back == [] in
-    Mutex.unlock t.lock;
-    r
-end
-
 type job = J_start of (unit -> unit) | J_resume of kont
 
 type wstate = {
@@ -162,8 +87,10 @@ type wstate = {
   mutable fid : fiber_done;
   mutable frame : frame;
   mutable cur : Srec.t;
-  deque : ditem Lockdq.t;
+  deque : ditem Cldeque.t;
   rng : Rng.t;
+  ring : Evring.t; (* this worker domain's obs track ("core<wid>") *)
+  mutable parks : int; (* deep-backoff episodes while hunting for work *)
 }
 
 (* current worker state for the executing domain *)
@@ -185,6 +112,15 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
   let next_uid = Atomic.make 1 in
   let fresh s = Srec.make ~uid:(Atomic.fetch_and_add next_uid 1) s in
   let root_rec = Srec.make ~uid:0 root_sp in
+  (* The deques need an inert [ditem] to fill vacated slots (so the ring
+     retains no stale continuation references).  A continuation cannot be
+     fabricated, but it can be captured: suspend a throwaway fiber at a
+     sync and never resume it. *)
+  let dummy_ditem =
+    match run_fiber (fun () -> perform E_sync) with
+    | Synced k -> { dk = k; dframe = new_frame ~parent:None; drec = root_rec; dfiber = Root }
+    | _ -> assert false
+  in
   let workers =
     Array.init nw (fun wid ->
         {
@@ -193,8 +129,10 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
           fid = Root;
           frame = new_frame ~parent:None;
           cur = root_rec;
-          deque = Lockdq.create ();
+          deque = Cldeque.create ~dummy:dummy_ditem ();
           rng = Rng.create (config.seed + (wid * 7919));
+          ring = Obs.track config.obs ("core" ^ string_of_int wid);
+          parks = 0;
         })
   in
   let ctx = { Hooks.aspace; sp; n_workers = nw; current = (fun ~wid -> workers.(wid).cur) } in
@@ -255,7 +193,7 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
     fr.outstanding <- fr.outstanding + 1;
     Mutex.unlock fr.lock;
     let item = { dk = k; dframe = fr; drec = cont_rec; dfiber = w.fid } in
-    Lockdq.push_bottom w.deque item;
+    Cldeque.push_bottom w.deque item;
     let child_rec = fresh child_sp in
     w.fid <- Child { cp_frame = fr; cp_sync = sync_rec; cp_item = item };
     w.frame <- new_frame ~parent:(Some fr);
@@ -303,7 +241,7 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
         Atomic.set computation_done true
     | Child ci -> begin
         let fr = ci.cp_frame in
-        match Lockdq.pop_bottom w.deque with
+        match Cldeque.pop_bottom w.deque with
         | Some item when item == ci.cp_item ->
             Mutex.lock fr.lock;
             fr.outstanding <- fr.outstanding - 1;
@@ -344,19 +282,26 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
     | Synced k -> handle_sync w k
   in
 
+  (* One steal attempt against a random victim; [true] iff a continuation
+     was acquired.  A lost CAS (thief race) and an empty victim both report
+     [false] — the caller's backoff ladder decides how hard to keep
+     trying. *)
   let attempt_steal (w : wstate) =
-    if nw > 1 then begin
+    if nw <= 1 then false
+    else begin
       let v = Rng.int w.rng (nw - 1) in
       let victim = workers.(if v >= w.wid then v + 1 else v) in
-      match Lockdq.steal_top victim.deque with
+      match Cldeque.steal_top victim.deque with
       | Some item ->
           Atomic.incr n_steals;
+          Evring.emit w.ring ~kind:Ev.steal ~arg:victim.wid;
           Atomic.set item.dframe.stolen_in_block true;
           w.fid <- item.dfiber;
           w.frame <- item.dframe;
           start w item.drec (Events.S_cont { stolen = true });
-          w.job <- Some (J_resume item.dk)
-      | None -> Domain.cpu_relax ()
+          w.job <- Some (J_resume item.dk);
+          true
+      | None -> false
     end
   in
 
@@ -372,17 +317,27 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
         e_space = aspace;
       };
     Access.install (Hooks.with_counting (fun () -> w.cur) (hooks.Hooks.sink ~wid:w.wid));
+    let idle_rounds = ref 0 in
     let rec loop () =
       match w.job with
       | Some j ->
           w.job <- None;
+          idle_rounds := 0;
           let st = match j with J_start g -> run_fiber g | J_resume k -> continue k () in
           handle_status w st;
           loop ()
       | None ->
           if Atomic.get computation_done then ()
           else begin
-            attempt_steal w;
+            if attempt_steal w then idle_rounds := 0
+            else begin
+              incr idle_rounds;
+              if !idle_rounds = Backoff.yield_round then begin
+                w.parks <- w.parks + 1;
+                Evring.emit w.ring ~kind:Ev.park ~arg:w.wid
+              end;
+              Backoff.relax !idle_rounds
+            end;
             loop ()
           end
     in
@@ -400,9 +355,14 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
            main ();
            e_sync ()));
   hooks.Hooks.on_start ~wid:0 root_rec Events.S_root;
-  (* each pipeline stage gets a dedicated domain; Stage.run spins it to
-     [`Done] with exponential idle backoff *)
-  let aux_domains = List.map (fun s -> Domain.spawn (fun () -> Stage.run s)) config.stages in
+  (* one pinned pool domain per stage group — for PINT, one per shard's
+     {writer, lreader, rreader} triple — instead of the previous one
+     domain per stage (3·shards domains), so [shards] means real cores *)
+  let pool_rings =
+    Array.of_list
+      (List.mapi (fun i _ -> Obs.track config.obs ("pool" ^ string_of_int i)) config.pools)
+  in
+  let pools = Micropool.spawn ~rings:pool_rings config.pools in
   let core_domains =
     Array.to_list
       (Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) (Array.sub workers 1 (nw - 1)))
@@ -410,13 +370,17 @@ let run ?aspace ~config ~(driver : Hooks.driver) main =
   worker_loop workers.(0);
   List.iter Domain.join core_domains;
   hooks.Hooks.on_done ();
-  List.iter Domain.join aux_domains;
+  Micropool.join pools;
   let elapsed_s = Unix.gettimeofday () -. t0 in
-  Array.iter (fun w -> assert (Lockdq.is_empty w.deque)) workers;
+  Array.iter (fun w -> assert (Cldeque.is_empty w.deque)) workers;
   {
     elapsed_s;
     n_steals = Atomic.get n_steals;
+    n_steal_cas_failures =
+      Array.fold_left (fun acc w -> acc + Cldeque.steal_cas_failures w.deque) 0 workers;
     n_strands = Atomic.get next_uid;
     n_spawns = Atomic.get n_spawns;
     n_nontrivial_syncs = Atomic.get n_nontrivial;
+    n_domains = nw + Micropool.n_pools pools;
+    n_parks = Micropool.parks pools + Array.fold_left (fun acc w -> acc + w.parks) 0 workers;
   }

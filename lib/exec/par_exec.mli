@@ -2,20 +2,22 @@
 
     Runs the fork-join computation on OCaml 5 domains with Cilk-style
     continuation stealing: a worker executes the spawned child immediately,
-    parks the continuation on its own deque, and idle workers steal the
-    oldest continuation from a random victim.  Non-trivial syncs suspend the
-    function; the last returning child resumes it on its own domain.
+    parks the continuation on its own lock-free Chase-Lev deque
+    ({!Cldeque}), and idle workers steal the oldest continuation from a
+    random victim — no mutex anywhere on the steal path.  Non-trivial syncs
+    suspend the function; the last returning child resumes it on its own
+    domain.
 
-    Pipeline stages (PINT's treap workers, as engine {!Stage}s) run on
-    their own dedicated domains, each driven by {!Stage.run} until it
-    reports [`Done] — unproductive spins back off exponentially and are
-    recorded in the stage's metrics.
+    Pipeline stages run on shard micropools ({!Micropool}): one pinned
+    domain per stage group — for PINT, one per shard's {writer, lreader,
+    rreader} treap triple — cooperatively round-robined with {!Backoff}
+    when the group is unproductive, so the executor uses
+    [n_workers + length pools] domains total and [shards] maps one-to-one
+    onto detection cores (DESIGN.md §13).
 
-    This executor demonstrates genuine parallel operation of the whole
-    system; the container this repository was built in has a single physical
-    core, so the benchmark harness uses {!Sim_exec} for the paper's
-    performance figures and this executor for functional validation (see
-    DESIGN.md §2).
+    Idle core workers back off the same way: spin ladder first, then
+    parked sleeps, so oversubscribed hosts (domains > cores) keep making
+    progress instead of starving the domain being waited on.
 
     Same cactus-stack constraint as the simulator: a [with_frame] body must
     not contain a non-trivial sync. *)
@@ -23,30 +25,29 @@
 type config = {
   n_workers : int;
   seed : int;  (** victim-selection seed (schedules remain nondeterministic) *)
-  stages : Stage.t list;  (** pipeline stages, one dedicated domain each *)
+  pools : Stage.t list list;
+      (** pipeline stage groups, one pinned micropool domain each; for the
+          PINT detector use {!Pint_detector.stage_pools} (one group per
+          shard), or {!Micropool.singletons} for ungrouped stage lists *)
+  obs : Obs.t;
+      (** observability session for the per-domain tracks ([core<w>] steal
+          and park instants, [pool<k>] park instants); {!Obs.disabled} (the
+          default) keeps every emit a no-op *)
 }
 
 type result = {
   elapsed_s : float;
   n_steals : int;
+  n_steal_cas_failures : int;
+      (** lost [Cldeque.steal_top] CASes: thief-vs-thief and
+          thief-vs-owner races, summed over all deques *)
   n_strands : int;
   n_spawns : int;
   n_nontrivial_syncs : int;
+  n_domains : int;  (** domains used: core workers (incl. caller) + pools *)
+  n_parks : int;  (** deep-backoff park episodes, workers + pools *)
 }
 
 val default_config : config
-
-(** The mutex-protected work deque (two-list representation; see the
-    implementation comment).  Exposed so the schedule-exploration stress
-    test can drive it directly against a reference deque model. *)
-module Lockdq : sig
-  type 'a t
-
-  val create : unit -> 'a t
-  val push_bottom : 'a t -> 'a -> unit
-  val pop_bottom : 'a t -> 'a option
-  val steal_top : 'a t -> 'a option
-  val is_empty : 'a t -> bool
-end
 
 val run : ?aspace:Aspace.t -> config:config -> driver:Hooks.driver -> (unit -> unit) -> result

@@ -8,7 +8,7 @@ let system_name = function
 
 let detector_names = [ "none"; "stint"; "cracer"; "pint" ]
 
-let make_detector ?seed ?(shards = 1) ?stage_cost ?(obs = Obs.disabled) name =
+let make_detector ?seed ?(shards = 1) ?stage_cost ?(obs = Obs.disabled) ?(bp_rounds = 0) name =
   match name with
   | "none" -> Some (Nodetect.make (), [])
   | "stint" ->
@@ -24,6 +24,7 @@ let make_detector ?seed ?(shards = 1) ?stage_cost ?(obs = Obs.disabled) name =
         | None -> Pint_detector.make ~shards ()
       in
       Pint_detector.set_obs p obs;
+      if bp_rounds > 0 then Pint_detector.set_backpressure p ~rounds:bp_rounds;
       let stages =
         match stage_cost with
         | Some cost -> Pint_detector.stages ~cost p
@@ -32,6 +33,31 @@ let make_detector ?seed ?(shards = 1) ?stage_cost ?(obs = Obs.disabled) name =
       List.iter (fun s -> Stage.set_ring s (Obs.track obs (Stage.name s))) stages;
       Some (Pint_detector.detector p, stages)
   | _ -> None
+
+(* Group a flat stage list into shard micropools for the real-domain
+   executor: stages carrying the same shard index (per the detector's
+   naming authority) share one pool, so each pool domain owns one lane's
+   full {writer, lreader, rreader} triple; stages the parser does not
+   recognize get singleton pools.  Pool order follows first appearance, so
+   [make_detector]'s stage order yields pools in shard order. *)
+let micropools stages =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let key =
+        match Pint_detector.role_of_stage_name (Stage.name s) with
+        | Some (_, k) -> `Shard k
+        | None -> `Solo (Stage.name s)
+      in
+      match Hashtbl.find_opt tbl key with
+      | Some cell -> cell := s :: !cell
+      | None ->
+          let cell = ref [ s ] in
+          Hashtbl.add tbl key cell;
+          order := key :: !order)
+    stages;
+  List.rev_map (fun key -> List.rev !(Hashtbl.find tbl key)) !order
 
 type measurement = {
   system : string;

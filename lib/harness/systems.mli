@@ -36,14 +36,26 @@ val detector_names : string list
     session: detector-side tracks and histograms are registered here, and
     for PINT each pipeline stage gets the session ring matching its stage
     name, so stage spans and AHQ counters land on the right Chrome-trace
-    track.  [None] for an unknown name. *)
+    track.  [bp_rounds] (PINT only, default 0) enables collector
+    backpressure for real-domain runs (see
+    {!Pint_detector.set_backpressure}) — leave 0 for [seq]/[sim].  [None]
+    for an unknown name. *)
 val make_detector :
   ?seed:int ->
   ?shards:int ->
   ?stage_cost:(records:int -> visits:int -> int) ->
   ?obs:Obs.t ->
+  ?bp_rounds:int ->
   string ->
   (Detector.t * Stage.t list) option
+
+(** [micropools stages] — group a flat stage list into shard micropools
+    for [Par_exec.config.pools]: stages sharing a shard index (per
+    {!Pint_detector.role_of_stage_name}) form one pool, in shard order;
+    unrecognized stages get singleton pools.  Equals
+    {!Pint_detector.stage_pools} on a PINT stage list, but works on the
+    generic list {!make_detector} returns. *)
+val micropools : Stage.t list -> Stage.t list list
 
 type measurement = {
   system : string;

@@ -9,6 +9,8 @@ let stall = 4 (* span; writer blocked on a full AHQ *)
 let recycle = 5 (* arg = slots recycled by this cursor advance *)
 let complete = 6 (* all 3N treap workers have processed the strand *)
 let split = 7 (* arg = per-shard subranges the strand's intervals split into *)
+let steal = 8 (* worker stole a ditem from a peer deque; arg = victim worker *)
+let park = 9 (* a pool/worker domain entered the deep-backoff sleep regime *)
 
 let name = function
   | 0 -> "finish"
@@ -19,6 +21,8 @@ let name = function
   | 5 -> "recycle"
   | 6 -> "complete"
   | 7 -> "split"
+  | 8 -> "steal"
+  | 9 -> "park"
   | k -> "ev" ^ string_of_int k
 
 (* The exporter's phase split: spans render as Chrome "X" complete events,
@@ -31,5 +35,7 @@ let arg_label = function
   | 3 -> "visits"
   | 5 -> "slots"
   | 7 -> "subranges"
+  | 8 -> "victim"
+  | 9 -> "pool"
   | 0 | 2 | 6 -> "uid"
   | _ -> "arg"

@@ -15,6 +15,15 @@ val complete : int
     the per-shard lanes; the payload is the subrange count. *)
 val split : int
 
+(** Work-stealing executor: a worker stole a ditem from a peer's deque;
+    the payload is the victim worker's index. *)
+val steal : int
+
+(** A pool or worker domain entered the deep-backoff park regime (one
+    instant per episode, not per sleep); the payload is the domain's
+    pool/worker index. *)
+val park : int
+
 (** Chrome-trace display name for a kind code. *)
 val name : int -> string
 

@@ -143,8 +143,27 @@ let drive ?aspace (tf : Tracefile.t) (driver : Hooks.driver) =
       (Tracefile.entry_count tf);
   !next_uid
 
-let run ?aspace ?(wrap = fun d -> d) tf (d : Detector.t) =
-  let n = drive ?aspace tf (wrap d.Detector.driver) in
+let run ?aspace ?(wrap = fun d -> d) ?pools tf (d : Detector.t) =
+  (* Real-domain replay: the detector's pipeline stages run on shard
+     micropool domains concurrently with the (still single-threaded,
+     deterministic) strand feed — the same producer/consumer topology as a
+     live [Par_exec] run, driven from a reproducible schedule.  The pools
+     must not spawn until the detector's driver has set up its run (a
+     stage stepped before that fails), so the spawn rides a driver wrapper
+     that fires right after hook creation — the same ordering [Par_exec]
+     gets by construction.  [drive]'s final [on_done] lets every stage
+     reach [`Done], so the join below terminates; the drain after it is
+     then a no-op pass that only publishes latencies. *)
+  let mp = ref None in
+  let spawn_pools driver ctx =
+    let hooks = driver ctx in
+    (match pools with
+    | Some ps when !mp = None -> mp := Some (Micropool.spawn ps)
+    | _ -> ());
+    hooks
+  in
+  let n = drive ?aspace tf (spawn_pools (wrap d.Detector.driver)) in
+  (match !mp with Some p -> Micropool.join p | None -> ());
   d.Detector.drain ();
   {
     detector = d.Detector.name;

@@ -20,7 +20,11 @@
 
     Replay is single-threaded and deterministic: replaying the same trace
     twice through the same detector yields identical race sets and
-    identical diagnostics. *)
+    identical diagnostics.  The one opt-in exception is {!run}'s [pools],
+    which moves the detector's {e pipeline} onto real micropool domains —
+    the strand feed stays the deterministic serial elision, so race sets
+    remain schedule-invariant (Theorem 5) while the consumer side
+    genuinely runs cross-domain. *)
 
 exception Corrupt of string
 
@@ -40,11 +44,23 @@ type outcome = {
     @raise Corrupt if the trace's DAG links are inconsistent. *)
 val drive : ?aspace:Aspace.t -> Tracefile.t -> Hooks.driver -> int
 
-(** [run ?aspace ?wrap trace det] — replay through a detector instance and
-    drain its pipeline.  The detector must be fresh (one instance per
-    replay).  [wrap] (default identity) is applied to the detector's driver
-    before replay — e.g. {!Obs_hooks.instrument} to profile a replay. *)
-val run : ?aspace:Aspace.t -> ?wrap:(Hooks.driver -> Hooks.driver) -> Tracefile.t -> Detector.t -> outcome
+(** [run ?aspace ?wrap ?pools trace det] — replay through a detector
+    instance and drain its pipeline.  The detector must be fresh (one
+    instance per replay).  [wrap] (default identity) is applied to the
+    detector's driver before replay — e.g. {!Obs_hooks.instrument} to
+    profile a replay.  [pools] (default: none — the pipeline drains
+    synchronously after the feed) runs the detector's stage groups on
+    {!Micropool} domains concurrently with the strand feed, e.g.
+    [Pint_detector.stage_pools] for a real-domain golden diff; pair it
+    with {!Pint_detector.set_backpressure} so the collector waits out
+    momentarily-full lanes instead of rejecting. *)
+val run :
+  ?aspace:Aspace.t ->
+  ?wrap:(Hooks.driver -> Hooks.driver) ->
+  ?pools:Stage.t list list ->
+  Tracefile.t ->
+  Detector.t ->
+  outcome
 
 (** {2 Differential detection} *)
 

@@ -1,3 +1,30 @@
+(* Cross-domain soundness (audited for the real-domain executor, where the
+   producer and every reader run on distinct domains):
+
+   OCaml 5 atomics are sequentially consistent, and the memory model gives
+   publication safety: a plain write that happens-before an atomic write is
+   visible to any domain that observes that atomic write.  Every plain
+   field here rides one of three such publication edges:
+
+   - slot publication  — [try_enqueue] plain-writes [slots.(h mod cap)]
+     BEFORE [Atomic.incr head]; a reader only touches a slot after reading
+     [head] past it, so it sees the full record.  [head] is written by the
+     single producer only.
+   - slot recycling    — [advance_n] plain-clears a slot only when every
+     OTHER cursor (read atomically) is already past it, and BEFORE
+     atomically advancing its own cursor; the producer only reuses a slot
+     after reading all cursors past it, so the clear is published to the
+     producer before any reuse, and no reader can still be peeking a
+     cleared slot (peeks start at the reader's own cursor).
+   - writer-private caches — [cached_min], [min_rescans], [peak_occ] are
+     touched only by the single producer; [cached_min] is a monotone lower
+     bound on the cursor minimum (cursors only advance), so a stale value
+     is only ever conservative: it can under-report room, never invent it.
+
+   The one deliberately racy read is the occupancy sample in [advance_n]
+   (another reader may advance between our snapshot and the emit) — it is
+   an observability sample, not a correctness input. *)
+
 type reader = int
 
 let l = 0

@@ -13,7 +13,12 @@
     ([Pint_detector.make ~shards], routed by {!Lanes}) runs one lane per
     address-range shard, each with its own reader set, so the ring is
     polymorphic in its payload and supports an arbitrary reader count.
-    Readers are identified by index; {!l} and {!r} name the classic two. *)
+    Readers are identified by index; {!l} and {!r} name the classic two.
+
+    Safe with the producer and each reader on distinct domains: slot
+    publication and recycling both ride atomic head/cursor edges (see the
+    memory-ordering audit at the top of the implementation), with no lock
+    on any path. *)
 
 type 'a t
 

@@ -45,6 +45,19 @@ type 'a t = {
      without room when the collector tried to commit a strand to every
      lane.  Collector-owned (single producer). *)
   rejects : int array;
+  (* Backpressure policy: how many backoff rounds the producer rides out a
+     saturated lane before giving up on the commit.  0 — the default, and
+     mandatory under any single-threaded driver — rejects immediately: with
+     nobody running concurrently there is no consumer to wait for, and a
+     spin would either hang (round-robin drivers interleave the consumers
+     anyway) or waste the round.  Real-domain runs set this up so that a
+     momentarily-behind shard pool stalls the collector briefly instead of
+     forcing a reject/retry cycle through the strand scheduler.
+     Collector-owned, set at wiring time. *)
+  mutable bp_rounds : int;
+  (* Producer backoff rounds actually taken waiting out a full lane.
+     Collector-owned. *)
+  mutable bp_waits : int;
 }
 
 let create ?capacity ~shards ~readers_of_lane () =
@@ -52,34 +65,62 @@ let create ?capacity ~shards ~readers_of_lane () =
   {
     lanes = Array.init shards (fun k -> Ahq.create ?capacity ~readers:(readers_of_lane k) ());
     rejects = Array.make shards 0;
+    bp_rounds = 0;
+    bp_waits = 0;
   }
 
 let shards t = Array.length t.lanes
 let lane t k = t.lanes.(k)
 
+let set_backpressure t ~rounds =
+  if rounds < 0 then invalid_arg "Lanes.set_backpressure: rounds must be >= 0";
+  t.bp_rounds <- rounds
+
+let backpressure_waits t = t.bp_waits
+
 (* All-or-nothing enqueue: probe every lane for room first, then build and
-   enqueue the per-lane payloads.  Sound because the collector is the only
-   producer on every lane — room observed by the probe cannot shrink before
-   the enqueues commit.  [f k] is only evaluated once all lanes have room,
-   so payload construction (the interval split) is never wasted work on a
-   stall. *)
-let enqueue_each t f =
-  let ok = ref true in
-  Array.iteri
-    (fun k lane ->
-      if not (Ahq.has_room lane) then begin
-        t.rejects.(k) <- t.rejects.(k) + 1;
-        ok := false
-      end)
-    t.lanes;
-  !ok
+   enqueue the per-lane payloads.  Sound even with consumers advancing
+   cursors concurrently on other domains, because the collector is the only
+   producer on every lane: consumers only CREATE room (recycling consumed
+   slots), never take it away, so room observed by the probe cannot shrink
+   before the enqueues commit.  The converse race — a probe that finds a
+   lane full just before a concurrent consumer frees it — is what the
+   backpressure loop absorbs: ride the {!Backoff} ladder up to [bp_rounds]
+   re-probes before declaring the commit rejected.  [f k] is only evaluated
+   once all lanes have room, so payload construction (the interval split)
+   is never wasted work on a stall. *)
+let all_have_room t =
+  let n = Array.length t.lanes in
+  let rec go k = k >= n || (Ahq.has_room t.lanes.(k) && go (k + 1)) in
+  go 0
+
+(* commit rejected: account every still-roomless lane, exactly as the
+   policy-free path always did *)
+let note_rejects t =
+  for k = 0 to Array.length t.lanes - 1 do
+    if not (Ahq.has_room t.lanes.(k)) then t.rejects.(k) <- t.rejects.(k) + 1
+  done
+
+let rec wait_for_room t round =
+  if all_have_room t then true
+  else if round >= t.bp_rounds then begin
+    note_rejects t;
+    false
+  end
+  else begin
+    t.bp_waits <- t.bp_waits + 1;
+    Backoff.relax round;
+    wait_for_room t (round + 1)
+  end
+
+let[@pint.hot] enqueue_each t f =
+  wait_for_room t 0
   && begin
-       Array.iteri
-         (fun k lane ->
-           if not (Ahq.try_enqueue lane (f k)) then
-             (* unreachable by the single-producer argument above *)
-             failwith "Lanes.enqueue_each: lane lost room after probe")
-         t.lanes;
+       for k = 0 to Array.length t.lanes - 1 do
+         if not (Ahq.try_enqueue t.lanes.(k) (f k)) then
+           (* unreachable by the single-producer argument above *)
+           failwith "Lanes.enqueue_each: lane lost room after probe"
+       done;
        true
      end
 

@@ -39,10 +39,23 @@ val lane : 'a t -> int -> 'a Ahq.t
 (** [enqueue_each t f] — commit one record to every lane, all-or-nothing:
     probes every lane for room first and only then evaluates [f k] and
     enqueues its result on lane [k].  False (and nothing enqueued, with the
-    roomless lanes' reject counters bumped) if any lane is full.  Producer
-    side only: soundness of probe-then-enqueue rests on the single-producer
-    discipline of the lanes. *)
+    roomless lanes' reject counters bumped) if any lane stays full for the
+    whole backpressure window.  Producer side only: soundness of
+    probe-then-enqueue rests on the single-producer discipline of the
+    lanes; concurrent consumers only ever create room, never take it. *)
 val enqueue_each : 'a t -> (int -> 'a) -> bool
+
+(** [set_backpressure t ~rounds] — let {!enqueue_each} ride out a full lane
+    for up to [rounds] {!Backoff} rounds (re-probing after each) before
+    rejecting the commit.  The default 0 rejects immediately, which is the
+    only sound setting under a single-threaded driver: consumers only run
+    when the producer yields, so waiting in-line can never create room.
+    Enable only when lane consumers run on their own domains. *)
+val set_backpressure : 'a t -> rounds:int -> unit
+
+(** Producer backoff rounds taken inside {!enqueue_each} waiting for a
+    saturated lane to drain. *)
+val backpressure_waits : 'a t -> int
 
 (** {2 Diagnostics} *)
 

@@ -134,6 +134,66 @@ let diag_absent_is_silent () =
   in
   check_int "only the wall-clock skip" 1 (List.length v)
 
+(* -- real-domain scaling assertion -------------------------------------- *)
+
+let par_doc ~domains ~s1 ~s4 =
+  Printf.sprintf
+    "{\"schema\": 3, \"figures\": {\"par:heat48\": {\
+     \"s1\": {\"median_s\": %f, \"min_s\": %f, \"n\": 5, \"diagnostics\": {\"domains\": %f}}, \
+     \"s4\": {\"median_s\": %f, \"min_s\": %f, \"n\": 5, \"diagnostics\": {\"domains\": %f}}}}}"
+    s1 s1 domains s4 s4 domains
+
+let par_cases ~domains ~s1 ~s4 = Gate.cases_of_json (Jsonx.parse (par_doc ~domains ~s1 ~s4))
+
+let scaling ?max_ratio ?min_domains cases =
+  Gate.check_scaling ?max_ratio ?min_domains ~slow:"par:heat48/s1" ~fast:"par:heat48/s4" cases
+
+let scaling_ok_when_faster () =
+  match scaling (par_cases ~domains:8. ~s1:1.0 ~s4:0.5) with
+  | Gate.Scaling_ok { ratio; _ } -> check_bool "halved" true (abs_float (ratio -. 0.5) < 1e-9)
+  | _ -> Alcotest.fail "expected Scaling_ok"
+
+let scaling_fails_when_flat () =
+  (* the whole point: merely tying is a failure on a real multi-core host *)
+  (match scaling (par_cases ~domains:8. ~s1:1.0 ~s4:1.0) with
+  | Gate.Scaling_failed _ -> ()
+  | _ -> Alcotest.fail "expected Scaling_failed on a flat result");
+  match scaling (par_cases ~domains:8. ~s1:1.0 ~s4:0.95) with
+  | Gate.Scaling_failed { ratio; _ } ->
+      check_bool "just over the bar" true (ratio > 0.9)
+  | _ -> Alcotest.fail "expected Scaling_failed just over the ratio"
+
+let scaling_ratio_respected () =
+  (* 0.95x fails the default 0.9 bar but passes a lax 0.99 one *)
+  let cases = par_cases ~domains:8. ~s1:1.0 ~s4:0.95 in
+  (match scaling ~max_ratio:0.99 cases with
+  | Gate.Scaling_ok _ -> ()
+  | _ -> Alcotest.fail "lax ratio should pass")
+
+let scaling_skips_small_host () =
+  (* a 1-core container time-shares the micropools: skip, never fail *)
+  match scaling (par_cases ~domains:1. ~s1:1.0 ~s4:1.4) with
+  | Gate.Scaling_skipped { why; _ } ->
+      check_bool "mentions domains" true
+        (String.length why > 0 && String.lowercase_ascii why <> "")
+  | _ -> Alcotest.fail "expected skip on a 1-domain host"
+
+let scaling_skips_missing_pieces () =
+  (* missing case *)
+  (match scaling (cases_of [ ("a", 0.1, 0.1, 5) ]) with
+  | Gate.Scaling_skipped _ -> ()
+  | _ -> Alcotest.fail "expected skip when the group is absent");
+  (* missing domains diagnostic: must skip rather than trust the numbers *)
+  let j =
+    Jsonx.parse
+      "{\"schema\": 3, \"figures\": {\"par:heat48\": {\
+       \"s1\": {\"median_s\": 1.0, \"min_s\": 1.0, \"n\": 5}, \
+       \"s4\": {\"median_s\": 0.5, \"min_s\": 0.5, \"n\": 5}}}}"
+  in
+  match scaling (Gate.cases_of_json j) with
+  | Gate.Scaling_skipped _ -> ()
+  | _ -> Alcotest.fail "expected skip without a domains diagnostic"
+
 let schema2_fallbacks () =
   (* no "n"/"min_s": count and min come from samples_s *)
   let j =
@@ -165,5 +225,13 @@ let () =
           Alcotest.test_case "diag waiver suppresses" `Quick diag_waiver_suppresses;
           Alcotest.test_case "diag absent is silent" `Quick diag_absent_is_silent;
           Alcotest.test_case "schema-2 fallbacks" `Quick schema2_fallbacks;
+        ] );
+      ( "scaling",
+        [
+          Alcotest.test_case "ok when faster" `Quick scaling_ok_when_faster;
+          Alcotest.test_case "fails when flat" `Quick scaling_fails_when_flat;
+          Alcotest.test_case "ratio respected" `Quick scaling_ratio_respected;
+          Alcotest.test_case "skips small host" `Quick scaling_skips_small_host;
+          Alcotest.test_case "skips missing pieces" `Quick scaling_skips_missing_pieces;
         ] );
     ]

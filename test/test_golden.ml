@@ -84,6 +84,32 @@ let check_sharded path () =
       dn.Detector.validate ())
     [ 2; 4; 8 ]
 
+(* The same invariant under the real-domain executor: each shard's
+   {writer, lreader, rreader} triple on its own micropool domain, the
+   collector committing through the backpressure window.  Whatever the
+   domains' actual interleaving, the race set must still equal the
+   shards=1 single-threaded replay at Theorem-5 (kind, prior, current)
+   granularity — detection work is partitioned by address range, so
+   scheduling can reorder discovery but never change the verdicts. *)
+let check_sharded_domains path () =
+  let t = Tracefile.load path in
+  let d1, _ = make_det "pint" in
+  let ref_sig = signature (Replay.run t d1).Replay.races in
+  List.iter
+    (fun shards ->
+      let dn, stages =
+        Option.get
+          (Systems.make_detector ~shards ~bp_rounds:Pint_detector.recommended_bp_rounds "pint")
+      in
+      let o = Replay.run ~pools:(Systems.micropools stages) t dn in
+      dn.Detector.validate ();
+      if signature o.Replay.races <> ref_sig then
+        Alcotest.failf "%s: real-domain pint shards=%d diverges from shards=1 (%d vs %d races)"
+          path shards
+          (List.length o.Replay.races)
+          (List.length ref_sig))
+    [ 2; 4 ]
+
 (* Corruption robustness: a damaged trace must always surface as a clean
    [Tracefile.Error] — never an escaping exception from the parser and
    never a silently wrong replay.  The format checks its magic and then a
@@ -159,6 +185,8 @@ let () =
         List.map (fun path -> Alcotest.test_case path `Quick (check_one path)) files );
       ( "sharded",
         List.map (fun path -> Alcotest.test_case path `Quick (check_sharded path)) files );
+      ( "sharded-domains",
+        List.map (fun path -> Alcotest.test_case path `Quick (check_sharded_domains path)) files );
       ( "corruption",
         List.map (fun path -> Alcotest.test_case path `Quick (check_corrupt path)) files );
       ( "truncation",

@@ -6,7 +6,7 @@
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let config ?(n_workers = 4) ?(stages = []) () = { Par_exec.default_config with n_workers; stages }
+let config ?(n_workers = 4) ?(pools = []) () = { Par_exec.default_config with n_workers; pools }
 
 let null_driver _ctx = Hooks.null_hooks
 
@@ -76,7 +76,7 @@ let test_pint_on_domains_race () =
   let d = Pint_detector.detector p in
   let _ =
     Par_exec.run
-      ~config:(config ~n_workers:4 ~stages:(Pint_detector.stages p) ())
+      ~config:(config ~n_workers:4 ~pools:(Pint_detector.stage_pools p) ())
       ~driver:d.Detector.driver
       (fun () ->
         let b = Fj.alloc_f 8 in
@@ -92,7 +92,7 @@ let test_pint_on_domains_clean () =
   let out = ref 0. in
   let r =
     Par_exec.run
-      ~config:(config ~n_workers:4 ~stages:(Pint_detector.stages p) ())
+      ~config:(config ~n_workers:4 ~pools:(Pint_detector.stage_pools p) ())
       ~driver:d.Detector.driver (fib_prog 13 out)
   in
   Alcotest.(check (float 0.)) "fib value" (float_of_int (fib_ref 13)) !out;
@@ -121,7 +121,7 @@ let test_pint_domains_random_equivalence () =
     let p = Pint_detector.make () in
     let d = Pint_detector.detector p in
     let _ =
-      Par_exec.run ~config:(config ~n_workers:3 ~stages:(Pint_detector.stages p) ()) ~driver:d.Detector.driver prog
+      Par_exec.run ~config:(config ~n_workers:3 ~pools:(Pint_detector.stage_pools p) ()) ~driver:d.Detector.driver prog
     in
     if Detector.races d <> [] <> expected then
       Alcotest.failf "seed %d: pint-on-domains got %b want %b" seed (Detector.races d <> [])
@@ -135,7 +135,7 @@ let test_par_heap_and_frames () =
       let d = Pint_detector.detector p in
       let _ =
         Par_exec.run
-          ~config:(config ~n_workers ~stages:(Pint_detector.stages p) ())
+          ~config:(config ~n_workers ~pools:(Pint_detector.stage_pools p) ())
           ~driver:d.Detector.driver
           (fun () ->
             for _ = 1 to 6 do

@@ -93,7 +93,7 @@ let test_par_capture_replays_like_seq () =
   let seq_live = live_seq_races "pint" (racy ~size:32 ~base:8).Workload.run in
   let d = Nodetect.make () in
   let driver, finished = Tracefile.capturing d.Detector.driver in
-  let config = { Par_exec.n_workers = 4; seed = 3; stages = [] } in
+  let config = { Par_exec.default_config with n_workers = 4; seed = 3 } in
   let res = Par_exec.run ~config ~driver (racy ~size:32 ~base:8).Workload.run in
   let trace = finished () in
   check_int "par capture covers every strand" res.Par_exec.n_strands

@@ -4,17 +4,28 @@
      bench_gate --baseline BENCH_5.json --current BENCH_smoke.json
                 [--threshold 0.25] [--min-samples 3] [--min-time 0.005]
                 [--waivers GATE_WAIVERS] [--inflate F]
+                [--require-scaling SLOW FAST] [--scaling-ratio 0.9]
+                [--min-domains 4]
 
    Compares per-case best-of-N times (see gate.ml for why min, not
    median); exits 1 if any case regressed past the threshold and is not
    waived, 0 otherwise (skipped cases never fail the gate).  --inflate
    multiplies every current sample by F before comparing — CI uses it to
-   prove the gate actually trips on a doctored 2x-slower result. *)
+   prove the gate actually trips on a doctored 2x-slower result.
+
+   --require-scaling SLOW FAST additionally asserts, within the CURRENT
+   file alone, that case FAST's best time is at most --scaling-ratio of
+   case SLOW's (e.g. par:heat48/s4 vs par:heat48/s1 — real-domain sharding
+   must buy wall clock, not just detect_span).  The assertion is skipped —
+   reported, never silently — when the FAST case's recorded "domains"
+   diagnostic says the host had fewer than --min-domains cores, since a
+   time-shared run cannot scale. *)
 
 let usage () =
   prerr_endline
     "usage: bench_gate --baseline FILE --current FILE [--threshold F] [--min-samples N]\n\
-    \       [--waivers FILE] [--inflate F]";
+    \       [--waivers FILE] [--inflate F] [--require-scaling SLOW FAST]\n\
+    \       [--scaling-ratio F] [--min-domains N]";
   exit 2
 
 let () =
@@ -24,7 +35,10 @@ let () =
   and min_samples = ref 3
   and min_time = ref 0.005
   and waiver_file = ref None
-  and inflate = ref 1.0 in
+  and inflate = ref 1.0
+  and scaling = ref None
+  and scaling_ratio = ref 0.9
+  and min_domains = ref 4 in
   let argv = Sys.argv in
   let i = ref 1 in
   let next () =
@@ -41,6 +55,12 @@ let () =
     | "--min-time" -> min_time := float_of_string (next ())
     | "--waivers" -> waiver_file := Some (next ())
     | "--inflate" -> inflate := float_of_string (next ())
+    | "--require-scaling" ->
+        let slow = next () in
+        let fast = next () in
+        scaling := Some (slow, fast)
+    | "--scaling-ratio" -> scaling_ratio := float_of_string (next ())
+    | "--min-domains" -> min_domains := int_of_string (next ())
     | _ -> usage ());
     incr i
   done;
@@ -66,10 +86,24 @@ let () =
       ~waivers ~baseline:base_cases ~current:cur_cases ()
   in
   List.iter (Gate.pp_verdict stdout) verdicts;
-  match Gate.regressions verdicts with
-  | [] ->
+  (* --inflate doctors wall clocks only, so it must not break the scaling
+     ratio: the check reads the undoctored current file *)
+  let scaling_failed =
+    match !scaling with
+    | None -> false
+    | Some (slow, fast) ->
+        let v =
+          Gate.check_scaling ~max_ratio:!scaling_ratio ~min_domains:!min_domains ~slow ~fast
+            (Gate.cases_of_file current_path)
+        in
+        Gate.pp_scaling stdout v;
+        (match v with Gate.Scaling_failed _ -> true | _ -> false)
+  in
+  match (Gate.regressions verdicts, scaling_failed) with
+  | [], false ->
       print_endline "bench_gate: PASS";
       exit 0
-  | rs ->
-      Printf.printf "bench_gate: FAIL (%d unwaived regression(s))\n" (List.length rs);
+  | rs, sf ->
+      Printf.printf "bench_gate: FAIL (%d unwaived regression(s)%s)\n" (List.length rs)
+        (if sf then ", scaling assertion failed" else "");
       exit 1

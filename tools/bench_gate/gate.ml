@@ -184,6 +184,63 @@ let compare_cases ?(threshold = 0.25) ?(min_samples = 3) ?(min_time = 0.005)
 let regressions verdicts =
   List.filter_map (function Regressed _ as r -> Some r | _ -> None) verdicts
 
+(* -- real-domain scaling -------------------------------------------------- *)
+
+(* The wall-clock scaling assertion for the real-domain shard sweep: the
+   fast configuration's best sample must beat the slow configuration's by
+   the given factor — e.g. par:heat48/s4 at <= 0.9 x par:heat48/s1.  Unlike
+   the regression test this compares two cases of the SAME file (the fresh
+   run), so it asserts a property of the code on this host rather than a
+   trajectory across commits.  It only fires when the current file's
+   recorded "domains" diagnostic says the host actually had [min_domains]
+   cores: with fewer cores the shard micropools time-share and the fast
+   case can only tie, so the check degrades to a skip (never a pass by
+   accident — the skip is reported). *)
+type scaling_verdict =
+  | Scaling_ok of { slow : string; fast : string; slow_s : float; fast_s : float; ratio : float }
+  | Scaling_failed of { slow : string; fast : string; slow_s : float; fast_s : float; ratio : float }
+  | Scaling_skipped of { slow : string; fast : string; why : string }
+
+let check_scaling ?(max_ratio = 0.9) ?(min_domains = 4) ~slow:slow_key ~fast:fast_key cases =
+  let find k = List.find_opt (fun c -> key c = k) cases in
+  match (find slow_key, find fast_key) with
+  | None, _ -> Scaling_skipped { slow = slow_key; fast = fast_key; why = slow_key ^ " not in file" }
+  | _, None -> Scaling_skipped { slow = slow_key; fast = fast_key; why = fast_key ^ " not in file" }
+  | Some slow, Some fast -> (
+      match List.assoc_opt "domains" fast.diags with
+      | None ->
+          Scaling_skipped
+            { slow = slow_key; fast = fast_key; why = "no \"domains\" diagnostic recorded" }
+      | Some d when d < float_of_int min_domains ->
+          Scaling_skipped
+            {
+              slow = slow_key;
+              fast = fast_key;
+              why = Printf.sprintf "host had %.0f domain(s), need %d for real scaling" d min_domains;
+            }
+      | Some _ ->
+          if slow.min_s <= 0. then
+            Scaling_skipped { slow = slow_key; fast = fast_key; why = "zero slow-case time" }
+          else begin
+            let ratio = fast.min_s /. slow.min_s in
+            if ratio <= max_ratio then
+              Scaling_ok
+                { slow = slow_key; fast = fast_key; slow_s = slow.min_s; fast_s = fast.min_s; ratio }
+            else
+              Scaling_failed
+                { slow = slow_key; fast = fast_key; slow_s = slow.min_s; fast_s = fast.min_s; ratio }
+          end)
+
+let pp_scaling out = function
+  | Scaling_ok { slow; fast; slow_s; fast_s; ratio } ->
+      Printf.fprintf out "  scaling  %s (%.4fs) vs %s (%.4fs): %.2fx — ok\n" fast fast_s slow
+        slow_s ratio
+  | Scaling_failed { slow; fast; slow_s; fast_s; ratio } ->
+      Printf.fprintf out "  SCALING  %s (%.4fs) vs %s (%.4fs): %.2fx — did not scale\n" fast
+        fast_s slow slow_s ratio
+  | Scaling_skipped { slow; fast; why } ->
+      Printf.fprintf out "  scaling  %s vs %s skipped: %s\n" fast slow why
+
 (* wall-clock keys print seconds; "#diag" keys print the raw metric *)
 let pp_value key v =
   if String.contains key '#' then Printf.sprintf "%.6g" v else Printf.sprintf "%.4fs" v

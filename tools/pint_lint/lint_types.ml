@@ -180,8 +180,21 @@ let allocating_idents =
 (* R4: never acceptable in lib/ (soundness escapes / process control). *)
 let forbidden_idents = [ "Obj.magic"; "Obj.repr"; "Obj.obj"; "Stdlib.exit" ]
 
-(* R4: banned inside [@pint.hot] bodies only (formatting machinery). *)
-let hot_forbidden_prefixes = [ "Printf."; "Format."; "Stdlib.Printf."; "Stdlib.Format." ]
+(* R4: banned inside [@pint.hot] bodies only — formatting machinery, and
+   blocking synchronization: the lock-free transfer paths (deque steal,
+   lane enqueue) are hot-marked precisely so a mutex can never creep back
+   onto them. *)
+let hot_forbidden_prefixes =
+  [
+    "Printf.";
+    "Format.";
+    "Stdlib.Printf.";
+    "Stdlib.Format.";
+    "Mutex.";
+    "Stdlib.Mutex.";
+    "Condition.";
+    "Stdlib.Condition.";
+  ]
 
 (* Mutable containers whose head constructor makes a field "mutable in
    effect" even when the field itself is immutable. *)
