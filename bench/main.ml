@@ -319,6 +319,92 @@ let par_run ~shards ~workload ~size ~base () =
   :: ("parks", float_of_int r.Par_exec.n_parks)
   :: d.Detector.diagnostics ()
 
+let median samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+(* Streaming-service soak: an in-process pint_serve daemon on a temp Unix
+   socket, M concurrent client sessions streaming the golden corpus plus a
+   seeded sim capture.  The wall clock is the whole soak; the payload
+   diagnostics are the per-session Data-frame feed latency quantiles
+   (µs, aggregated across served sessions: median of per-session p50s,
+   worst per-session p99) and the admission-reject count — the
+   over-subscribed case deliberately exceeds the daemon's session cap, so
+   its reject counter records that surplus tenants were turned away with a
+   framed error instead of degrading the admitted ones. *)
+let soak_images =
+  lazy
+    (let golden =
+       let dir = Filename.concat "test" "golden" in
+       if Sys.file_exists dir && Sys.is_directory dir then
+         Sys.readdir dir |> Array.to_list
+         |> List.filter (fun f -> Filename.check_suffix f ".trace")
+         |> List.sort compare
+         |> List.map (fun f ->
+                let ic = open_in_bin (Filename.concat dir f) in
+                let s = really_input_string ic (in_channel_length ic) in
+                close_in ic;
+                s)
+       else []
+     in
+     let sim_capture () =
+       let w = Registry.find "heat" in
+       let inst = w.Workload.make ~size:small ~base:8 in
+       let d, _ = make_det "none" in
+       let driver, finished = Tracefile.capturing d.Detector.driver in
+       let config = { Sim_exec.default_config with n_workers = 4; seed = 7 } in
+       ignore (Sim_exec.run ~config ~driver inst.Workload.run);
+       Tracefile.to_bytes (finished ())
+     in
+     golden @ [ sim_capture () ])
+
+let soak ~sessions ~max_sessions () =
+  let images = Lazy.force soak_images in
+  let config =
+    {
+      Serve_server.default_config with
+      Serve_server.max_sessions;
+      pool_workers = 2;
+      shards = 2;
+      bp_rounds = Pint_detector.recommended_bp_rounds;
+    }
+  in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pint-bench-%d.sock" (Unix.getpid ()))
+  in
+  let server = Serve_server.create ~config (Unix.ADDR_UNIX sock) in
+  let srv = Domain.spawn (fun () -> Serve_server.serve ~poll:0.005 server) in
+  let addr = Serve_server.sockaddr server in
+  let jobs =
+    List.init sessions (fun i ->
+        let bytes = List.nth images (i mod List.length images) in
+        Domain.spawn (fun () -> Serve_client.run ~chunk:4096 ~addr bytes))
+  in
+  let p50s = ref [] and p99s = ref [] and rejects = ref 0 in
+  List.iter
+    (fun d ->
+      match Domain.join d with
+      | Error _ -> incr rejects
+      | Ok r ->
+          let q key = Option.map float_of_string (List.assoc_opt key r.Serve_client.stats) in
+          Option.iter (fun v -> p50s := v :: !p50s) (q "obs.h.serve.feed_us.p50");
+          Option.iter (fun v -> p99s := v :: !p99s) (q "obs.h.serve.feed_us.p99"))
+    jobs;
+  Serve_server.stop server;
+  Domain.join srv;
+  [
+    ("sessions", float_of_int sessions);
+    ("served", float_of_int (List.length !p50s));
+    ("admission_rejects", float_of_int !rejects);
+    ("feed_us_p50", median !p50s);
+    ("feed_us_p99", List.fold_left max 0. !p99s);
+  ]
+
 (* The representative case list: one group per paper figure, mirroring the
    bechamel groups above but sized to finish in seconds so CI can smoke it. *)
 let json_cases =
@@ -383,6 +469,15 @@ let json_cases =
         ("s4", par_run ~shards:4 ~workload:"heat" ~size:small ~base:8);
         ("s8", par_run ~shards:8 ~workload:"heat" ~size:small ~base:8);
       ] );
+    (* Service soak: concurrent streaming tenants against one in-process
+       daemon.  m4 admits everyone; m8/cap4 over-subscribes a 4-session cap
+       so the admission path (framed reject, no queueing) is exercised and
+       its reject count lands in the trajectory. *)
+    ( "serve:soak",
+      [
+        ("m4", soak ~sessions:4 ~max_sessions:4);
+        ("m8/cap4", soak ~sessions:8 ~max_sessions:4);
+      ] );
   ]
 
 (* Diagnostics worth tracking release-over-release; anything absent for a
@@ -418,15 +513,12 @@ let tracked_diags =
     "steals";
     "steal_cas_failures";
     "parks";
+    "sessions";
+    "served";
+    "admission_rejects";
+    "feed_us_p50";
+    "feed_us_p99";
   ]
-
-let median samples =
-  let a = Array.of_list samples in
-  Array.sort compare a;
-  let n = Array.length a in
-  if n = 0 then 0.
-  else if n mod 2 = 1 then a.(n / 2)
-  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
 
 (* One profiled representative run (fig1's heat48/pint under the simulator,
    virtual-time clock): writes the Chrome trace next to the bench JSON and
@@ -515,7 +607,7 @@ let () =
           incr i;
           json_path := Some argv.(!i)
         end
-        else json_path := Some "BENCH_7.json"
+        else json_path := Some "BENCH_8.json"
     | "--runs" when !i + 1 < n ->
         incr i;
         runs := int_of_string argv.(!i)

@@ -1,0 +1,186 @@
+(* pint_serve — the streaming race-detection service.
+
+   Subcommands:
+     daemon    listen on a Unix or TCP socket and detect races over N
+               concurrent PINTRACE sessions (one detector per session,
+               pipeline stages on a shared micropool)
+     client    stream one trace file to a daemon and print the verdicts
+
+   Examples:
+     pint_serve daemon --socket /tmp/pint.sock --max-sessions 4 --domains 2 &
+     pint_serve client --socket /tmp/pint.sock heat.trace
+     pint_serve client --socket /tmp/pint.sock heat.trace --verify
+
+   [client --verify] replays the same trace offline through a fresh
+   detector and exits 1 unless the served race set is identical at the
+   Theorem-5 (kind, prior, current) granularity — the same comparison as
+   `pint_replay diff`.  The daemon exits 0 on SIGTERM/SIGINT after a
+   graceful shutdown (sessions aborted, frames flushed, pool joined). *)
+
+open Cmdliner
+
+let addr_of ~socket ~port ~host =
+  match (socket, port) with
+  | Some path, None -> Unix.ADDR_UNIX path
+  | None, Some p -> Unix.ADDR_INET (Unix.inet_addr_of_string host, p)
+  | Some _, Some _ ->
+      prerr_endline "pint_serve: --socket and --port are mutually exclusive";
+      exit 2
+  | None, None ->
+      prerr_endline "pint_serve: one of --socket PATH or --port N is required";
+      exit 2
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on (or connect to) a Unix-domain socket.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Listen on (or connect to) a TCP port.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"TCP address.")
+
+(* -- daemon -------------------------------------------------------------- *)
+
+let daemon_cmd =
+  let run socket port host detector max_sessions domains shards bp_rounds backlog =
+    let addr = addr_of ~socket ~port ~host in
+    let config =
+      {
+        Serve_server.default_config with
+        Serve_server.detector;
+        max_sessions;
+        pool_workers = domains;
+        shards;
+        bp_rounds;
+        backlog_high = backlog;
+      }
+    in
+    let server =
+      try Serve_server.create ~config addr
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "pint_serve: cannot listen: %s\n" (Unix.error_message e);
+        exit 2
+    in
+    let quit _ = Serve_server.stop server in
+    ignore (Sys.signal Sys.sigterm (Sys.Signal_handle quit));
+    ignore (Sys.signal Sys.sigint (Sys.Signal_handle quit));
+    ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+    (match Serve_server.sockaddr server with
+    | Unix.ADDR_UNIX path -> Printf.printf "pint_serve: listening on %s\n%!" path
+    | Unix.ADDR_INET (a, p) ->
+        Printf.printf "pint_serve: listening on %s:%d\n%!" (Unix.string_of_inet_addr a) p);
+    Serve_server.serve server;
+    List.iter (fun (k, v) -> Printf.printf "%-20s %.0f\n" k v) (Serve_server.stats server)
+  in
+  Cmd.v
+    (Cmd.info "daemon" ~doc:"Serve concurrent streaming race-detection sessions")
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg
+      $ Arg.(
+          value
+          & opt string Serve_server.default_config.Serve_server.detector
+          & info [ "d"; "detector" ] ~doc:"Detector per session (stint|cracer|pint).")
+      $ Arg.(
+          value
+          & opt int Serve_server.default_config.Serve_server.max_sessions
+          & info [ "max-sessions" ] ~doc:"Admission cap: concurrent sessions before reject.")
+      $ Arg.(
+          value
+          & opt int Serve_server.default_config.Serve_server.pool_workers
+          & info [ "domains" ] ~doc:"Shared micropool worker domains.")
+      $ Arg.(
+          value
+          & opt int Serve_server.default_config.Serve_server.shards
+          & info [ "shards" ] ~doc:"Default address-range shards per session (pint).")
+      $ Arg.(
+          value
+          & opt int Serve_server.default_config.Serve_server.bp_rounds
+          & info [ "bp-rounds" ] ~doc:"Collector backpressure window (see pint_replay).")
+      $ Arg.(
+          value
+          & opt int Serve_server.default_config.Serve_server.backlog_high
+          & info [ "backlog" ] ~doc:"Per-session strand backlog that pauses socket reads."))
+
+(* -- client -------------------------------------------------------------- *)
+
+let kind_name = Report.kind_to_string
+
+let client_cmd =
+  let run socket port host path chunk shards verify quiet =
+    let addr = addr_of ~socket ~port ~host in
+    let bytes =
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        Printf.eprintf "cannot read trace: %s\n" msg;
+        exit 2
+    in
+    match Serve_client.run ~chunk ~shards ~addr bytes with
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "pint_serve: connection failed: %s\n" (Unix.error_message e);
+        exit 2
+    | Error msg ->
+        Printf.eprintf "pint_serve: session rejected: %s\n" msg;
+        exit 3
+    | Ok r ->
+        if not quiet then begin
+          Printf.printf "%s: session %d, %d strand(s), %d race(s)\n" path r.Serve_client.session
+            r.Serve_client.n_strands r.Serve_client.n_races;
+          List.iter
+            (fun (k, p, c, (iv : Interval.t)) ->
+              Printf.printf "  %s %d -> %d @ [%d,%d]\n" (kind_name k) p c iv.Interval.lo
+                iv.Interval.hi)
+            r.Serve_client.races
+        end;
+        if verify then begin
+          let t =
+            try Tracefile.of_bytes bytes
+            with Tracefile.Error msg ->
+              Printf.eprintf "%s: corrupt trace: %s\n" path msg;
+              exit 2
+          in
+          let det, _ = Option.get (Systems.make_detector "pint") in
+          let offline =
+            List.sort_uniq compare
+              (List.map
+                 (fun (x : Report.race) -> (x.Report.kind, x.Report.prior, x.Report.current))
+                 (Replay.run t det).Replay.races)
+          in
+          let served = Serve_client.signature r.Serve_client.races in
+          if served = offline then
+            Printf.printf "%s: served race set matches offline replay (%d race(s))\n" path
+              (List.length offline)
+          else begin
+            Printf.printf "%s: served and offline race sets DIVERGE (%d vs %d)\n" path
+              (List.length served) (List.length offline);
+            exit 1
+          end
+        end
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Stream a trace file to a daemon and print its races")
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+      $ Arg.(
+          value
+          & opt int Serve_client.default_chunk
+          & info [ "chunk" ] ~doc:"Transport chunk size in bytes.")
+      $ Arg.(value & opt int 0 & info [ "shards" ] ~doc:"Request a shard count (0 = server default).")
+      $ Arg.(
+          value & flag
+          & info [ "verify" ] ~doc:"Replay offline too and fail on any Theorem-5 divergence.")
+      $ Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-race output."))
+
+let () =
+  let info = Cmd.info "pint_serve" ~doc:"Streaming multi-tenant race-detection service" in
+  exit (Cmd.eval (Cmd.group info [ daemon_cmd; client_cmd ]))

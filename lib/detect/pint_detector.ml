@@ -151,13 +151,8 @@ let dummy_lane_rec =
     (let _, root = Sp_order.create () in
      { u = Srec.make ~uid:(-1) root; s_reads = [||]; s_writes = [||] })
 
-let make ?(seed = 4242) ?(queue_capacity = 4096) ?shards ?reader_shards
+let make ?(seed = 4242) ?(queue_capacity = 4096) ?(shards = 1)
     ?(batch = Ahq.default_batch) () =
-  (* [reader_shards] is the deprecated spelling from the readers-only
-     sharding era; [shards] wins when both are given *)
-  let shards =
-    match (shards, reader_shards) with Some s, _ -> s | None, Some s -> s | None, None -> 1
-  in
   if shards < 1 then invalid_arg "Pint_detector.make: shards must be >= 1";
   if batch < 1 then invalid_arg "Pint_detector.make: batch must be >= 1";
   {

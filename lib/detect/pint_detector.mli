@@ -44,15 +44,15 @@
 
 type t
 
-(** [make ?seed ?queue_capacity ?shards ?reader_shards ?batch ()].
+(** [make ?seed ?queue_capacity ?shards ?batch ()].
 
     [shards] (default 1, the paper's three-treap-worker configuration)
     selects the address-range shard count: each shard owns the
     {!Lanes.shard_block}-word blocks congruent to it and runs a private
     {writer, lreader, rreader} treap triple off a private AHQ lane; every
     treap stays sequential, so correctness needs no concurrent treap.
-    [reader_shards] is a deprecated alias from the readers-only sharding
-    era ([shards] wins when both are given).
+    (The readers-only-era [?reader_shards] alias was removed; [?shards]
+    is the one spelling.)
 
     [batch] bounds how many lane records a consuming treap worker takes
     per step (default {!Ahq.default_batch}), amortizing cursor updates and
@@ -61,7 +61,6 @@ val make :
   ?seed:int ->
   ?queue_capacity:int ->
   ?shards:int ->
-  ?reader_shards:int ->
   ?batch:int ->
   unit ->
   t

@@ -93,3 +93,163 @@ let parks t = Array.fold_left (fun acc p -> acc + p.p_parks) 0 t.pools
 (* Every stage its own pool: the degenerate grouping for stage lists with
    no shard structure (non-PINT detectors, ad-hoc stages). *)
 let singletons stages = List.map (fun s -> [ s ]) stages
+
+(* ------------------------------------------------------------- shared pool *)
+
+(* A shared pool generalizes [spawn]/[join] from one-shot to multi-tenant:
+   K long-lived worker domains serve stage groups that arrive while the
+   pool runs (pint_serve sessions).  The pinning discipline is unchanged —
+   a submitted group is assigned to exactly one worker domain and never
+   migrates, so every single-owner invariant the stages carry still sees
+   one writing domain for its whole lifetime.  Only the handoff is
+   synchronized: a submission enqueues under the worker's mutex, and the
+   worker adopts pending groups into its private active set.  Completion
+   flows back through one atomic per slot. *)
+
+type slot = {
+  sl_stages : Stage.t array;
+  sl_finished : bool array; (* adopting worker's private done flags *)
+  mutable sl_remaining : int;
+  sl_done : bool Atomic.t; (* set by the worker when the last stage is Done *)
+}
+
+type worker = {
+  w_id : int;
+  w_lock : Mutex.t;
+  mutable w_incoming : slot list; (* guarded by [w_lock] *)
+  w_pending : int Atomic.t; (* |w_incoming|, checked without the lock *)
+  w_load : int Atomic.t; (* slots assigned and not yet retired *)
+  mutable w_active : slot list; (* worker-domain private *)
+  w_ring : Evring.t;
+  mutable w_parks : int;
+}
+
+type shared = {
+  sh_workers : worker array;
+  sh_domains : unit Domain.t array;
+  sh_stop : bool Atomic.t;
+  sh_rr : int Atomic.t; (* submission tie-break cursor *)
+}
+
+type lease = slot list
+
+let adopt w =
+  if Atomic.get w.w_pending > 0 then begin
+    Mutex.lock w.w_lock;
+    let incoming = w.w_incoming in
+    w.w_incoming <- [];
+    Atomic.set w.w_pending 0;
+    Mutex.unlock w.w_lock;
+    (* preserve arrival order for fairness; incoming is push-front *)
+    w.w_active <- w.w_active @ List.rev incoming
+  end
+
+let step_slot sl progressed =
+  let n = Array.length sl.sl_stages in
+  for i = 0 to n - 1 do
+    if not sl.sl_finished.(i) then begin
+      let st = Stage.exec sl.sl_stages.(i) in
+      if Step.is_done st then begin
+        sl.sl_finished.(i) <- true;
+        sl.sl_remaining <- sl.sl_remaining - 1
+      end
+      else if Step.progressed st then progressed := true
+    end
+  done
+
+let run_worker stop w =
+  let idle_rounds = ref 0 in
+  let running = ref true in
+  while !running do
+    adopt w;
+    let progressed = ref false in
+    List.iter (fun sl -> step_slot sl progressed) w.w_active;
+    let before = List.length w.w_active in
+    w.w_active <-
+      List.filter
+        (fun sl ->
+          if sl.sl_remaining = 0 then begin
+            Atomic.set sl.sl_done true;
+            Atomic.decr w.w_load;
+            false
+          end
+          else true)
+        w.w_active;
+    if List.length w.w_active < before then progressed := true;
+    if w.w_active = [] && Atomic.get w.w_pending = 0 && Atomic.get stop then running := false
+    else if !progressed then idle_rounds := 0
+    else begin
+      incr idle_rounds;
+      if !idle_rounds = Backoff.yield_round then begin
+        w.w_parks <- w.w_parks + 1;
+        Evring.emit w.w_ring ~kind:park_kind ~arg:w.w_id
+      end;
+      Backoff.relax !idle_rounds
+    end
+  done
+
+let shared ?(rings = [||]) k =
+  if k < 1 then invalid_arg "Micropool.shared: need at least one worker";
+  let workers =
+    Array.init k (fun i ->
+        {
+          w_id = i;
+          w_lock = Mutex.create ();
+          w_incoming = [];
+          w_pending = Atomic.make 0;
+          w_load = Atomic.make 0;
+          w_active = [];
+          w_ring = (if i < Array.length rings then rings.(i) else Evring.null);
+          w_parks = 0;
+        })
+  in
+  let stop = Atomic.make false in
+  let domains = Array.map (fun w -> Domain.spawn (fun () -> run_worker stop w)) workers in
+  { sh_workers = workers; sh_domains = domains; sh_stop = stop; sh_rr = Atomic.make 0 }
+
+let submit sh (groups : Stage.t list list) : lease =
+  if Atomic.get sh.sh_stop then invalid_arg "Micropool.submit: pool is shutting down";
+  List.map
+    (fun g ->
+      let stages = Array.of_list g in
+      let sl =
+        {
+          sl_stages = stages;
+          sl_finished = Array.make (Array.length stages) false;
+          sl_remaining = Array.length stages;
+          sl_done = Atomic.make false;
+        }
+      in
+      (* least-loaded worker; round-robin cursor breaks ties so equal-load
+         workers share admission evenly *)
+      let k = Array.length sh.sh_workers in
+      let start = Atomic.fetch_and_add sh.sh_rr 1 mod k in
+      let best = ref sh.sh_workers.(start) in
+      for i = 1 to k - 1 do
+        let w = sh.sh_workers.((start + i) mod k) in
+        if Atomic.get w.w_load < Atomic.get !best.w_load then best := w
+      done;
+      let w = !best in
+      Atomic.incr w.w_load;
+      Mutex.lock w.w_lock;
+      w.w_incoming <- sl :: w.w_incoming;
+      Atomic.incr w.w_pending;
+      Mutex.unlock w.w_lock;
+      sl)
+    groups
+
+let lease_done (l : lease) = List.for_all (fun sl -> Atomic.get sl.sl_done) l
+
+let await l =
+  let r = ref 0 in
+  while not (lease_done l) do
+    incr r;
+    Backoff.relax !r
+  done
+
+let shutdown sh =
+  Atomic.set sh.sh_stop true;
+  Array.iter Domain.join sh.sh_domains
+
+let shared_parks sh = Array.fold_left (fun acc w -> acc + w.w_parks) 0 sh.sh_workers
+let n_shared_workers sh = Array.length sh.sh_workers

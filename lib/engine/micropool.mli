@@ -24,3 +24,45 @@ val parks : t -> int
 
 (** The degenerate grouping: every stage is its own pool. *)
 val singletons : Stage.t list -> Stage.t list list
+
+(** {2 Shared pools}
+
+    Multi-tenant variant for long-lived services (pint_serve): [k] worker
+    domains outlive any one detector, and stage groups are submitted while
+    the pool runs.  A submitted group is assigned to exactly one worker
+    and never migrates — the same pinning discipline as {!spawn}, so every
+    single-owner invariant still sees one writing domain — and each worker
+    round-robins all the groups currently assigned to it.  See DESIGN.md
+    §14. *)
+
+type shared
+
+(** A submission handle: the stage groups of one tenant. *)
+type lease
+
+(** [shared ?rings k] spawns [k] long-lived worker domains.  [rings.(i)]
+    is worker [i]'s obs track for park events. *)
+val shared : ?rings:Evring.t array -> int -> shared
+
+(** [submit sh groups] assigns each group to the least-loaded worker.
+    The groups' stages must not be driven by anyone else from this point;
+    they run until each reports [`Done] (for a detector: after its run's
+    [on_done] has fired and its lanes drained).
+    @raise Invalid_argument after {!shutdown} has begun. *)
+val submit : shared -> Stage.t list list -> lease
+
+(** True once every stage of the lease has reported [`Done]. *)
+val lease_done : lease -> bool
+
+(** Spin (with {!Backoff}) until {!lease_done}. *)
+val await : lease -> unit
+
+(** Stop and join every worker.  All outstanding leases must be able to
+    finish (sessions ended or aborted): workers exit only when their
+    assigned groups are done. *)
+val shutdown : shared -> unit
+
+(** Park episodes summed over shared workers (idle diagnostics). *)
+val shared_parks : shared -> int
+
+val n_shared_workers : shared -> int

@@ -95,6 +95,7 @@ let summary t =
             (key "n", float_of_int (Histo.count h));
             (key "p50", float_of_int (Histo.quantile h 0.5));
             (key "p90", float_of_int (Histo.quantile h 0.9));
+            (key "p99", float_of_int (Histo.quantile h 0.99));
             (key "max", float_of_int (Histo.max_value h));
           ])
         t.histos

@@ -41,7 +41,7 @@ val events : t -> int
 val dropped : t -> int
 
 (** Aggregate metrics — track/event/drop totals, AHQ occupancy stats over
-    the retained window, and n/p50/p90/max per histogram — as
+    the retained window, and n/p50/p90/p99/max per histogram — as
     [("obs.…", value)] pairs, mergeable into bench [--json] output. *)
 val summary : t -> (string * float) list
 

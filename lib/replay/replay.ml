@@ -19,6 +19,38 @@ type outcome = {
    strand's position in the order maintenance structure. *)
 type block = { mutable b_sp : Sp_order.strand; b_rec : Srec.t; b_uid : int }
 
+(* Push one strand's recorded effects through the detector: accesses go
+   through the sink (so sink-level detectors and coalescers see the run),
+   ledgers and executor-side fields are restored on the record directly.
+   The record's interval sets are pre-filled too — detectors that coalesce
+   in their own sink will overwrite them with identical arrays, detectors
+   that don't (the baseline) still leave a fully-populated record. *)
+let push_effects ~aspace ~(sink : Access.sink) (e : Tracefile.entry) (r : Srec.t) =
+  Array.iter
+    (fun (iv : Interval.t) ->
+      sink.Access.on_read ~addr:iv.Interval.lo ~len:(iv.Interval.hi - iv.Interval.lo + 1))
+    e.Tracefile.reads;
+  Array.iter
+    (fun (iv : Interval.t) ->
+      sink.Access.on_write ~addr:iv.Interval.lo ~len:(iv.Interval.hi - iv.Interval.lo + 1))
+    e.Tracefile.writes;
+  if e.Tracefile.compute > 0 then sink.Access.on_compute ~amount:e.Tracefile.compute;
+  List.iter
+    (fun (b, l) ->
+      (* make the recorded free replayable on this (fresh) address space *)
+      Aspace.reserve aspace ~base:b ~len:l;
+      sink.Access.on_free ~base:b ~len:l)
+    e.Tracefile.frees;
+  r.Srec.reads <- e.Tracefile.reads;
+  r.Srec.writes <- e.Tracefile.writes;
+  r.Srec.raw_reads <- e.Tracefile.raw_reads;
+  r.Srec.raw_writes <- e.Tracefile.raw_writes;
+  r.Srec.work <- e.Tracefile.work;
+  r.Srec.compute <- e.Tracefile.compute;
+  r.Srec.clears <- e.Tracefile.clears;
+  r.Srec.finished_at <- e.Tracefile.finished_at;
+  r.Srec.cost <- e.Tracefile.cost
+
 let drive ?aspace (tf : Tracefile.t) (driver : Hooks.driver) =
   let aspace = match aspace with Some a -> a | None -> Aspace.create () in
   let by_uid = Hashtbl.create (max 16 (Tracefile.entry_count tf)) in
@@ -39,38 +71,7 @@ let drive ?aspace (tf : Tracefile.t) (driver : Hooks.driver) =
   let ctx = { Hooks.aspace; sp; n_workers = 1; current = (fun ~wid:_ -> !cur) } in
   let hooks = driver ctx in
   let sink = hooks.Hooks.sink ~wid:0 in
-  (* Push one strand's recorded effects through the detector: accesses go
-     through the sink (so sink-level detectors and coalescers see the run),
-     ledgers and executor-side fields are restored on the record directly.
-     The record's interval sets are pre-filled too — detectors that coalesce
-     in their own sink will overwrite them with identical arrays, detectors
-     that don't (the baseline) still leave a fully-populated record. *)
-  let feed (e : Tracefile.entry) (r : Srec.t) =
-    Array.iter
-      (fun (iv : Interval.t) ->
-        sink.Access.on_read ~addr:iv.Interval.lo ~len:(iv.Interval.hi - iv.Interval.lo + 1))
-      e.Tracefile.reads;
-    Array.iter
-      (fun (iv : Interval.t) ->
-        sink.Access.on_write ~addr:iv.Interval.lo ~len:(iv.Interval.hi - iv.Interval.lo + 1))
-      e.Tracefile.writes;
-    if e.Tracefile.compute > 0 then sink.Access.on_compute ~amount:e.Tracefile.compute;
-    List.iter
-      (fun (b, l) ->
-        (* make the recorded free replayable on this (fresh) address space *)
-        Aspace.reserve aspace ~base:b ~len:l;
-        sink.Access.on_free ~base:b ~len:l)
-      e.Tracefile.frees;
-    r.Srec.reads <- e.Tracefile.reads;
-    r.Srec.writes <- e.Tracefile.writes;
-    r.Srec.raw_reads <- e.Tracefile.raw_reads;
-    r.Srec.raw_writes <- e.Tracefile.raw_writes;
-    r.Srec.work <- e.Tracefile.work;
-    r.Srec.compute <- e.Tracefile.compute;
-    r.Srec.clears <- e.Tracefile.clears;
-    r.Srec.finished_at <- e.Tracefile.finished_at;
-    r.Srec.cost <- e.Tracefile.cost
-  in
+  let feed e r = push_effects ~aspace ~sink e r in
   (* Canonical depth-first walk.  [chain] replays the strand [e] as record
      [r], then follows the recorded DAG: a spawn recurses into the child
      scope and tail-continues with the continuation; a sync pass
@@ -171,6 +172,272 @@ let run ?aspace ?(wrap = fun d -> d) ?pools tf (d : Detector.t) =
     races = Report.races d.Detector.report;
     diagnostics = d.Detector.diagnostics ();
   }
+
+(* ---------------------------------------------------------------- sessions *)
+
+(* Push-driven replay: the same canonical depth-first walk as [drive], but
+   defunctionalized so it can suspend whenever the next strand's entry has
+   not arrived yet.  [drive]'s recursion encodes "what to replay next" in
+   the call stack; here it is an explicit stack of pending strands — a
+   spawn pushes its continuation and then its child (child on top = DFS),
+   a sync pushes the block's sync strand.  The walk advances exactly while
+   the top-of-stack uid is decodable, so a serially-captured trace (entries
+   in finish order = DFS order) replays with O(1) strands buffered, and a
+   parallel capture buffers only its schedule skew.
+
+   Replay-side uid assignment follows [drive]'s [fresh] order exactly
+   (cont, then sync, then child, then the child subtree), so a session
+   yields race sets bit-identical to the offline replay at the Theorem-5
+   (kind, prior, current) granularity — not merely equivalent. *)
+module Session = struct
+  type pend = {
+    p_uid : int; (* trace uid of the entry this strand replays *)
+    p_rec : Srec.t;
+    p_start : Events.start_kind;
+    p_blocks : block list ref; (* shared along a chain, fresh per child *)
+    p_parent_sync : Srec.t option;
+  }
+
+  type t = {
+    s_det : Detector.t;
+    s_dec : Tracefile.Decoder.t;
+    s_aspace : Aspace.t;
+    s_hooks : Hooks.t;
+    s_sink : Access.sink;
+    s_sp : Sp_order.t;
+    s_cur : Srec.t ref;
+    s_next_uid : int ref;
+    s_root_rec : Srec.t;
+    s_by_uid : (int, Tracefile.entry) Hashtbl.t; (* arrived, not yet replayed *)
+    s_seen : (Report.kind * int * int, unit) Hashtbl.t; (* races already returned *)
+    mutable s_stack : pend list; (* DFS work stack; hd is next *)
+    mutable s_started : bool; (* root entry arrived *)
+    mutable s_visited : int; (* strands replayed *)
+    mutable s_done : bool; (* on_done fired (eof or abort) *)
+  }
+
+  let create ?aspace ?(wrap = fun d -> d) ?max_pending (det : Detector.t) =
+    let aspace = match aspace with Some a -> a | None -> Aspace.create () in
+    let sp, root_sp = Sp_order.create () in
+    let next_uid = ref 0 in
+    incr next_uid;
+    let root_rec = Srec.make ~uid:!next_uid root_sp in
+    let cur = ref root_rec in
+    let ctx = { Hooks.aspace; sp; n_workers = 1; current = (fun ~wid:_ -> !cur) } in
+    (* hooks are created eagerly: a caller sharing pool domains may submit
+       the detector's stages right after [create], which requires the
+       driver's run to be set up — the same ordering [run ?pools] gets from
+       its driver wrapper. *)
+    let hooks = (wrap det.Detector.driver) ctx in
+    {
+      s_det = det;
+      s_dec = Tracefile.Decoder.create ?max_pending ();
+      s_aspace = aspace;
+      s_hooks = hooks;
+      s_sink = hooks.Hooks.sink ~wid:0;
+      s_sp = sp;
+      s_cur = cur;
+      s_next_uid = next_uid;
+      s_root_rec = root_rec;
+      s_by_uid = Hashtbl.create 256;
+      s_seen = Hashtbl.create 64;
+      s_stack = [];
+      s_started = false;
+      s_visited = 0;
+      s_done = false;
+    }
+
+  let fresh t s =
+    incr t.s_next_uid;
+    Srec.make ~uid:!(t.s_next_uid) s
+
+  (* The body of [drive]'s [chain], minus the recursion. *)
+  let exec_strand t (p : pend) (e : Tracefile.entry) =
+    let r = p.p_rec in
+    t.s_cur := r;
+    t.s_hooks.Hooks.on_start ~wid:0 r p.p_start;
+    push_effects ~aspace:t.s_aspace ~sink:t.s_sink e r;
+    t.s_visited <- t.s_visited + 1;
+    match e.Tracefile.finish with
+    | Tracefile.Spawn { cont; sync; child; first } ->
+        let blocks = p.p_blocks in
+        let sync_pre, open_block =
+          if first then (None, None)
+          else
+            match !blocks with
+            | top :: _ ->
+                if top.b_uid <> sync then
+                  corrupt "strand %d: spawn links sync %d but the open block's sync is %d"
+                    e.Tracefile.uid sync top.b_uid;
+                (Some top.b_sp, Some top)
+            | [] -> corrupt "strand %d: non-first spawn with no open sync block" e.Tracefile.uid
+        in
+        let child_sp, cont_sp, sync_sp = Sp_order.spawn t.s_sp ~sync_pre r.Srec.sp in
+        let cont_rec = fresh t cont_sp in
+        let sync_rec =
+          match open_block with
+          | Some b ->
+              b.b_sp <- sync_sp;
+              b.b_rec
+          | None ->
+              let sr = fresh t sync_sp in
+              blocks := { b_sp = sync_sp; b_rec = sr; b_uid = sync } :: !blocks;
+              sr
+        in
+        Book.at_spawn ~u:r ~cont:cont_rec ~sync:sync_rec ~first;
+        t.s_hooks.Hooks.on_finish ~wid:0 r
+          (Events.F_spawn { cont = cont_rec; sync = sync_rec; first_of_block = first });
+        let child_rec = fresh t child_sp in
+        t.s_stack <-
+          {
+            p_uid = child;
+            p_rec = child_rec;
+            p_start = Events.S_child;
+            p_blocks = ref [];
+            p_parent_sync = Some sync_rec;
+          }
+          :: {
+               p_uid = cont;
+               p_rec = cont_rec;
+               p_start = Events.S_cont { stolen = false };
+               p_blocks = blocks;
+               p_parent_sync = p.p_parent_sync;
+             }
+          :: t.s_stack
+    | Tracefile.Sync { trivial = _; sync } ->
+        let top, rest =
+          match !(p.p_blocks) with
+          | top :: rest -> (top, rest)
+          | [] -> corrupt "strand %d: sync finish with no open sync block" e.Tracefile.uid
+        in
+        if top.b_uid <> sync then
+          corrupt "strand %d: sync finish links sync %d but the open block's sync is %d"
+            e.Tracefile.uid sync top.b_uid;
+        t.s_hooks.Hooks.on_finish ~wid:0 r (Events.F_sync { trivial = true; sync = top.b_rec });
+        p.p_blocks := rest;
+        t.s_stack <-
+          {
+            p_uid = sync;
+            p_rec = top.b_rec;
+            p_start = Events.S_after_sync { trivial = true };
+            p_blocks = p.p_blocks;
+            p_parent_sync = p.p_parent_sync;
+          }
+          :: t.s_stack
+    | Tracefile.Return _ ->
+        if !(p.p_blocks) <> [] then
+          corrupt "strand %d: return with %d open sync block(s)" e.Tracefile.uid
+            (List.length !(p.p_blocks));
+        t.s_hooks.Hooks.on_finish ~wid:0 r
+          (Events.F_return { cont_stolen = false; parent_sync = p.p_parent_sync })
+    | Tracefile.Root ->
+        if !(p.p_blocks) <> [] then
+          corrupt "strand %d: root finish with %d open sync block(s)" e.Tracefile.uid
+            (List.length !(p.p_blocks));
+        t.s_hooks.Hooks.on_finish ~wid:0 r Events.F_root
+
+  (* Replay as far as the arrived entries allow. *)
+  let advance t =
+    let rec go () =
+      match t.s_stack with
+      | p :: rest -> (
+          match Hashtbl.find_opt t.s_by_uid p.p_uid with
+          | Some e ->
+              Hashtbl.remove t.s_by_uid p.p_uid;
+              t.s_stack <- rest;
+              exec_strand t p e;
+              go ()
+          | None -> ())
+      | [] -> ()
+    in
+    go ()
+
+  (* Races reported since the last call, at Theorem-5 key granularity.
+     [Report.races] is safe to poll while pool domains are still adding. *)
+  let new_races t =
+    List.filter
+      (fun (r : Report.race) ->
+        let k = (r.Report.kind, r.Report.prior, r.Report.current) in
+        if Hashtbl.mem t.s_seen k then false
+        else begin
+          Hashtbl.replace t.s_seen k ();
+          true
+        end)
+      (Report.races t.s_det.Detector.report)
+
+  let drain_decoded t =
+    let rec go () =
+      match Tracefile.Decoder.next t.s_dec with
+      | None -> ()
+      | Some e ->
+          if e.Tracefile.start = Events.S_root then begin
+            if t.s_started then corrupt "trace has more than one root strand";
+            t.s_started <- true;
+            t.s_stack <-
+              {
+                p_uid = e.Tracefile.uid;
+                p_rec = t.s_root_rec;
+                p_start = Events.S_root;
+                p_blocks = ref [];
+                p_parent_sync = None;
+              }
+              :: t.s_stack
+          end;
+          Hashtbl.replace t.s_by_uid e.Tracefile.uid e;
+          go ()
+    in
+    go ()
+
+  let feed t ?pos ?len chunk =
+    if t.s_done then invalid_arg "Replay.Session.feed: session already finished";
+    Tracefile.Decoder.feed t.s_dec ?pos ?len chunk;
+    drain_decoded t;
+    advance t;
+    new_races t
+
+  let eof t =
+    if t.s_done then invalid_arg "Replay.Session.eof: session already finished";
+    Tracefile.Decoder.finish t.s_dec;
+    drain_decoded t;
+    advance t;
+    (match t.s_stack with
+    | p :: _ -> corrupt "trace links to unknown strand uid %d" p.p_uid
+    | [] -> ());
+    if not t.s_started then corrupt "trace has no root strand";
+    let expected =
+      match Tracefile.Decoder.entries_expected t.s_dec with Some n -> n | None -> 0
+    in
+    if t.s_visited <> expected then
+      corrupt "replay visited %d strands but the trace holds %d" t.s_visited expected;
+    if Hashtbl.length t.s_by_uid <> 0 then
+      corrupt "trace holds %d strand(s) unreachable from the root" (Hashtbl.length t.s_by_uid);
+    t.s_done <- true;
+    t.s_hooks.Hooks.on_done ();
+    new_races t
+
+  (* Terminate a failed session's run so pipeline stages still reach
+     [`Done] and shared pool domains are not wedged on a dead tenant. *)
+  let abort t =
+    if not t.s_done then begin
+      t.s_done <- true;
+      t.s_hooks.Hooks.on_done ()
+    end
+
+  let poll_races t = new_races t
+  let finished t = t.s_done
+  let fed_strands t = t.s_visited
+  let fed_bytes t = Tracefile.Decoder.fed_bytes t.s_dec
+  let meta t = Option.map snd (Tracefile.Decoder.header t.s_dec)
+
+  let outcome t =
+    if not t.s_done then invalid_arg "Replay.Session.outcome: session still streaming";
+    {
+      detector = t.s_det.Detector.name;
+      n_strands = t.s_visited;
+      races = Report.races t.s_det.Detector.report;
+      diagnostics = t.s_det.Detector.diagnostics ();
+    }
+end
 
 (* ------------------------------------------------------------ differential *)
 

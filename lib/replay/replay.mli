@@ -62,6 +62,81 @@ val run :
   Detector.t ->
   outcome
 
+(** {2 Streaming sessions} *)
+
+(** Push-driven replay over an incremental PINTRACE byte stream.
+
+    A session owns one fresh detector and one {!Tracefile.Decoder}: callers
+    {!Session.feed} socket-sized chunks as they arrive, and the session
+    replays every strand whose entry (and whose DFS predecessors) have
+    decoded — the same canonical serial-elision walk as {!run}, suspended
+    wherever the stream is still short.  Race sets are bit-identical to the
+    offline replay of the completed file at the Theorem-5 (kind, prior,
+    current) granularity, because replay-side uid assignment follows the
+    exact same depth-first order.
+
+    Like {!run}'s [pools] mode, the detector's pipeline stages may run on
+    real domains concurrently with the feed: create the session first (the
+    detector's run is set up eagerly), then hand its stages to a
+    {!Micropool}. *)
+module Session : sig
+  type t
+
+  (** [create ?aspace ?wrap ?max_pending det] — a session at stream start.
+      [det] must be fresh; [wrap] (default identity) wraps its driver, e.g.
+      {!Obs_hooks.instrument}; [max_pending] bounds the decoder (see
+      {!Tracefile.Decoder.create}). *)
+  val create :
+    ?aspace:Aspace.t ->
+    ?wrap:(Hooks.driver -> Hooks.driver) ->
+    ?max_pending:int ->
+    Detector.t ->
+    t
+
+  (** [feed t chunk] — decode, replay as far as possible, and return the
+      races newly reported since the last call (Theorem-5 keys, so a pair
+      is returned once even if re-witnessed).
+      @raise Tracefile.Error on a malformed stream.
+      @raise Corrupt on inconsistent DAG links.
+      @raise Invalid_argument after {!eof} or {!abort}. *)
+  val feed : t -> ?pos:int -> ?len:int -> string -> Report.race list
+
+  (** Declare end-of-stream: verifies the decoder consumed a complete,
+      CRC-clean file, that every strand was replayed, and fires the
+      detector's [on_done] (letting pipeline stages reach [`Done]).
+      Returns the final batch of new races.
+      @raise Tracefile.Error if the stream was truncated.
+      @raise Corrupt if strands were missing, duplicated or unreachable. *)
+  val eof : t -> Report.race list
+
+  (** Races newly reported since the last {!feed}/{!eof}/{!poll_races} —
+      with the pipeline on real pool domains, detection continues between
+      and after feeds, so poll to stream late discoveries (and after the
+      final drain, to flush the tail). *)
+  val poll_races : t -> Report.race list
+
+  (** Terminate a failed session: fires [on_done] (once) regardless of
+      stream state, so shared pool domains driving this detector's stages
+      are never wedged on a dead tenant.  Idempotent. *)
+  val abort : t -> unit
+
+  (** True after {!eof} or {!abort}. *)
+  val finished : t -> bool
+
+  (** Strands replayed so far — compare against the detector's
+      ["collected"] diagnostic to estimate pipeline backlog. *)
+  val fed_strands : t -> int
+
+  val fed_bytes : t -> int
+
+  (** Trace metadata, once the stream header has decoded. *)
+  val meta : t -> (string * string) list option
+
+  (** Final summary; call after {!eof} (and, with real pools, after the
+      pool has joined and the detector drained). *)
+  val outcome : t -> outcome
+end
+
 (** {2 Differential detection} *)
 
 (** Races present in exactly one of two outcomes, compared at the Theorem-5

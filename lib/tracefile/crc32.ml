@@ -12,15 +12,26 @@ let table =
          done;
          !c))
 
-let digest_sub s ~pos ~len =
+(* The running state is the pre-inverted register: [init] is all-ones,
+   [update] folds bytes in, [finalize] applies the output inversion.  Kept
+   as three functions so the trace decoder can checksum a body it only
+   ever sees in chunks. *)
+
+let init = 0xFFFFFFFFl
+
+let update crc s ~pos ~len =
   if pos < 0 || len < 0 || pos + len > String.length s then
-    invalid_arg "Crc32.digest_sub: bad range";
+    invalid_arg "Crc32.update: bad range";
   let t = Lazy.force table in
-  let crc = ref 0xFFFFFFFFl in
+  let crc = ref crc in
   for i = pos to pos + len - 1 do
     let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code s.[i]))) 0xFFl) in
     crc := Int32.logxor t.(idx) (Int32.shift_right_logical !crc 8)
   done;
-  Int32.logxor !crc 0xFFFFFFFFl
+  !crc
+
+let finalize crc = Int32.logxor crc 0xFFFFFFFFl
+
+let digest_sub s ~pos ~len = finalize (update init s ~pos ~len)
 
 let digest s = digest_sub s ~pos:0 ~len:(String.length s)

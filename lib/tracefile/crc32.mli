@@ -6,3 +6,20 @@ val digest_sub : string -> pos:int -> len:int -> int32
 
 (** [digest s] = [digest_sub s ~pos:0 ~len:(String.length s)]. *)
 val digest : string -> int32
+
+(** {2 Incremental interface}
+
+    For streams seen one chunk at a time: [finalize (update (update init a
+    …) b …)] equals [digest (a ^ b)].  The running value is the raw shift
+    register (pre-inversion), so it is only comparable to stored checksums
+    after {!finalize}. *)
+
+(** The initial register value (all ones). *)
+val init : int32
+
+(** [update crc s ~pos ~len] folds a substring into the running register.
+    @raise Invalid_argument on a bad range. *)
+val update : int32 -> string -> pos:int -> len:int -> int32
+
+(** Apply the final inversion, yielding the digest. *)
+val finalize : int32 -> int32

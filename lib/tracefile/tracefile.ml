@@ -93,8 +93,15 @@ let put_intervals buf (ivs : Interval.t array) =
       prev := iv.Interval.hi)
     ivs
 
-let get_intervals c =
+(* The streaming decoder parses structure before the trailing CRC can be
+   verified, so every count read from the wire is bounded before it sizes
+   an allocation: a corrupt length field must raise [Error], not OOM. *)
+let check_count ~max what n =
+  if n > max then error "corrupt trace body: implausible %s count %d" what n
+
+let get_intervals ~max c =
   let n = Varint.read c in
+  check_count ~max "interval" n;
   let prev = ref 0 in
   Array.init n (fun _ ->
       let lo = !prev + Varint.read c in
@@ -110,8 +117,9 @@ let put_ranges buf rs =
       Varint.write buf l)
     rs
 
-let get_ranges c =
+let get_ranges ~max c =
   let n = Varint.read c in
+  check_count ~max "range" n;
   List.init n (fun _ ->
       let b = Varint.read c in
       let l = Varint.read c in
@@ -147,7 +155,7 @@ let put_entry buf e =
   Varint.write buf e.finished_at;
   Varint.write buf e.cost
 
-let get_entry c =
+let get_entry ~max c =
   let uid = Varint.read c in
   let start = start_of_tag (Varint.read_byte c) in
   let finish =
@@ -169,10 +177,10 @@ let get_entry c =
         Sync { trivial; sync }
     | n -> error "bad finish-kind tag %d" n
   in
-  let reads = get_intervals c in
-  let writes = get_intervals c in
-  let clears = get_ranges c in
-  let frees = get_ranges c in
+  let reads = get_intervals ~max c in
+  let writes = get_intervals ~max c in
+  let clears = get_ranges ~max c in
+  let frees = get_ranges ~max c in
   let raw_reads = Varint.read c in
   let raw_writes = Varint.read c in
   let work = Varint.read c in
@@ -219,35 +227,203 @@ let to_bytes t =
   done;
   Buffer.contents out
 
+(* ---------------------------------------------------------------- decoding *)
+
+(* Resumable streaming decoder: consumes arbitrary byte chunks, yields
+   complete entries as soon as they parse, and carries all varint / CRC
+   state across chunk boundaries.  The whole-file [of_bytes] below is a
+   thin wrapper (one feed, one finish), so this state machine is THE
+   parser for the format.
+
+   The buffer-and-retry discipline: [pending.[off ..]] holds the bytes of
+   the item currently being assembled.  Each pump attempt parses one whole
+   item (the header, one entry, the CRC trailer) from a fresh cursor; if
+   the bytes run out mid-item the attempt raises [Need_more] and nothing
+   is consumed — the retry after the next feed re-parses from the item
+   start, which is what carries a varint split across chunks.  Only a
+   complete item advances [off] and folds its bytes into the running CRC.
+
+   Entries handed out before the trailer arrives are provisional: the
+   CRC-32 over the body is only checkable once every entry has been
+   consumed.  [finish] (or reaching [C_done]) is the integrity verdict. *)
+
+exception Need_more
+
+type decoder_state =
+  | C_magic (* expecting the 8 magic bytes (not CRC-covered) *)
+  | C_header (* version + meta + n_entries, one atomic item *)
+  | C_entries (* n_entries × entry *)
+  | C_crc (* the 4-byte LE trailer *)
+  | C_done
+
+type decoder = {
+  mutable pending : string; (* fed, not yet consumed (plus a consumed prefix) *)
+  mutable off : int; (* consumed prefix length within [pending] *)
+  mutable crc : int32; (* running register over consumed body bytes *)
+  mutable state : decoder_state;
+  mutable d_version : int;
+  mutable d_meta : (string * string) list;
+  mutable d_expected : int; (* n_entries, valid once past C_header *)
+  mutable d_decoded : int;
+  mutable d_fed : int; (* total bytes ever fed *)
+  d_out : entry Queue.t; (* decoded, not yet taken by [next] *)
+  d_max : int; (* max bytes of one unconsumed item; also the count bound *)
+}
+
+module Decoder = struct
+  type t = decoder
+
+  let default_max_pending = 16 * 1024 * 1024
+
+  let create ?(max_pending = default_max_pending) () =
+    {
+      pending = "";
+      off = 0;
+      crc = Crc32.init;
+      state = C_magic;
+      d_version = 0;
+      d_meta = [];
+      d_expected = 0;
+      d_decoded = 0;
+      d_fed = 0;
+      d_out = Queue.create ();
+      d_max = max max_pending 16;
+    }
+
+  let available d = String.length d.pending - d.off
+
+  (* Parse one item with the shared cursor readers.  Truncation means the
+     item is split across a chunk boundary — retry after more bytes;
+     anything else (varint overflow) is malformation. *)
+  let item d f =
+    let c = { Varint.data = d.pending; pos = d.off } in
+    match f c with
+    | v -> (v, c.Varint.pos - d.off)
+    | exception Failure m ->
+        if m = "Varint: truncated input" then raise Need_more
+        else error "corrupt trace body: %s" m
+
+  let consume d ~in_crc n =
+    if in_crc then d.crc <- Crc32.update d.crc d.pending ~pos:d.off ~len:n;
+    d.off <- d.off + n
+
+  let read_header c ~max =
+    let version = Varint.read c in
+    if version <> current_version then
+      error "unsupported trace version %d (this build reads %d)" version current_version;
+    let n_meta = Varint.read c in
+    check_count ~max "metadata" n_meta;
+    let meta =
+      List.init n_meta (fun _ ->
+          let klen = Varint.read c in
+          check_count ~max "metadata key byte" klen;
+          let k = Varint.read_string c klen in
+          let vlen = Varint.read c in
+          check_count ~max "metadata value byte" vlen;
+          let v = Varint.read_string c vlen in
+          (k, v))
+    in
+    let n = Varint.read c in
+    check_count ~max "entry" n;
+    (version, meta, n)
+
+  let rec pump d =
+    match d.state with
+    | C_magic ->
+        let mlen = String.length magic in
+        if available d >= mlen then begin
+          if String.sub d.pending d.off mlen <> magic then
+            error "bad magic (not a PINT trace file)";
+          consume d ~in_crc:false mlen;
+          d.state <- C_header;
+          pump d
+        end
+    | C_header ->
+        let (version, meta, n), used = item d (read_header ~max:d.d_max) in
+        consume d ~in_crc:true used;
+        d.d_version <- version;
+        d.d_meta <- meta;
+        d.d_expected <- n;
+        d.state <- (if n = 0 then C_crc else C_entries);
+        pump d
+    | C_entries ->
+        while d.d_decoded < d.d_expected do
+          let e, used = item d (get_entry ~max:d.d_max) in
+          consume d ~in_crc:true used;
+          Queue.push e d.d_out;
+          d.d_decoded <- d.d_decoded + 1
+        done;
+        d.state <- C_crc;
+        pump d
+    | C_crc ->
+        if available d >= 4 then begin
+          let stored =
+            let b i = Int32.of_int (Char.code d.pending.[d.off + i]) in
+            List.fold_left Int32.logor 0l
+              [
+                b 0;
+                Int32.shift_left (b 1) 8;
+                Int32.shift_left (b 2) 16;
+                Int32.shift_left (b 3) 24;
+              ]
+          in
+          let actual = Crc32.finalize d.crc in
+          if stored <> actual then
+            error "CRC mismatch (stored %08lx, computed %08lx)" stored actual;
+          consume d ~in_crc:false 4;
+          d.state <- C_done;
+          pump d
+        end
+    | C_done -> if available d > 0 then error "trailing bytes after last entry"
+
+  let feed d ?(pos = 0) ?len s =
+    let len = match len with Some l -> l | None -> String.length s - pos in
+    if pos < 0 || len < 0 || pos + len > String.length s then
+      invalid_arg "Tracefile.Decoder.feed: bad range";
+    d.d_fed <- d.d_fed + len;
+    if len > 0 then begin
+      (* compact: drop the consumed prefix while appending the chunk *)
+      let keep = available d in
+      if keep = 0 then d.pending <- String.sub s pos len
+      else begin
+        let b = Bytes.create (keep + len) in
+        Bytes.blit_string d.pending d.off b 0 keep;
+        Bytes.blit_string s pos b keep len;
+        d.pending <- Bytes.unsafe_to_string b
+      end;
+      d.off <- 0
+    end;
+    (try pump d with Need_more -> ());
+    if available d > d.d_max then
+      error "decoder buffer overflow: one item exceeds %d pending bytes" d.d_max
+
+  let next d = Queue.take_opt d.d_out
+
+  let header d = if d.state = C_magic || d.state = C_header then None
+    else Some (d.d_version, d.d_meta)
+
+  let complete d = d.state = C_done
+
+  let fed_bytes d = d.d_fed
+  let entries_decoded d = d.d_decoded
+
+  let entries_expected d =
+    if d.state = C_magic || d.state = C_header then None else Some d.d_expected
+
+  let finish d =
+    if d.state <> C_done then
+      error "trace truncated mid-stream (%d bytes fed, %d/%s entries decoded)" d.d_fed
+        d.d_decoded
+        (match entries_expected d with Some n -> string_of_int n | None -> "?")
+end
+
 let of_bytes s =
-  let mlen = String.length magic in
-  if String.length s < mlen + 5 then error "trace file truncated (%d bytes)" (String.length s);
-  if String.sub s 0 mlen <> magic then error "bad magic (not a PINT trace file)";
-  let body_len = String.length s - mlen - 4 in
-  let stored =
-    let b i = Int32.of_int (Char.code s.[mlen + body_len + i]) in
-    List.fold_left Int32.logor 0l
-      [ b 0; Int32.shift_left (b 1) 8; Int32.shift_left (b 2) 16; Int32.shift_left (b 3) 24 ]
-  in
-  let actual = Crc32.digest_sub s ~pos:mlen ~len:body_len in
-  if stored <> actual then error "CRC mismatch (stored %08lx, computed %08lx)" stored actual;
-  let c = Varint.cursor (String.sub s mlen body_len) in
-  let wrap f = try f () with Failure m -> error "corrupt trace body: %s" m in
-  wrap (fun () ->
-      let version = Varint.read c in
-      if version <> current_version then
-        error "unsupported trace version %d (this build reads %d)" version current_version;
-      let n_meta = Varint.read c in
-      let meta =
-        List.init n_meta (fun _ ->
-            let k = Varint.read_string c (Varint.read c) in
-            let v = Varint.read_string c (Varint.read c) in
-            (k, v))
-      in
-      let n = Varint.read c in
-      let entries = Array.init n (fun _ -> get_entry c) in
-      if not (Varint.at_end c) then error "trailing bytes after last entry";
-      { version; meta; entries })
+  (* the whole image is one chunk, so no single item can out-size it *)
+  let d = Decoder.create ~max_pending:(String.length s) () in
+  Decoder.feed d s;
+  Decoder.finish d;
+  let entries = Array.init d.d_decoded (fun _ -> Queue.take d.d_out) in
+  { version = d.d_version; meta = d.d_meta; entries }
 
 let write t path =
   let oc = open_out_bin path in

@@ -98,6 +98,55 @@ val of_bytes : string -> t
 val write : t -> string -> unit
 val load : string -> t
 
+(** {2 Incremental decoding}
+
+    A resumable decoder for PINTRACE streams that arrive in arbitrary
+    chunks (socket reads, pipes): feed bytes as they come, take completed
+    entries as they parse.  All varint, delta and CRC state is carried
+    across chunk boundaries — a chunk may split anything, including the
+    middle of a LEB128 byte group or the trailing checksum.  {!of_bytes}
+    is a thin wrapper over this decoder, so file and stream paths share
+    one parser. *)
+
+module Decoder : sig
+  type t
+
+  (** [create ?max_pending ()] — a decoder at the start of a stream.
+      [max_pending] (default 16 MiB) bounds both the bytes a single
+      incomplete item may buffer and every count field read from the
+      wire; exceeding it raises {!Error}.  These bounds are what keeps a
+      corrupt or hostile length prefix from forcing an allocation before
+      the trailing CRC can be checked. *)
+  val create : ?max_pending:int -> unit -> t
+
+  (** [feed d ?pos ?len s] consumes a chunk and decodes as far as it can.
+      @raise Error on any malformation detectable so far: bad magic or
+      version, varint overflow, implausible counts, buffer overflow, CRC
+      mismatch once the trailer is reached, or bytes past the trailer. *)
+  val feed : t -> ?pos:int -> ?len:int -> string -> unit
+
+  (** Take the next completed entry, in stream order.  Entries yielded
+      before {!complete} are provisional — the body checksum can only be
+      verified once the trailer arrives. *)
+  val next : t -> entry option
+
+  (** [(version, meta)] once the header has parsed. *)
+  val header : t -> (int * (string * string) list) option
+
+  (** True once the trailer has been consumed and the CRC verified. *)
+  val complete : t -> bool
+
+  (** Declare end-of-stream.
+      @raise Error unless the stream was complete ({!complete}). *)
+  val finish : t -> unit
+
+  val fed_bytes : t -> int
+  val entries_decoded : t -> int
+
+  (** [n_entries] from the header, once parsed. *)
+  val entries_expected : t -> int option
+end
+
 (** {2 Capture} *)
 
 (** [capturing ?meta inner] wraps a detector driver with a recording tee.

@@ -162,6 +162,59 @@ let check_corrupt path () =
       done)
     !positions
 
+(* The same corruption guarantee under chunked feeding: streaming a damaged
+   trace through the incremental decoder must raise [Tracefile.Error] by
+   [finish] at the latest — never escape with another exception and never
+   complete as a valid trace.  Chunking is the interesting axis here: the
+   flip may land in a varint or CRC word that straddles a chunk boundary. *)
+let decode_chunked bytes chunk =
+  let d = Tracefile.Decoder.create () in
+  let n = String.length bytes in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min chunk (n - !pos) in
+    Tracefile.Decoder.feed d ~pos:!pos ~len bytes;
+    (* consume as we go, like a real session would *)
+    while Tracefile.Decoder.next d <> None do
+      ()
+    done;
+    pos := !pos + len
+  done;
+  Tracefile.Decoder.finish d
+
+let check_corrupt_chunked path () =
+  let original = read_file path in
+  let n = String.length original in
+  decode_chunked original 13;
+  (* sparser byte sample than [check_corrupt] — each flip decodes the file
+     several times over at chunk sizes chosen to split varints, interval
+     arrays and the CRC across boundaries *)
+  let positions = ref [] in
+  let step = max 1 (n / 23) in
+  let byte = ref 0 in
+  while !byte < n do
+    positions := !byte :: !positions;
+    byte := !byte + step
+  done;
+  positions := (n - 1) :: !positions;
+  List.iter
+    (fun byte ->
+      for bit = 0 to 7 do
+        let corrupted = flip original ~byte ~bit in
+        List.iter
+          (fun chunk ->
+            match decode_chunked corrupted chunk with
+            | exception Tracefile.Error _ -> ()
+            | exception e ->
+                Alcotest.failf "%s: chunk=%d flip byte %d bit %d escaped with %s" path chunk
+                  byte bit (Printexc.to_string e)
+            | _ ->
+                Alcotest.failf "%s: chunk=%d flip byte %d bit %d decoded as a valid trace" path
+                  chunk byte bit)
+          [ 1; 13; 4096 ]
+      done)
+    !positions
+
 (* Truncation at every prefix length must also fail cleanly. *)
 let check_truncated path () =
   let original = read_file path in
@@ -189,6 +242,10 @@ let () =
         List.map (fun path -> Alcotest.test_case path `Quick (check_sharded_domains path)) files );
       ( "corruption",
         List.map (fun path -> Alcotest.test_case path `Quick (check_corrupt path)) files );
+      ( "corruption-chunked",
+        List.map
+          (fun path -> Alcotest.test_case path `Quick (check_corrupt_chunked path))
+          files );
       ( "truncation",
         List.map (fun path -> Alcotest.test_case path `Quick (check_truncated path)) files );
     ]

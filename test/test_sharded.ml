@@ -137,12 +137,13 @@ let splitter_partition_prop =
       in
       chain lo sorted)
 
-let test_deprecated_alias () =
-  (* ?reader_shards is the deprecated spelling from the readers-only era *)
-  let p = Pint_detector.make ~reader_shards:3 () in
-  check_int "alias sets shard count" 3 (Pint_detector.shards p);
-  let both = Pint_detector.make ~shards:2 ~reader_shards:5 () in
-  check_int "new name wins over alias" 2 (Pint_detector.shards both)
+let test_shards_param () =
+  (* one spelling: ?shards (the readers-only-era ?reader_shards alias is
+     gone — keeping this test pinned on the survivor) *)
+  let p = Pint_detector.make ~shards:3 () in
+  check_int "shards sets shard count" 3 (Pint_detector.shards p);
+  let d = Pint_detector.make () in
+  check_int "default is the paper topology" 1 (Pint_detector.shards d)
 
 let racy_prog () =
   let b = Fj.alloc_f 8 in
@@ -271,7 +272,7 @@ let () =
           Alcotest.test_case "subrange shards>blocks" `Quick
             test_shard_subranges_more_shards_than_blocks;
           QCheck_alcotest.to_alcotest splitter_partition_prop;
-          Alcotest.test_case "deprecated reader_shards alias" `Quick test_deprecated_alias;
+          Alcotest.test_case "shards parameter" `Quick test_shards_param;
           Alcotest.test_case "detects race" `Quick test_sharded_detects_race;
           Alcotest.test_case "random equivalence" `Quick test_sharded_random_equivalence;
           Alcotest.test_case "workloads clean" `Quick test_sharded_workloads_clean;

@@ -182,6 +182,117 @@ let test_find_missing () =
   let t, _ = capture_seq program in
   expect_error "find unknown uid" (fun () -> Tracefile.find t 99_999)
 
+(* ---------------------------------------------------- incremental decode *)
+
+(* Drain every currently-decodable entry from a decoder. *)
+let drain d =
+  let rec go acc =
+    match Tracefile.Decoder.next d with None -> List.rev acc | Some e -> go (e :: acc)
+  in
+  go []
+
+(* Feed [bytes] to a fresh decoder in [chunk]-sized pieces and return the
+   entries in arrival order.  Exercises every split point when chunk = 1:
+   mid-magic, mid-varint, mid interval array, mid-CRC. *)
+let decode_chunked ?max_pending bytes chunk =
+  let d = Tracefile.Decoder.create ?max_pending () in
+  let n = String.length bytes in
+  let out = ref [] in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min chunk (n - !pos) in
+    Tracefile.Decoder.feed d ~pos:!pos ~len bytes;
+    out := !out @ drain d;
+    pos := !pos + len
+  done;
+  Tracefile.Decoder.finish d;
+  (d, !out @ drain d)
+
+let test_decoder_chunked_equals_whole () =
+  let t, _ = capture_seq ~meta:[ ("workload", "unit") ] program in
+  let bytes = Tracefile.to_bytes t in
+  let whole = Tracefile.of_bytes bytes in
+  (* byte-at-a-time: every LEB128 varint, delta-coded interval array and the
+     trailing CRC word gets split across a chunk boundary somewhere *)
+  List.iter
+    (fun chunk ->
+      let d, entries = decode_chunked bytes chunk in
+      check_bool
+        (Printf.sprintf "chunk=%d decodes the same entries" chunk)
+        true
+        (Array.of_list entries = whole.Tracefile.entries);
+      check_bool "complete" true (Tracefile.Decoder.complete d);
+      check_int "fed_bytes" (String.length bytes) (Tracefile.Decoder.fed_bytes d);
+      check_int "entries_decoded" (Array.length whole.Tracefile.entries)
+        (Tracefile.Decoder.entries_decoded d);
+      check_bool "header meta matches" true
+        (match Tracefile.Decoder.header d with
+        | Some (v, meta) -> v = whole.Tracefile.version && meta = whole.Tracefile.meta
+        | None -> false))
+    [ 1; 2; 3; 7; 64; String.length bytes ]
+
+let test_decoder_streams_before_eof () =
+  (* entries must be observable before the CRC arrives: feed all but the
+     trailer and check at least one entry is already out *)
+  let t, _ = capture_seq program in
+  let bytes = Tracefile.to_bytes t in
+  let d = Tracefile.Decoder.create () in
+  Tracefile.Decoder.feed d ~len:(String.length bytes - 4) bytes;
+  check_bool "header decoded early" true (Tracefile.Decoder.header d <> None);
+  check_bool "entries stream before the trailer" true (drain d <> []);
+  check_bool "not complete yet" false (Tracefile.Decoder.complete d);
+  Tracefile.Decoder.feed d ~pos:(String.length bytes - 4) bytes;
+  check_bool "complete after trailer" true (Tracefile.Decoder.complete d)
+
+let test_decoder_truncation () =
+  let t, _ = capture_seq program in
+  let bytes = Tracefile.to_bytes t in
+  (* every proper prefix must fail cleanly at finish — never a crash, never
+     silent acceptance *)
+  for cut = 0 to String.length bytes - 1 do
+    let d = Tracefile.Decoder.create () in
+    let ok =
+      try
+        Tracefile.Decoder.feed d ~len:cut bytes;
+        Tracefile.Decoder.finish d;
+        false
+      with Tracefile.Error _ -> true
+    in
+    check_bool (Printf.sprintf "prefix %d rejected" cut) true ok
+  done
+
+let test_decoder_rejects_malformed_chunked () =
+  let t, _ = capture_seq program in
+  let bytes = Tracefile.to_bytes t in
+  let expect_chunked name s =
+    expect_error name (fun () ->
+        ignore (decode_chunked s 3);
+        ())
+  in
+  expect_chunked "bad magic (chunked)"
+    ("XINTRACE" ^ String.sub bytes 8 (String.length bytes - 8));
+  expect_chunked "trailing garbage (chunked)" (bytes ^ "\x00");
+  let corrupted = Bytes.of_string bytes in
+  let mid = String.length bytes / 2 in
+  Bytes.set corrupted mid (Char.chr (Char.code (Bytes.get corrupted mid) lxor 0x40));
+  expect_chunked "bit flip detected (chunked)" (Bytes.to_string corrupted)
+
+let test_decoder_overflow_guard () =
+  (* an item that never completes must hit the pending-buffer bound, not
+     buffer unboundedly: declare a meta value of 10k bytes and trickle in
+     filler against a 16-byte cap *)
+  let b = Buffer.create 64 in
+  Buffer.add_string b "PINTRACE";
+  Varint.write b Tracefile.current_version;
+  Varint.write b 1 (* one meta pair *);
+  Varint.write b 1;
+  Buffer.add_string b "k";
+  Varint.write b 10_000 (* vlen: promises far more than we send *);
+  Buffer.add_string b (String.make 64 'x');
+  expect_error "buffer overflow rejected" (fun () ->
+      ignore (decode_chunked ~max_pending:16 (Buffer.contents b) 1);
+      ())
+
 let () =
   Alcotest.run "pint_tracefile"
     [
@@ -209,5 +320,14 @@ let () =
         [
           Alcotest.test_case "rejects malformed" `Quick test_rejects_malformed;
           Alcotest.test_case "find missing uid" `Quick test_find_missing;
+        ] );
+      ( "decoder",
+        [
+          Alcotest.test_case "chunked = whole-file" `Quick test_decoder_chunked_equals_whole;
+          Alcotest.test_case "streams before eof" `Quick test_decoder_streams_before_eof;
+          Alcotest.test_case "every truncation rejected" `Quick test_decoder_truncation;
+          Alcotest.test_case "malformed chunked rejected" `Quick
+            test_decoder_rejects_malformed_chunked;
+          Alcotest.test_case "overflow guard" `Quick test_decoder_overflow_guard;
         ] );
     ]
