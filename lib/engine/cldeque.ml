@@ -35,15 +35,23 @@
    owner-side, counted in [grows] — when a push finds it full, which for
    the executor means spawn nesting deeper than the initial bound. *)
 
+(* The two happens-before edges below are machine-checked by pint_lint R5
+   against the [@pint.publishes]/[@pint.acquires] annotations on the
+   operations (OWNERSHIP.md [edges:] rows, DESIGN.md §15):
+   - "cld.slot": slot writes ride the owner's SC [bottom] store (or are
+     arbitrated by the [top] CAS for the last element),
+   - "cld.buf":  the grown buffer rides the next [bottom] publish; stale
+     buffers stay readable because replaced cells are immutable history. *)
 type 'a buf = {
-  b_slots : 'a array;
+  b_slots : 'a array [@pint.publishes "cld.slot"];
   b_mask : int; (* Array.length b_slots - 1; power-of-two capacity *)
 }
 
 type 'a t = {
   top : int Atomic.t; (* next slot to steal; thieves CAS it forward *)
   bottom : int Atomic.t; (* next slot to push; owner-written, thief-read *)
-  mutable buf : 'a buf; (* owner-replaced on growth; thieves may read stale *)
+  mutable buf : 'a buf [@pint.publishes "cld.buf"];
+      (* owner-replaced on growth; thieves may read stale *)
   dummy : 'a; (* fills empty slots so the array holds no stale payloads *)
   steal_fails : int Atomic.t; (* lost top CASes, summed across thieves *)
   mutable grows : int; (* owner-side buffer doublings *)
@@ -63,13 +71,13 @@ let create ?(capacity = 256) ~dummy () =
     grows = 0;
   }
 
-let capacity t = t.buf.b_mask + 1
+let[@pint.acquires "cld.buf"] capacity t = t.buf.b_mask + 1
 let steal_cas_failures t = Atomic.get t.steal_fails
 let grows t = t.grows
 
 (* Owner-only: double the ring, re-masking every live element.  The old
    array is left untouched (thieves may still be reading it). *)
-let grow t ~b ~tp =
+let[@pint.publishes "cld.slot cld.buf"] [@pint.acquires "cld.slot cld.buf"] grow t ~b ~tp =
   let old = t.buf in
   let cap = (old.b_mask + 1) * 2 in
   let nbuf = { b_slots = Array.make cap t.dummy; b_mask = cap - 1 } in
@@ -79,7 +87,7 @@ let grow t ~b ~tp =
   t.buf <- nbuf;
   t.grows <- t.grows + 1
 
-let[@pint.hot] push_bottom t x =
+let[@pint.hot] [@pint.publishes "cld.slot"] [@pint.acquires "cld.buf"] push_bottom t x =
   let b = Atomic.get t.bottom in
   let tp = Atomic.get t.top in
   if b - tp > t.buf.b_mask then grow t ~b ~tp;
@@ -88,7 +96,7 @@ let[@pint.hot] push_bottom t x =
   (* SC store publishes the slot write to thieves *)
   Atomic.set t.bottom (b + 1)
 
-let[@pint.hot] pop_bottom t =
+let[@pint.hot] [@pint.publishes "cld.slot"] [@pint.acquires "cld.slot cld.buf"] pop_bottom t =
   let b = Atomic.get t.bottom - 1 in
   (* reserve the bottom slot before reading top: a thief that loads the
      old bottom afterwards can no longer claim this slot uncontested *)
@@ -119,7 +127,7 @@ let[@pint.hot] pop_bottom t =
     None
   end
 
-let[@pint.hot] steal_top t =
+let[@pint.hot] [@pint.acquires "cld.slot cld.buf"] steal_top t =
   let tp = Atomic.get t.top in
   let b = Atomic.get t.bottom in
   if tp >= b then None

@@ -1,25 +1,36 @@
 (* Cross-domain soundness (audited for the real-domain executor, where the
-   producer and every reader run on distinct domains):
+   producer and every reader run on distinct domains) — machine-checked by
+   pint_lint's R5/R6 whole-program passes (DESIGN.md §15), not just argued
+   here.
 
    OCaml 5 atomics are sequentially consistent, and the memory model gives
    publication safety: a plain write that happens-before an atomic write is
    visible to any domain that observes that atomic write.  Every plain
-   field here rides one of three such publication edges:
+   field here rides one of two named happens-before edges, declared as
+   [@pint.publishes]/[@pint.acquires] attributes below and wired to the
+   [edges:]/[private:] owner-context rows in OWNERSHIP.md:
 
-   - slot publication  — [try_enqueue] plain-writes [slots.(h mod cap)]
-     BEFORE [Atomic.incr head]; a reader only touches a slot after reading
-     [head] past it, so it sees the full record.  [head] is written by the
-     single producer only.
-   - slot recycling    — [advance_n] plain-clears a slot only when every
-     OTHER cursor (read atomically) is already past it, and BEFORE
-     atomically advancing its own cursor; the producer only reuses a slot
-     after reading all cursors past it, so the clear is published to the
-     producer before any reuse, and no reader can still be peeking a
+   - ["ahq.slot"] (slot publication) — [try_enqueue] plain-writes
+     [slots.(h mod cap)] BEFORE [Atomic.incr head] (its releasing write);
+     a reader only touches a slot after reading [head] past it, so it sees
+     the full record.  [head] is written by the single producer only.
+     Publisher: [try_enqueue].  Acquirers: every reader entry point that
+     reaches [slot_at] ([peek], [peek_batch], [peek_batch_into]) — the
+     lint pass proves no spawned path reads a slot without passing one.
+   - ["ahq.recycle"] (slot recycling) — [advance_n] plain-clears a slot
+     only when every OTHER cursor (read atomically) is already past it,
+     and BEFORE atomically advancing its own cursor (its releasing
+     write); the producer only reuses a slot after its cursor scan reads
+     all cursors past it — that scan ([has_room], inlined into
+     [try_enqueue]) is the acquiring read, so the clear is published to
+     the producer before any reuse, and no reader can still be peeking a
      cleared slot (peeks start at the reader's own cursor).
    - writer-private caches — [cached_min], [min_rescans], [peak_occ] are
-     touched only by the single producer; [cached_min] is a monotone lower
-     bound on the cursor minimum (cursors only advance), so a stale value
-     is only ever conservative: it can under-report room, never invent it.
+     touched only by the single producer ([private:] rows; cross-domain
+     reads are post-drain diagnostics accessors); [cached_min] is a
+     monotone lower bound on the cursor minimum (cursors only advance), so
+     a stale value is only ever conservative: it can under-report room,
+     never invent it.
 
    The one deliberately racy read is the occupancy sample in [advance_n]
    (another reader may advance between our snapshot and the emit) — it is
@@ -31,7 +42,7 @@ let l = 0
 let r = 1
 
 type 'a t = {
-  slots : 'a option array;
+  slots : 'a option array [@pint.publishes "ahq.slot ahq.recycle"];
   cap : int;
   head : int Atomic.t; (* total enqueued; writer-owned *)
   cursors : int Atomic.t array; (* total processed, per reader *)
@@ -98,7 +109,11 @@ let[@pint.hot] has_room t =
        h - t.cached_min < t.cap
      end
 
-let[@pint.hot] try_enqueue t s =
+(* [@pint.publishes "ahq.slot"]: the slot write is ordered before the
+   [Atomic.incr head] release.  [@pint.acquires "ahq.recycle"]: the
+   cursor scan in [has_room] is the acquiring read that orders every
+   reader's slot-clear before this producer's reuse of the slot. *)
+let[@pint.hot] [@pint.publishes "ahq.slot"] [@pint.acquires "ahq.recycle"] try_enqueue t s =
   if not (has_room t) then false
   else begin
     let h = Atomic.get t.head in
@@ -122,19 +137,22 @@ let slot_at t pos =
   | Some s -> s
   | None -> failwith "Ahq: published slot is empty"
 
-let peek t i =
+(* Every reader entry point that dereferences a slot acquires "ahq.slot":
+   the [Atomic.get t.head] bound check is the acquiring read matching the
+   producer's release in [try_enqueue]. *)
+let[@pint.acquires "ahq.slot"] peek t i =
   let pos = Atomic.get (cursor t i) in
   if pos >= Atomic.get t.head then None else Some (slot_at t pos)
 
 let default_batch = 32
 
-let peek_batch ?(max = default_batch) t i =
+let[@pint.acquires "ahq.slot"] peek_batch ?(max = default_batch) t i =
   if max <= 0 then invalid_arg "Ahq.peek_batch: max must be positive";
   let pos = Atomic.get (cursor t i) in
   let n = imin (Atomic.get t.head - pos) max in
   if n <= 0 then [||] else Array.init n (fun k -> slot_at t (pos + k))
 
-let[@pint.hot] peek_batch_into t i buf =
+let[@pint.hot] [@pint.acquires "ahq.slot"] peek_batch_into t i buf =
   let cap = Array.length buf in
   if cap = 0 then invalid_arg "Ahq.peek_batch_into: empty buffer";
   let pos = Atomic.get (cursor t i) in
@@ -147,7 +165,9 @@ let[@pint.hot] peek_batch_into t i buf =
     n
   end
 
-let advance_n t i n =
+(* [@pint.publishes "ahq.recycle"]: the slot clears are ordered before the
+   [Atomic.set c] cursor release that lets the producer reuse them. *)
+let[@pint.publishes "ahq.recycle"] advance_n t i n =
   if n <= 0 then invalid_arg "Ahq.advance_n: n must be positive";
   let c = cursor t i in
   let pos0 = Atomic.get c in

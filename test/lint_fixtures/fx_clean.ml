@@ -1,0 +1,15 @@
+(* Control module: the same shapes as the broken fixtures, written the
+   synchronized way.  The test asserts the whole-program passes report
+   ZERO findings here — the rules must not fire on correct code. *)
+
+type t = { total : int Atomic.t; label : string }
+
+let make label = { total = Atomic.make 0; label }
+let bump t = Atomic.incr t.total
+let read t = Atomic.get t.total
+
+let run t =
+  let d = Domain.spawn (fun () -> bump t) in
+  bump t;
+  Domain.join d;
+  read t

@@ -1,0 +1,9 @@
+(* R5 violation: a mutable local captured by a spawned thunk — the ref now
+   lives on two domains with no publication story.  Expected finding:
+   [R5/closure-escape] inside the spawned closure of [Fx_escape.leak]. *)
+
+let leak () =
+  let acc = ref 0 in
+  let d = Domain.spawn (fun () -> acc := !acc + 1) in
+  Domain.join d;
+  !acc

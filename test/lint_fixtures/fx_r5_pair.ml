@@ -1,0 +1,21 @@
+(* R5 violations around a mismatched publish/acquire pair.  The manifest
+   row supplied by the test claims [Fx_r5_pair.t.cell] with an [edges:]
+   owner-context.  Expected findings:
+     [R5/unpaired-edge]     "fx.cell" is declared on the field but nothing
+                            publishes it (the writer publishes "fx.wrong")
+     [R5/unpaired-edge]     "fx.cell" has no acquirer either
+     [R5/unpaired-edge]     "fx.wrong" is published but no field declares it
+     [R5/unacquired-read]   the spawned reader path never acquires *)
+
+type t = {
+  mutable cell : int [@pint.publishes "fx.cell"];
+  tag : string;
+}
+
+let[@pint.publishes "fx.wrong"] writer t = t.cell <- 1
+let reader t = t.cell
+
+let start t =
+  let d = Domain.spawn (fun () -> ignore (reader t)) in
+  writer t;
+  Domain.join d

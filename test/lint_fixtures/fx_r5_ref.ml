@@ -1,0 +1,10 @@
+(* R5 violation: a module-level mutable value touched from spawned context
+   with no OWNERSHIP.md row and no publication edge.  Expected finding:
+   [R5/unpublished-shared-ref] on [Fx_r5_ref.hits]. *)
+
+let hits = ref 0
+
+let spin () =
+  let d = Domain.spawn (fun () -> hits := !hits + 1) in
+  Domain.join d;
+  !hits

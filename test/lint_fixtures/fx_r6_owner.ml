@@ -1,0 +1,10 @@
+(* R6 violation: a write outside the declared owner set.  The manifest row
+   supplied by the test claims [Fx_r6_owner.t.count] with
+   [writers: Fx_r6_owner.official].  Expected finding:
+   [R6/off-owner-write] in [Fx_r6_owner.bump]. *)
+
+type t = { mutable count : int }
+
+let official t = t.count <- 0
+let bump t = t.count <- t.count + 1
+let total t = t.count

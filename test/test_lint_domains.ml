@@ -1,0 +1,165 @@
+(* Whole-program R5/R6 end-to-end: run the rule engine in-process over the
+   per-rule fixture modules (test/lint_fixtures/) and assert each
+   deliberate violation is reported with exactly the expected fingerprint
+   — and nothing else.  Fingerprints are the baseline identity
+   (rule, file basename, context, kind), so these tests also pin the
+   suppression and SARIF identity of every whole-program finding class.
+
+   The fixture .cmts sit in the build tree next to this executable, so
+   resolving them relative to [Sys.executable_name] works under both
+   [dune runtest] and [dune exec]. *)
+
+open Lint_core
+
+let fixture_cmt name =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Printf.sprintf "lint_fixtures/.lint_fixtures.objs/byte/%s.cmt" name)
+
+let with_temp_file contents f =
+  let path = Filename.temp_file "lint_domains" ".md" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+(* The manifest rows the broken fixtures are checked against.  Loaded
+   through the real OWNERSHIP.md parser so the owner-context grammar is
+   exercised too. *)
+let pair_row = "| Fx_r5_pair.t.cell | worker domain | edges: Fx_r5_pair.writer | test row |\n"
+let owner_row = "| Fx_r6_owner.t.count | stepping worker | writers: Fx_r6_owner.official | test row |\n"
+
+let run ?(rows = "") names =
+  let cmts =
+    List.map
+      (fun n ->
+        let p = fixture_cmt n in
+        if not (Sys.file_exists p) then
+          Alcotest.failf "fixture cmt not found at %s (cwd %s)" p (Sys.getcwd ());
+        p)
+      names
+  in
+  with_temp_file rows (fun path ->
+      let ownership = Lint_ownership.load path in
+      Lint_engine.run ~baseline:Lint_baseline.empty ~ownership cmts)
+
+let prints (report : Lint_engine.report) =
+  List.sort_uniq compare
+    (List.map
+       (fun f ->
+         let r, file, ctx, kind = Lint_types.fingerprint f in
+         Printf.sprintf "%s %s %s %s" r file ctx kind)
+       report.findings)
+
+let check_prints what expected report =
+  Alcotest.(check (list string)) what (List.sort compare expected) (prints report)
+
+(* ------------------------------------------------------- rule-class tests *)
+
+let test_r5_unpublished_ref () =
+  (* module-level ref written and read from a spawned thunk, no row *)
+  check_prints "unpublished-shared-ref fingerprints"
+    [ "R5 fx_r5_ref.ml Fx_r5_ref.hits unpublished-shared-ref" ]
+    (run [ "fx_r5_ref" ])
+
+let test_r5_mismatched_pair () =
+  (* the field declares "fx.cell", the writer publishes "fx.wrong", the
+     spawned reader acquires nothing: both unpaired legs plus the orphan
+     publication plus the uncovered reader path must all be reported *)
+  check_prints "mismatched publish/acquire fingerprints"
+    [
+      "R5 fx_r5_pair.ml Fx_r5_pair.t.cell unpaired-edge";
+      "R5 fx_r5_pair.ml Fx_r5_pair.writer unpaired-edge";
+      "R5 fx_r5_pair.ml Fx_r5_pair.reader unacquired-read";
+    ]
+    (run ~rows:pair_row [ "fx_r5_pair" ]);
+  (* the two field-side legs (no publisher, no acquirer) share one
+     fingerprint by design — line-free identity — but both messages exist *)
+  let report = run ~rows:pair_row [ "fx_r5_pair" ] in
+  let unpaired =
+    List.filter (fun f -> f.Lint_types.kind = "unpaired-edge") report.Lint_engine.findings
+  in
+  Alcotest.(check int) "three unpaired-edge findings" 3 (List.length unpaired)
+
+let test_r6_off_owner_write () =
+  check_prints "off-owner-write fingerprint"
+    [ "R6 fx_r6_owner.ml Fx_r6_owner.bump off-owner-write" ]
+    (run ~rows:owner_row [ "fx_r6_owner" ])
+
+let test_closure_escape () =
+  check_prints "closure-escape fingerprint"
+    [ "R5 fx_escape.ml Fx_escape.leak.<spawn1> closure-escape" ]
+    (run [ "fx_escape" ])
+
+let test_clean_module () =
+  let report = run [ "fx_clean" ] in
+  Alcotest.(check (list string)) "atomic-everything module is clean" [] (prints report);
+  Alcotest.(check int) "no rows needed" 0 report.Lint_engine.checked_rows
+
+(* -------------------------------------------------- whole-set consistency *)
+
+let test_all_fixtures_linked () =
+  (* linking all five modules into one program must report exactly the
+     union of the per-module findings: the passes are whole-program but
+     the violations are module-local, so nothing appears or vanishes *)
+  check_prints "union of fingerprints across the linked set"
+    [
+      "R5 fx_r5_ref.ml Fx_r5_ref.hits unpublished-shared-ref";
+      "R5 fx_r5_pair.ml Fx_r5_pair.t.cell unpaired-edge";
+      "R5 fx_r5_pair.ml Fx_r5_pair.writer unpaired-edge";
+      "R5 fx_r5_pair.ml Fx_r5_pair.reader unacquired-read";
+      "R6 fx_r6_owner.ml Fx_r6_owner.bump off-owner-write";
+      "R5 fx_escape.ml Fx_escape.leak.<spawn1> closure-escape";
+    ]
+    (run ~rows:(pair_row ^ owner_row)
+       [ "fx_r5_ref"; "fx_r5_pair"; "fx_r6_owner"; "fx_escape"; "fx_clean" ])
+
+let test_baseline_suppresses_fingerprint () =
+  (* a baseline entry with the exact fingerprint silences the finding *)
+  let baseline_text =
+    "R6 fx_r6_owner.ml Fx_r6_owner.bump off-owner-write -- fixture: accepted for the test\n"
+  in
+  with_temp_file baseline_text (fun bpath ->
+      let baseline = Lint_baseline.load bpath in
+      with_temp_file owner_row (fun opath ->
+          let ownership = Lint_ownership.load opath in
+          let report =
+            Lint_engine.run ~baseline ~ownership [ fixture_cmt "fx_r6_owner" ]
+          in
+          Alcotest.(check (list string)) "suppressed" [] (prints report);
+          Alcotest.(check int) "counted as baselined" 1 report.Lint_engine.suppressed;
+          Alcotest.(check int) "entry not stale" 0
+            (List.length report.Lint_engine.stale_baseline)))
+
+let test_malformed_context_rejected () =
+  (* an explicit 4-cell row with an unknown keyword must raise, not be
+     silently trusted — the CLI maps this to exit code 2 *)
+  Alcotest.check_raises "unknown keyword raises"
+    (Lint_ownership.Malformed "OWNERSHIP.md:1: unknown owner-context keyword 'owner:'")
+    (fun () ->
+      with_temp_file "| Fx_r6_owner.t.count | x | owner: Fx_r6_owner.official | note |\n"
+        (fun path -> ignore (Lint_ownership.load path)))
+
+let () =
+  Alcotest.run "pint_lint whole-program passes"
+    [
+      ( "rule classes",
+        [
+          Alcotest.test_case "R5 unpublished shared ref" `Quick test_r5_unpublished_ref;
+          Alcotest.test_case "R5 mismatched publish/acquire pair" `Quick test_r5_mismatched_pair;
+          Alcotest.test_case "R6 off-owner write" `Quick test_r6_off_owner_write;
+          Alcotest.test_case "R5 closure escape" `Quick test_closure_escape;
+          Alcotest.test_case "clean module reports nothing" `Quick test_clean_module;
+        ] );
+      ( "whole-program",
+        [
+          Alcotest.test_case "linked set reports the exact union" `Quick test_all_fixtures_linked;
+          Alcotest.test_case "baseline suppresses by fingerprint" `Quick
+            test_baseline_suppresses_fingerprint;
+          Alcotest.test_case "malformed owner-context rejected" `Quick
+            test_malformed_context_rejected;
+        ] );
+    ]

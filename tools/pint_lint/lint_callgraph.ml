@@ -1,0 +1,607 @@
+(* Whole-program collection for the R5/R6 passes: one pass over every
+   module's typed tree builds
+
+   - a cross-module call graph over *function nodes* (top-level bindings,
+     nested function bindings, and synthetic nodes for closures that
+     escape into data structures or unknown callees),
+   - per-node field/global access sets (reads and writes, attributed to
+     the innermost enclosing function node),
+   - the [@pint.publishes]/[@pint.acquires] edge annotations on function
+     bindings and on mutable field declarations,
+   - the seeds of the domain-context inference: function values that reach
+     [Domain.spawn] (directly, or referenced from a spawned thunk), and
+     closures that escape the collector's sight.
+
+   The central approximation (DESIGN.md §15): a closure whose consumer the
+   linter cannot see — stored into a record/tuple, passed to a callee
+   outside the known-synchronous set — is treated as *potentially running
+   on any domain*.  That over-approximates (a simulator-only closure is
+   analyzed as if it could run on a pool domain) but never under-
+   approximates for the code shapes in this repo: every pipeline-stage
+   body, micropool thunk and hook sink reaches the analysis exactly this
+   way.  Closures passed to known synchronous higher-order functions
+   (List.iter & friends) inherit the caller's context instead. *)
+
+open Typedtree
+open Lint_types
+
+type access = { a_path : string; a_loc : Location.t; a_write : bool }
+
+type node = {
+  n_name : string;
+  n_loc : Location.t;
+  mutable n_calls : string list;  (** resolved callee node names, unordered *)
+  mutable n_accesses : access list;
+  mutable n_publishes : string list;  (** edges this function releases *)
+  mutable n_acquires : string list;  (** edges this function acquires *)
+  mutable n_escaping : bool;  (** value escaped to an unseen consumer *)
+  mutable n_spawn : bool;  (** reaches Domain.spawn as the spawned thunk *)
+}
+
+type program = {
+  p_nodes : (string, node) Hashtbl.t;
+  (* mutable-field path -> (declared publication edges, declaration loc) *)
+  p_field_edges : (string, string list * Location.t) Hashtbl.t;
+  (* module-level mutable values: "Mod.name" -> declaration loc *)
+  p_globals : (string, Location.t) Hashtbl.t;
+  (* R5 closure-escape findings, produced during collection *)
+  mutable p_escapes : finding list;
+  (* (name, `Spawn | `Escape) marks on names that may resolve to nodes of
+     modules not yet collected; applied in [finalize] *)
+  mutable p_pending : (string * [ `Spawn | `Escape ]) list;
+}
+
+let create_program () =
+  {
+    p_nodes = Hashtbl.create 256;
+    p_field_edges = Hashtbl.create 32;
+    p_globals = Hashtbl.create 16;
+    p_escapes = [];
+    p_pending = [];
+  }
+
+(* ----------------------------------------------------------------- naming *)
+
+(* Component-wise normalization: dune's wrapped-library mangling
+   ("Pint_trace__Ahq") and stdlib unit mangling ("Stdlib__List") both
+   reduce to the source-level component after the last "__". *)
+let norm_component c =
+  match Str_split.split_on_last c ~sep:"__" with
+  | Some (_, tail) when tail <> "" -> String.capitalize_ascii tail
+  | _ -> c
+
+let norm_name name =
+  let parts = String.split_on_char '.' name |> List.map norm_component in
+  let name = String.concat "." parts in
+  if Str_split.starts_with ~prefix:"Stdlib." name then
+    String.sub name 7 (String.length name - 7)
+  else name
+
+let path_name p = norm_name (Path.name p)
+
+(* ------------------------------------------------------------- collection *)
+
+type scope_entry =
+  | Sfun of node  (** local name bound to a function node *)
+  | Sref of Location.t  (** local mutable value (ref/array) *)
+
+type cst = {
+  modname : string;
+  prog : program;
+  mutable node_stack : node list;  (** innermost first; never empty *)
+  mutable scope : (string * scope_entry) list;
+  mutable submodules : string list;  (** submodule names declared in this unit *)
+  mutable anon : int;
+  (* lambda locations already walked by a special-cased consumer *)
+  handled : (int * int, unit) Hashtbl.t;
+  (* scope snapshot at entry of the innermost spawned thunk, for the
+     closure-escape check; None outside such thunks *)
+  mutable spawn_scope : (string * scope_entry) list option;
+}
+
+let loc_key (loc : Location.t) = (loc.loc_start.pos_cnum, loc.loc_end.pos_cnum)
+
+let node_of st = List.hd st.node_stack
+
+let get_node prog name loc =
+  match Hashtbl.find_opt prog.p_nodes name with
+  | Some n -> n
+  | None ->
+      let n =
+        {
+          n_name = name;
+          n_loc = loc;
+          n_calls = [];
+          n_accesses = [];
+          n_publishes = [];
+          n_acquires = [];
+          n_escaping = false;
+          n_spawn = false;
+        }
+      in
+      Hashtbl.add prog.p_nodes name n;
+      n
+
+let add_call st callee =
+  let n = node_of st in
+  if not (List.mem callee n.n_calls) then n.n_calls <- callee :: n.n_calls
+
+let add_access st ~path ~loc ~write =
+  let n = node_of st in
+  n.n_accesses <- { a_path = path; a_loc = loc; a_write = write } :: n.n_accesses
+
+(* ---------------------------------------------------------- attribute edges *)
+
+let attr_payload_string (a : Parsetree.attribute) =
+  match a.Parsetree.attr_payload with
+  | Parsetree.PStr
+      [
+        {
+          Parsetree.pstr_desc =
+            Parsetree.Pstr_eval
+              ({ Parsetree.pexp_desc = Parsetree.Pexp_constant (Parsetree.Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+(* Edge names: whitespace/comma-separated in the attribute payload. *)
+let parse_edges s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.map String.trim
+  |> List.filter (fun e -> e <> "")
+
+let edges_of_attrs name attrs =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if a.Parsetree.attr_name.Asttypes.txt = name then
+        match attr_payload_string a with Some s -> parse_edges s | None -> []
+      else [])
+    attrs
+
+(* -------------------------------------------------------------- type tests *)
+
+let head_name ty =
+  match Types.get_desc ty with Types.Tconstr (p, _, _) -> Some (path_name p) | _ -> None
+
+let is_arrow ty = match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+let is_mutable_value_ty ty =
+  match head_name ty with Some nm -> List.mem nm mutable_value_heads | None -> false
+
+let is_atomic_ty ty =
+  match head_name ty with Some nm -> nm = "Atomic.t" | None -> false
+
+(* The record type a label belongs to, as the inventory spells it:
+   [Mod.ty.field], where a same-unit type gets the unit's module name. *)
+let field_path st (ld : Types.label_description) =
+  let tyname =
+    match Types.get_desc ld.Types.lbl_res with
+    | Types.Tconstr (p, _, _) -> path_name p
+    | _ -> "?"
+  in
+  let tyname = if String.contains tyname '.' then tyname else st.modname ^ "." ^ tyname in
+  tyname ^ "." ^ ld.Types.lbl_name
+
+(* --------------------------------------------------------- callee classes *)
+
+type callee_class = Spawn_sink | Sync_hof | Unknown
+
+let classify_callee name =
+  if List.mem name (List.map norm_name spawn_sinks) then Spawn_sink
+  else if
+    List.exists (fun pre -> Str_split.starts_with ~prefix:(norm_name pre) name) sync_hof_prefixes
+  then Sync_hof
+  else Unknown
+
+(* Content operations on mutable containers / refs: (normalized name,
+   whether the op writes the contents). *)
+let content_ops =
+  [
+    ("Array.get", false);
+    ("Array.unsafe_get", false);
+    ("Array.set", true);
+    ("Array.unsafe_set", true);
+    ("Array.fill", true);
+    ("Bytes.get", false);
+    ("Bytes.set", true);
+    ("Bytes.unsafe_get", false);
+    ("Bytes.unsafe_set", true);
+    ("!", false);
+    (":=", true);
+    ("incr", true);
+    ("decr", true);
+  ]
+
+(* ------------------------------------------------------- name resolution *)
+
+(* Resolve an identifier occurrence to, in order: a lexically visible
+   function node, the module-qualified name of a same-unit value, or the
+   normalized cross-module name. *)
+let resolve_ident st p =
+  match p with
+  | Path.Pident id -> (
+      let name = Ident.name id in
+      match List.assoc_opt name st.scope with
+      | Some (Sfun n) -> `Node n.n_name
+      | Some (Sref loc) -> `Local_ref (name, loc)
+      | None -> `Name (st.modname ^ "." ^ name))
+  | _ ->
+      let nm = path_name p in
+      let root = match String.index_opt nm '.' with Some i -> String.sub nm 0 i | None -> nm in
+      if List.mem root st.submodules then `Name (st.modname ^ "." ^ nm) else `Name nm
+
+let mark_pending st name kind = st.prog.p_pending <- (name, kind) :: st.prog.p_pending
+
+(* -------------------------------------------------------------- traversal *)
+
+let pat_name : type k. k general_pattern -> string option =
+ fun p -> match p.pat_desc with Tpat_var (id, _) -> Some (Ident.name id) | _ -> None
+
+let fresh_anon st tag =
+  st.anon <- st.anon + 1;
+  Printf.sprintf "%s.<%s%d>" (node_of st).n_name tag st.anon
+
+let rec collect_structure st (str : structure) = List.iter (collect_item st) str.str_items
+
+and collect_item st item =
+  match item.str_desc with
+  | Tstr_value (_, vbs) ->
+      (* bind the whole group first so recursive and forward same-item
+         references resolve (minor shadowing imprecision accepted) *)
+      List.iter (bind_value st ~toplevel:true) vbs;
+      List.iter (walk_value st) vbs
+  | Tstr_module mb -> collect_module st mb
+  | Tstr_recmodule mbs -> List.iter (collect_module st) mbs
+  | Tstr_type _ | Tstr_typext _ | Tstr_exception _ | Tstr_modtype _ | Tstr_open _
+  | Tstr_class _ | Tstr_class_type _ | Tstr_include _ | Tstr_attribute _ | Tstr_primitive _ ->
+      ()
+  | Tstr_eval (e, _) -> walk_expr st e
+
+and collect_module st mb =
+  let name = match mb.mb_name.Asttypes.txt with Some n -> n | None -> "_" in
+  st.submodules <- name :: st.submodules;
+  let rec unwrap me =
+    match me.mod_desc with
+    | Tmod_structure s -> Some s
+    | Tmod_constraint (me, _, _, _) -> unwrap me
+    | _ -> None
+  in
+  match unwrap mb.mb_expr with
+  | None -> ()
+  | Some s ->
+      (* nest node names under Mod.Sub.*; the scope persists after the
+         submodule so later Sub.f references resolve lexically *)
+      let saved = st.node_stack in
+      let holder = get_node st.prog (st.modname ^ "." ^ name) mb.mb_loc in
+      st.node_stack <- [ holder ];
+      let entries_before = st.scope in
+      collect_structure st s;
+      (* re-qualify the submodule's toplevel names: [feed] inside
+         [module Session] must be addressable as [Session.feed] *)
+      let added = ref [] in
+      let rec diff l =
+        if l == entries_before then ()
+        else
+          match l with
+          | (n, e) :: tl ->
+              added := (name ^ "." ^ n, e) :: !added;
+              diff tl
+          | [] -> ()
+      in
+      diff st.scope;
+      st.scope <- !added @ st.scope;
+      st.node_stack <- saved
+
+(* Register the binding's name in scope (function node / local ref /
+   nothing) without walking its RHS. *)
+and bind_value st ~toplevel vb =
+  match pat_name vb.vb_pat with
+  | None -> ()
+  | Some name ->
+      let ty = vb.vb_expr.exp_type in
+      if is_arrow ty then begin
+        let qname = (node_of st).n_name ^ "." ^ name in
+        (* top-level names are the canonical Mod.f; nested ones chain *)
+        let qname =
+          if toplevel && List.length st.node_stack = 1 then
+            (node_of st).n_name ^ "." ^ name
+          else qname
+        in
+        let n = get_node st.prog qname vb.vb_loc in
+        n.n_publishes <- n.n_publishes @ edges_of_attrs publishes_attribute vb.vb_attributes;
+        n.n_acquires <- n.n_acquires @ edges_of_attrs acquires_attribute vb.vb_attributes;
+        st.scope <- (name, Sfun n) :: st.scope
+      end
+      else begin
+        if is_mutable_value_ty ty && not (is_atomic_ty ty) then
+          if toplevel && List.length st.node_stack = 1 then
+            Hashtbl.replace st.prog.p_globals ((node_of st).n_name ^ "." ^ name) vb.vb_loc
+          else st.scope <- (name, Sref vb.vb_loc) :: st.scope
+      end
+
+and walk_value st vb =
+  match pat_name vb.vb_pat with
+  | Some name when is_arrow vb.vb_expr.exp_type -> (
+      match List.assoc_opt name st.scope with
+      | Some (Sfun n) ->
+          st.node_stack <- n :: st.node_stack;
+          walk_spine st vb.vb_expr;
+          st.node_stack <- List.tl st.node_stack
+      | _ -> walk_expr st vb.vb_expr)
+  | _ -> walk_expr st vb.vb_expr
+
+(* The leading [fun] chain of a function binding is the function itself,
+   not an escaping closure.  Optional-argument defaults desugar to a
+   [Texp_let] between two [Texp_function] layers, so the spine follows
+   let-bodies too. *)
+and walk_spine st e =
+  match e.exp_desc with
+  | Texp_function { cases; _ } ->
+      Hashtbl.replace st.handled (loc_key e.exp_loc) ();
+      List.iter
+        (fun c ->
+          Option.iter (walk_expr st) c.c_guard;
+          walk_spine st c.c_rhs)
+        cases
+  | Texp_let (_, vbs, body) ->
+      let saved = st.scope in
+      List.iter (bind_value st ~toplevel:false) vbs;
+      List.iter (walk_value st) vbs;
+      walk_spine st body;
+      st.scope <- saved
+  | _ -> walk_expr st e
+
+(* Walk a closure body under a fresh synthetic node. *)
+and walk_closure_as st e ~tag ~spawn ~escaping =
+  let name = fresh_anon st tag in
+  let n = get_node st.prog name e.exp_loc in
+  n.n_spawn <- n.n_spawn || spawn;
+  n.n_escaping <- n.n_escaping || escaping;
+  (* the enclosing function "calls" the closure's construction site so
+     caller lists stay connected for the both-context classification *)
+  add_call st name;
+  st.node_stack <- n :: st.node_stack;
+  let saved_spawn = st.spawn_scope in
+  if spawn then st.spawn_scope <- Some st.scope;
+  Hashtbl.replace st.handled (loc_key e.exp_loc) ();
+  (match e.exp_desc with Texp_function _ -> walk_spine st e | _ -> walk_expr st e);
+  st.spawn_scope <- saved_spawn;
+  st.node_stack <- List.tl st.node_stack
+
+and walk_expr st e =
+  let loc = e.exp_loc in
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> ident_use st p e loc
+  | Texp_field (base, _, ld) ->
+      add_access st ~path:(field_path st ld) ~loc ~write:false;
+      walk_expr st base
+  | Texp_setfield (base, _, ld, v) ->
+      add_access st ~path:(field_path st ld) ~loc ~write:true;
+      walk_expr st base;
+      walk_expr st v
+  | Texp_apply (f, args) -> walk_apply st f args loc
+  | Texp_function _ ->
+      if not (Hashtbl.mem st.handled (loc_key loc)) then
+        (* a lambda in data position (tuple, record field, list cell,
+           argument default…): its consumer is unknown — escaping *)
+        walk_closure_as st e ~tag:"anon" ~spawn:false ~escaping:true
+  | Texp_let (_, vbs, body) ->
+      let saved = st.scope in
+      List.iter (bind_value st ~toplevel:false) vbs;
+      List.iter (walk_value st) vbs;
+      walk_expr st body;
+      st.scope <- saved
+  | _ -> Tast_iterator.default_iterator.expr (iter st) e
+
+and iter st =
+  let super = Tast_iterator.default_iterator in
+  {
+    super with
+    expr = (fun _ e -> walk_expr st e);
+    value_binding =
+      (fun _ vb ->
+        bind_value st ~toplevel:false vb;
+        walk_value st vb);
+  }
+
+(* A bare identifier occurrence outside call position. *)
+and ident_use st p e loc =
+  match resolve_ident st p with
+  | `Node _ -> ()  (* value use of a function: escape is decided at the consumer *)
+  | `Local_ref (name, _) -> note_local_ref_use st name loc
+  | `Name nm ->
+      if Hashtbl.mem st.prog.p_globals nm then add_access st ~path:nm ~loc ~write:false
+      else if (not (String.contains nm '.')) && is_mutable_value_ty e.exp_type then
+        (* same-unit global seen before its declaration pass: qualify *)
+        ()
+
+(* Inside a spawned thunk, touching a mutable local captured from the
+   enclosing scope is the closure-escape R5 violation: the value now lives
+   on two domains with no publication edge. *)
+and note_local_ref_use st name loc =
+  match st.spawn_scope with
+  | None -> ()
+  | Some outer ->
+      let captured =
+        match List.assoc_opt name outer with
+        | Some (Sref l) -> (
+            (* same entry still visible? then it was NOT rebound inside *)
+            match List.assoc_opt name st.scope with Some (Sref l') -> l == l' | _ -> false)
+        | _ -> false
+      in
+      if captured then
+        st.prog.p_escapes <-
+          make_finding ~rule:R5_publication ~loc ~context:(node_of st).n_name ~kind:"closure-escape"
+            (Printf.sprintf
+               "mutable local '%s' captured into a spawned thunk: it now lives on two domains \
+                with no publication edge (make it atomic, or hand off an immutable value)"
+               name)
+          :: st.prog.p_escapes
+
+and walk_apply st f args loc =
+  let callee =
+    match f.exp_desc with
+    | Texp_ident (p, _, _) -> (
+        match resolve_ident st p with
+        | `Node n -> Some n
+        | `Name nm -> Some nm
+        | `Local_ref (name, _) ->
+            note_local_ref_use st name f.exp_loc;
+            None)
+    | _ ->
+        walk_expr st f;
+        None
+  in
+  let cname = Option.value callee ~default:"" in
+  (* content ops on refs / arrays reached through a field or a global *)
+  let content_op = List.assoc_opt cname content_ops in
+  (match content_op with
+  | Some write -> (
+      match args with
+      | (_, Some target) :: rest -> (
+          (match target.exp_desc with
+          | Texp_field (base, _, ld) ->
+              add_access st ~path:(field_path st ld) ~loc ~write;
+              walk_expr st base
+          | Texp_ident (p, _, _) -> (
+              match resolve_ident st p with
+              | `Local_ref (name, _) -> note_local_ref_use st name target.exp_loc
+              | `Name nm when Hashtbl.mem st.prog.p_globals nm ->
+                  add_access st ~path:nm ~loc ~write
+              | _ -> ())
+          | _ -> walk_expr st target);
+          List.iter (fun (_, a) -> Option.iter (walk_expr st) a) rest)
+      | _ -> List.iter (fun (_, a) -> Option.iter (walk_expr st) a) args)
+  | None ->
+      let cls = if cname = "" then Unknown else classify_callee cname in
+      (* the call edge itself *)
+      (match callee with
+      | Some nm when cls = Unknown -> add_call st nm
+      | Some nm when cls = Sync_hof -> add_call st nm
+      | _ -> ());
+      List.iter
+        (fun (_, arg) ->
+          match arg with
+          | None -> ()
+          | Some a -> (
+              match a.exp_desc with
+              | Texp_function _ -> (
+                  match cls with
+                  | Sync_hof ->
+                      (* runs on the caller's domain: inline, same node *)
+                      Hashtbl.replace st.handled (loc_key a.exp_loc) ();
+                      walk_spine st a
+                  | Spawn_sink -> walk_closure_as st a ~tag:"spawn" ~spawn:true ~escaping:false
+                  | Unknown -> walk_closure_as st a ~tag:"anon" ~spawn:false ~escaping:true)
+              | Texp_ident (p, _, _) when is_arrow a.exp_type -> (
+                  match resolve_ident st p with
+                  | `Node n -> (
+                      match cls with
+                      | Sync_hof -> add_call st n
+                      | Spawn_sink -> mark_pending st n `Spawn
+                      | Unknown -> mark_pending st n `Escape)
+                  | `Name nm -> (
+                      match cls with
+                      | Sync_hof -> add_call st nm
+                      | Spawn_sink -> mark_pending st nm `Spawn
+                      | Unknown -> mark_pending st nm `Escape)
+                  | `Local_ref _ -> ())
+              | _ -> walk_expr st a))
+        args)
+
+(* -------------------------------------------------- per-module entry point *)
+
+(* Field-declaration pass: publication-edge attributes on mutable fields.
+   Mirrors the R3 inventory's path naming. *)
+let collect_field_edges prog ~modname (str : structure) =
+  let rec labels_of_decl prefix (td : type_declaration) =
+    let tyname = td.typ_name.Asttypes.txt in
+    match td.typ_kind with
+    | Ttype_record lds -> List.map (fun ld -> (tyname ^ prefix, ld)) lds
+    | Ttype_variant cds ->
+        List.concat_map
+          (fun cd ->
+            match cd.cd_args with
+            | Cstr_record lds ->
+                List.map (fun ld -> (tyname ^ "." ^ cd.cd_name.Asttypes.txt, ld)) lds
+            | Cstr_tuple _ -> [])
+          cds
+    | _ -> []
+  and walk_items items =
+    List.iter
+      (fun item ->
+        match item.str_desc with
+        | Tstr_type (_, tds) ->
+            List.iter
+              (fun td ->
+                List.iter
+                  (fun (typath, ld) ->
+                    let edges = edges_of_attrs publishes_attribute ld.ld_attributes in
+                    if edges <> [] then
+                      Hashtbl.replace prog.p_field_edges
+                        (Printf.sprintf "%s.%s.%s" modname typath ld.ld_name.Asttypes.txt)
+                        (edges, ld.ld_loc))
+                  (labels_of_decl "" td))
+              tds
+        | Tstr_module mb -> (
+            let rec unwrap me =
+              match me.mod_desc with
+              | Tmod_structure s -> Some s
+              | Tmod_constraint (me, _, _, _) -> unwrap me
+              | _ -> None
+            in
+            match unwrap mb.mb_expr with Some s -> walk_items s.str_items | None -> ())
+        | _ -> ())
+      items
+  in
+  walk_items str.str_items
+
+(* First pass over a module: globals + field edges (so cross-module global
+   accesses resolve whatever the scan order). *)
+let pre_collect prog ~modname (str : structure) =
+  collect_field_edges prog ~modname str;
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match vb.vb_pat.pat_desc with
+              | Tpat_var (id, _) ->
+                  let ty = vb.vb_expr.exp_type in
+                  if (not (is_arrow ty)) && is_mutable_value_ty ty && not (is_atomic_ty ty)
+                  then Hashtbl.replace prog.p_globals (modname ^ "." ^ Ident.name id) vb.vb_loc
+              | _ -> ())
+            vbs
+      | _ -> ())
+    str.str_items
+
+(* Second pass: the call graph proper. *)
+let collect prog ~modname (str : structure) =
+  let root = get_node prog modname Location.none in
+  let st =
+    {
+      modname;
+      prog;
+      node_stack = [ root ];
+      scope = [];
+      submodules = [];
+      anon = 0;
+      handled = Hashtbl.create 64;
+      spawn_scope = None;
+    }
+  in
+  collect_structure st str
+
+(* Apply the cross-module escape/spawn marks recorded during collection. *)
+let finalize prog =
+  List.iter
+    (fun (name, kind) ->
+      match Hashtbl.find_opt prog.p_nodes name with
+      | Some n -> ( match kind with `Spawn -> n.n_spawn <- true | `Escape -> n.n_escaping <- true)
+      | None -> ())
+    prog.p_pending;
+  prog.p_pending <- []

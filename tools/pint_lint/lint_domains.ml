@@ -1,0 +1,127 @@
+(* Domain-context inference over the whole-program call graph.
+
+   Seeds of multi-domain context:
+     - thunks passed to [Domain.spawn] (and named functions so passed),
+     - closures that escape to unseen consumers (stored into records /
+       tuples / passed to unknown callees) — the pipeline-stage, hook and
+       micropool shapes all reach domains this way,
+     - entry points named in {!Lint_types.seed_name_patterns}: API
+       surfaces (Replay.Session) that unseen callers drive concurrently
+       with running domains.
+
+   Everything reachable from a seed along call edges is *spawned* (may
+   execute on a non-main domain).  A node also reachable from a non-seed
+   root runs in *both* contexts.  Unreachable-from-seed nodes are
+   *single*-domain: their plain mutable state needs no publication story.
+
+   The same graph answers the R5 reader-path question: for a happens-before
+   edge [e], [uncovered t ~edge:e] is the set of nodes reachable from a
+   spawned seed without ever passing through a function that
+   [@pint.acquires e].  A read of an [e]-published field inside such a node
+   is a read that some domain can perform without the acquiring load —
+   exactly the bug the attribute grammar exists to rule out. *)
+
+open Lint_callgraph
+
+type t = {
+  prog : program;
+  spawned : (string, unit) Hashtbl.t;
+  main_reach : (string, unit) Hashtbl.t;
+}
+
+let is_seed (n : node) =
+  n.n_spawn || n.n_escaping || List.mem n.n_name Lint_types.seed_name_patterns
+
+let reach prog ~into ~enter roots =
+  let q = Queue.create () in
+  List.iter
+    (fun name ->
+      if (not (Hashtbl.mem into name)) && enter name then begin
+        Hashtbl.replace into name ();
+        Queue.add name q
+      end)
+    roots;
+  while not (Queue.is_empty q) do
+    let name = Queue.pop q in
+    match Hashtbl.find_opt prog.p_nodes name with
+    | None -> ()
+    | Some n ->
+        List.iter
+          (fun callee ->
+            if (not (Hashtbl.mem into callee)) && enter callee then begin
+              Hashtbl.replace into callee ();
+              Queue.add callee q
+            end)
+          n.n_calls
+  done
+
+let analyze prog =
+  let spawned = Hashtbl.create 256 in
+  let seeds =
+    Hashtbl.fold (fun name n acc -> if is_seed n then name :: acc else acc) prog.p_nodes []
+  in
+  reach prog ~into:spawned ~enter:(fun _ -> true) seeds;
+  (* main-context roots: non-seed nodes nobody calls (entry points, API
+     surface driven by the main domain) *)
+  let called = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun _ n -> List.iter (fun c -> Hashtbl.replace called c ()) n.n_calls)
+    prog.p_nodes;
+  let main_roots =
+    Hashtbl.fold
+      (fun name n acc ->
+        if (not (is_seed n)) && not (Hashtbl.mem called name) then name :: acc else acc)
+      prog.p_nodes []
+  in
+  let main_reach = Hashtbl.create 256 in
+  reach prog ~into:main_reach ~enter:(fun _ -> true) main_roots;
+  { prog; spawned; main_reach }
+
+let is_spawned t name = Hashtbl.mem t.spawned name
+
+let classification t (n : node) =
+  match (Hashtbl.mem t.spawned n.n_name, Hashtbl.mem t.main_reach n.n_name) with
+  | true, true -> "both"
+  | true, false -> "multi"
+  | false, _ -> "single"
+
+(* Nodes reachable from a spawned seed along paths that never enter an
+   acquirer of [edge].  (A seed that itself acquires [edge] contributes
+   nothing: its whole subtree reads after the acquiring load.) *)
+let uncovered t ~edge =
+  let acquires name =
+    match Hashtbl.find_opt t.prog.p_nodes name with
+    | Some n -> List.mem edge n.n_acquires
+    | None -> false
+  in
+  let seeds =
+    Hashtbl.fold (fun name n acc -> if is_seed n then name :: acc else acc) t.prog.p_nodes []
+  in
+  let into = Hashtbl.create 64 in
+  reach t.prog ~into ~enter:(fun name -> not (acquires name)) seeds;
+  into
+
+(* Same uncovered-reachability, but seeded at the exported entry points
+   (non-seed nodes nobody in the program calls).  A client is free to run
+   any of those on any domain, so an [edges:] field read reachable from one
+   without passing an acquirer is a latent cross-domain race in library
+   API surface — e.g. an exported peek that drops its acquiring load. *)
+let uncovered_from_roots t ~edge =
+  let acquires name =
+    match Hashtbl.find_opt t.prog.p_nodes name with
+    | Some n -> List.mem edge n.n_acquires
+    | None -> false
+  in
+  let called = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun _ n -> List.iter (fun c -> Hashtbl.replace called c ()) n.n_calls)
+    t.prog.p_nodes;
+  let roots =
+    Hashtbl.fold
+      (fun name n acc ->
+        if (not (is_seed n)) && not (Hashtbl.mem called name) then name :: acc else acc)
+      t.prog.p_nodes []
+  in
+  let into = Hashtbl.create 64 in
+  reach t.prog ~into ~enter:(fun name -> not (acquires name)) roots;
+  into

@@ -1,46 +1,66 @@
-(* Orchestration: load .cmt files, run the pass per module, apply the
-   ownership manifest (R3) and the baseline, and assemble the report. *)
+(* Orchestration: load .cmt files, run the per-module pass (R1/R2/R4 and
+   the R3 field inventory), link the whole-program call graph, run the
+   domain-context inference and the R5/R6 publication / single-writer
+   checks, apply the ownership manifest and the baseline, and assemble the
+   report. *)
+
+(* Internal tool failure (unreadable .cmt, …) as opposed to findings: the
+   CLI maps this to exit code 2. *)
+exception Tool_error of string
 
 type report = {
   findings : Lint_types.finding list;  (** non-suppressed, sorted *)
   suppressed : int;
   modules : string list;  (** modules actually analyzed *)
   fields_checked : int;  (** mutable fields inventoried for R3 *)
+  checked_rows : int;  (** manifest rows verified by R5/R6 *)
+  trusted_rows : int;  (** manifest rows taken on trust ('-' or lock-owned) *)
   stale_baseline : Lint_baseline.entry list;
 }
 
 (* A .cmt holds an implementation, an interface, or a packed module; only
    implementations carry the typed tree the rules inspect. *)
 let load_structure path =
-  let infos = Cmt_format.read_cmt path in
+  let infos =
+    try Cmt_format.read_cmt path
+    with e ->
+      raise (Tool_error (Printf.sprintf "cannot read %s: %s" path (Printexc.to_string e)))
+  in
   match infos.Cmt_format.cmt_annots with
-  | Cmt_format.Implementation str -> Some (infos.Cmt_format.cmt_modname, str)
+  | Cmt_format.Implementation str ->
+      (* executables compile as [Dune__exe__Foo]; analysis names use the
+         plain module name, same as the (wrapped false) libraries *)
+      Some (Lint_callgraph.norm_component infos.Cmt_format.cmt_modname, str)
   | _ -> None
 
 let rec collect_cmts path acc =
-  if Sys.is_directory path then
+  if not (Sys.file_exists path) then
+    raise (Tool_error (Printf.sprintf "no such path: %s" path))
+  else if Sys.is_directory path then
     Array.fold_left
       (fun acc entry -> collect_cmts (Filename.concat path entry) acc)
       acc (Sys.readdir path)
   else if Filename.check_suffix path ".cmt" then path :: acc
   else acc
 
-let run ~baseline ~ownership paths =
+let load_all paths =
   let cmts = List.sort compare (List.fold_right collect_cmts paths []) in
-  let modules = ref [] in
-  let all_findings = ref [] in
-  let all_fields = ref [] in
-  List.iter
-    (fun cmt ->
-      match load_structure cmt with
-      | None -> ()
-      | Some (modname, str) ->
-          modules := modname :: !modules;
-          let findings, fields = Lint_pass.analyze ~modname str in
-          all_findings := findings :: !all_findings;
-          all_fields := fields :: !all_fields)
-    cmts;
-  let fields = List.concat !all_fields in
+  List.filter_map load_structure cmts
+
+(* Link phase: the cross-module call graph + access/attribute collection.
+   Two passes so globals and field edges resolve whatever the scan order. *)
+let link structures =
+  let prog = Lint_callgraph.create_program () in
+  List.iter (fun (modname, str) -> Lint_callgraph.pre_collect prog ~modname str) structures;
+  List.iter (fun (modname, str) -> Lint_callgraph.collect prog ~modname str) structures;
+  Lint_callgraph.finalize prog;
+  prog
+
+let run ~baseline ~ownership paths =
+  let structures = load_all paths in
+  let modules = List.map fst structures in
+  let per_module = List.map (fun (modname, str) -> Lint_pass.analyze ~modname str) structures in
+  let fields = List.concat_map snd per_module in
   (* R3a: every mutable field must be claimed by the manifest *)
   let r3 =
     List.filter_map
@@ -55,6 +75,13 @@ let run ~baseline ~ownership paths =
                   path)))
       fields
   in
+  (* link + domain-context inference + R5/R6 (marks global rows as used,
+     so it must run before the staleness sweep below) *)
+  let prog = link structures in
+  let domains = Lint_domains.analyze prog in
+  let publish, checked_rows, trusted_rows =
+    Lint_publish.check ~prog ~domains ~ownership ~fields
+  in
   (* R3b: manifest entries must claim fields that still exist *)
   let r3_stale =
     List.map
@@ -68,34 +95,42 @@ let run ~baseline ~ownership paths =
              e.Lint_ownership.pattern))
       (Lint_ownership.stale ownership)
   in
-  let findings = List.concat (List.rev !all_findings) @ r3 @ r3_stale in
+  let findings = List.concat_map fst per_module @ r3 @ publish @ r3_stale in
   let kept, suppressed =
     List.partition (fun f -> not (Lint_baseline.suppresses baseline f)) findings
   in
   {
     findings = List.sort Lint_types.compare_findings kept;
     suppressed = List.length suppressed;
-    modules = List.sort compare !modules;
+    modules = List.sort compare modules;
     fields_checked = List.length fields;
+    checked_rows;
+    trusted_rows;
     stale_baseline = Lint_baseline.stale baseline;
   }
 
 (* The uncovered mutable-field inventory in manifest-row form — used by
    [pint_lint --dump-fields] to draft OWNERSHIP.md entries. *)
 let dump_fields ~ownership paths =
-  let cmts = List.sort compare (List.fold_right collect_cmts paths []) in
   List.concat_map
-    (fun cmt ->
-      match load_structure cmt with
-      | None -> []
-      | Some (modname, str) ->
-          let _, fields = Lint_pass.analyze ~modname str in
-          List.filter_map
-            (fun (path, _, flavor) ->
-              if Lint_ownership.covers ownership path then None
-              else Some (Printf.sprintf "| %s | FIXME-owner | %s field |" path flavor))
-            fields)
-    cmts
+    (fun (modname, str) ->
+      let _, fields = Lint_pass.analyze ~modname str in
+      List.filter_map
+        (fun (path, _, flavor) ->
+          if Lint_ownership.covers ownership path then None
+          else Some (Printf.sprintf "| %s | FIXME-owner | - | %s field |" path flavor))
+        fields)
+    (load_all paths)
+
+(* Per-function domain-context classification, for [--dump-contexts]. *)
+let dump_contexts paths =
+  let prog = link (load_all paths) in
+  let domains = Lint_domains.analyze prog in
+  Hashtbl.fold
+    (fun name n acc -> (name, Lint_domains.classification domains n) :: acc)
+    prog.Lint_callgraph.p_nodes []
+  |> List.sort compare
+  |> List.map (fun (name, cls) -> Printf.sprintf "%-6s %s" cls name)
 
 let json_report r =
   let b = Buffer.create 4096 in
@@ -108,6 +143,8 @@ let json_report r =
   Buffer.add_string b "\n  ],\n";
   Buffer.add_string b (Printf.sprintf "  \"suppressed\": %d,\n" r.suppressed);
   Buffer.add_string b (Printf.sprintf "  \"fields_checked\": %d,\n" r.fields_checked);
+  Buffer.add_string b (Printf.sprintf "  \"checked_rows\": %d,\n" r.checked_rows);
+  Buffer.add_string b (Printf.sprintf "  \"trusted_rows\": %d,\n" r.trusted_rows);
   Buffer.add_string b
     (Printf.sprintf "  \"modules\": [%s],\n"
        (String.concat ", " (List.map (fun m -> "\"" ^ Lint_types.json_escape m ^ "\"") r.modules)));
@@ -122,3 +159,32 @@ let json_report r =
              r.stale_baseline)));
   Buffer.add_string b "}\n";
   Buffer.contents b
+
+(* SARIF 2.1.0, the shape GitHub code scanning ingests.  The partial
+   fingerprint is the baseline identity, so annotations stay put across
+   line drift. *)
+let sarif_report r =
+  let esc = Lint_types.json_escape in
+  let rule_json rule =
+    Printf.sprintf
+      {|{"id":"%s","name":"%s","shortDescription":{"text":"%s"}}|}
+      (Lint_types.rule_id rule)
+      (esc (Lint_types.rule_title rule))
+      (esc (Lint_types.rule_title rule))
+  in
+  let result_json (f : Lint_types.finding) =
+    let r1, r2, r3, r4 = Lint_types.fingerprint f in
+    Printf.sprintf
+      {|{"ruleId":"%s","level":"error","message":{"text":"[%s] (%s) %s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}}],"partialFingerprints":{"pintLintIdentity/v1":"%s:%s:%s:%s"}}|}
+      (Lint_types.rule_id f.Lint_types.rule)
+      (esc f.Lint_types.kind) (esc f.Lint_types.context) (esc f.Lint_types.message)
+      (esc f.Lint_types.file)
+      (max 1 f.Lint_types.line)
+      (f.Lint_types.col + 1)
+      (esc r1) (esc r2) (esc r3) (esc r4)
+  in
+  Printf.sprintf
+    {|{"$schema":"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"pint_lint","informationUri":"https://example.invalid/pint_lint","rules":[%s]}},"results":[%s]}]}
+|}
+    (String.concat "," (List.map rule_json Lint_types.all_rules))
+    (String.concat "," (List.map result_json r.findings))

@@ -6,18 +6,52 @@
    ([Atomic.t] & friends — detected from the type, no entry needed) or be
    claimed here with a named owner.  Rows are standard markdown table rows:
 
-     | Module.type.field | owner | justification |
+     | Module.type.field | owner | owner-context | justification |
 
    The first cell may end in [.*] to claim every field of a type
    ([Itreap.scratch.*]) or every field of a module ([Wl_heat.*]) — meant
    for single-stage-local state where per-field entries add no information.
    Entries (wildcard or not) that match no existing field are reported as
    R3 findings: a manifest claiming fields that are gone is wrong, not
-   merely untidy. *)
+   merely untidy.
+
+   The owner-context cell (PR 9) is what the R5/R6 whole-program passes
+   verify.  Forms:
+
+     -                     row is trusted prose, not machine-checked
+     writers: f1, f2       R6: every write to the field occurs inside the
+                           named function set; reads are unrestricted
+                           (publication of the enclosing record via the
+                           spawn edge is trusted).  [wiring:] is an alias
+                           for construction-time-only fields.
+     private: f1, f2       R6: every write AND every multi-domain read
+                           occurs inside the set; single-domain (main
+                           context) reads are exempt — the post-drain
+                           diagnostics idiom
+     edges: f1, f2         R6 writer set as [writers:], plus R5: the field
+                           declaration must carry [@pint.publishes],
+                           writers must publish a declared edge, and every
+                           multi-domain reader path must pass a matching
+                           [@pint.acquires]
+
+   Function sets are comma-separated qualified names; [Module.*] claims
+   every function of the module.  Rows whose third cell looks like a
+   context keyword ([word:]) but is not one of the above are malformed —
+   the linter refuses to run rather than silently trusting the row.
+   Three-cell rows from before the column existed parse as [-]. *)
+
+exception Malformed of string
+
+type owner_context =
+  | Unchecked
+  | Writers of string list
+  | Private of string list
+  | Edges of string list
 
 type entry = {
   pattern : string;  (** [Module.type.field], or with a trailing [.*] *)
   owner : string;
+  context : owner_context;
   note : string;
   o_line : int;
   mutable matched : bool;
@@ -33,6 +67,37 @@ let empty = { entries = [] }
 let looks_like_pattern s =
   s <> "" && s.[0] >= 'A' && s.[0] <= 'Z' && String.contains s '.'
 
+let parse_fn_set s =
+  String.split_on_char ',' s |> List.map String.trim |> List.filter (fun f -> f <> "")
+
+(* [word:] shape — a lowercase keyword followed by a colon. *)
+let looks_like_context_cell s =
+  match String.index_opt s ':' with
+  | Some i when i > 0 ->
+      String.for_all (fun c -> c >= 'a' && c <= 'z') (String.sub s 0 i)
+  | _ -> false
+
+let known_context_cell s =
+  match Str_split.split_on_first s ~sep:":" with
+  | Some (kw, _) -> List.mem kw [ "writers"; "wiring"; "private"; "edges" ]
+  | None -> false
+
+let parse_context ~lineno cell =
+  if cell = "-" then Unchecked
+  else
+    match Str_split.split_on_first cell ~sep:":" with
+    | Some (kw, rest) -> (
+        let fns = parse_fn_set rest in
+        match kw with
+        | "writers" | "wiring" -> Writers fns
+        | "private" -> Private fns
+        | "edges" -> Edges fns
+        | _ ->
+            raise
+              (Malformed
+                 (Printf.sprintf "OWNERSHIP.md:%d: unknown owner-context keyword '%s:'" lineno kw)))
+    | None -> Unchecked
+
 let parse_row ~lineno line =
   let line = String.trim line in
   if String.length line < 2 || line.[0] <> '|' then None
@@ -47,14 +112,19 @@ let parse_row ~lineno line =
         let sep = String.for_all (fun c -> c = '-' || c = ':' || c = ' ') owner in
         if sep || owner = "" then None
         else
-          Some
-            {
-              pattern;
-              owner;
-              note = String.concat " | " rest;
-              o_line = lineno;
-              matched = false;
-            }
+          (* a context cell is recognized when it is "-", a known keyword,
+             or keyword-shaped with a note cell following it (an explicit
+             4-cell row with an unknown keyword is malformed); a bare
+             3-cell row keeps its prose note even if it starts "word:" *)
+          let context, note =
+            match rest with
+            | ctx :: note_cells
+              when ctx = "-" || known_context_cell ctx
+                   || (looks_like_context_cell ctx && note_cells <> []) ->
+                (parse_context ~lineno ctx, String.concat " | " note_cells)
+            | _ -> (Unchecked, String.concat " | " rest)
+          in
+          Some { pattern; owner; context; note; o_line = lineno; matched = false }
     | _ -> None
 
 let load path =
@@ -70,7 +140,11 @@ let load path =
          | Some e -> entries := e :: !entries
          | None -> ()
        done
-     with End_of_file -> close_in ic);
+     with
+    | End_of_file -> close_in ic
+    | e ->
+        close_in_noerr ic;
+        raise e);
     { entries = List.rev !entries }
   end
 
@@ -92,6 +166,21 @@ let covers t field =
       end
       else acc)
     false t.entries
+
+(* First entry claiming [field], for the R5/R6 passes (does not mark). *)
+let entry_for t field = List.find_opt (fun e -> pattern_matches e.pattern field) t.entries
+
+(* Membership of a function (node name, possibly with <anonN> suffixes
+   stripped by the caller) in an owner-context function set. *)
+let fn_in_set fns fn =
+  List.exists
+    (fun pat ->
+      pat = fn
+      ||
+      match Str_split.split_on_first pat ~sep:".*" with
+      | Some (prefix, "") -> Str_split.starts_with ~prefix:(prefix ^ ".") fn || prefix = fn
+      | _ -> false)
+    fns
 
 (* Entries that matched no discovered field.  Wildcards are held to the
    same standard: a module-level claim over a module with no mutable state

@@ -62,7 +62,21 @@ let matches_set set p =
 
 let is_poly_compare p = matches_set poly_compare_idents p
 let is_allocator p = matches_set allocating_idents p
-let is_forbidden p = matches_set forbidden_idents p
+
+(* [Stdlib.exit] is banned only under {!Lint_types.exit_banned_prefixes}
+   (lib/): entry points in bin/ and tools/ legitimately set their process
+   status with it. *)
+let in_exit_scope fname =
+  List.exists
+    (fun pre ->
+      Str_split.starts_with ~prefix:pre fname
+      ||
+      match Str_split.split_on_first fname ~sep:("/" ^ pre) with Some _ -> true | None -> false)
+    exit_banned_prefixes
+
+let is_forbidden ~loc p =
+  matches_set forbidden_idents p
+  && (norm (Path.name p) <> "exit" || in_exit_scope loc.Location.loc_start.Lexing.pos_fname)
 
 let is_hot_forbidden p =
   let nm = norm (Path.name p) in
@@ -141,7 +155,7 @@ let check_expr st e =
   let loc = e.exp_loc in
   (match e.exp_desc with
   | Texp_ident (p, _, _) ->
-      if is_forbidden p then
+      if is_forbidden ~loc p then
         flag st ~rule:R4_forbidden ~loc ~kind:"forbidden-ident" "use of %s" (Path.name p);
       if st.in_hot && is_hot_forbidden p then
         flag st ~rule:R4_forbidden ~loc ~kind:"printf-in-hot" "%s in a [@pint.hot] body"

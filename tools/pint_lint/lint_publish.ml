@@ -1,0 +1,311 @@
+(* R5 (cross-domain publication) and R6 (single-writer discipline): the
+   whole-program checks over the call graph, the domain-context inference
+   and the OWNERSHIP.md owner-context column.
+
+   Per mutable unsynchronized field claimed by a manifest row:
+
+     -            trusted prose: no machine check (counted, reported)
+     writers: S   R6  every write happens inside S
+     private: S   R6  every write inside S, and every *spawned-context*
+                  read inside S (main-context reads are the post-drain
+                  diagnostics idiom and are exempt)
+     edges: S     R6 writer check as [writers:], plus R5: the field must
+                  declare [@pint.publishes] edges; every spawned writer
+                  must publish one of them; every spawned reader must sit
+                  on a path from its spawn seed that passes a matching
+                  [@pint.acquires] — checked as uncovered-reachability,
+                  so removing one acquire on one reader path is a finding
+                  even when another path is covered
+
+   Rows whose owner cell names a lock (mutex/lock/seqlock) are exempt from
+   R5: the lock is the happens-before edge.
+
+   Edge hygiene (R5, "unpaired-edge"): every edge name appearing anywhere
+   must be declared on a field, published by some function and acquired by
+   some function — an attribute whose other half is gone is a stale
+   soundness argument, exactly what this pass exists to reject.
+
+   Module-level mutable values (refs, arrays…) accessed from spawned
+   context must be claimed by a manifest row ("unpublished-shared-ref"
+   otherwise); a claimed global is then checked under its row's
+   owner-context like a field.
+
+   Closure escapes are detected during collection (a mutable local
+   captured into a spawned thunk) and surfaced here. *)
+
+open Lint_types
+open Lint_callgraph
+
+(* "A.f.<anon1>.g" -> "A.f" — synthetic closure segments belong to their
+   enclosing function for ownership purposes. *)
+let strip_anon fn =
+  match Str_split.split_on_first fn ~sep:".<" with Some (p, _) -> p | None -> fn
+
+(* Ownership-set membership climbs the nesting chain: a write inside
+   [Micropool.run_worker.loop] is covered by a set naming
+   [Micropool.run_worker]. *)
+let covered_by fns fn =
+  let rec climb fn =
+    Lint_ownership.fn_in_set fns fn
+    ||
+    match Str_split.split_on_last fn ~sep:"." with Some (parent, _) -> climb parent | None -> false
+  in
+  climb (strip_anon fn)
+
+let is_lock_owner (e : Lint_ownership.entry) =
+  let owner = String.lowercase_ascii e.Lint_ownership.owner in
+  List.exists
+    (fun m ->
+      match Str_split.split_on_first owner ~sep:m with Some _ -> true | None -> false)
+    lock_owner_markers
+
+type counts = { mutable checked_rows : int; mutable trusted_rows : int }
+
+let ownership_loc lineno = Location.in_file (Printf.sprintf "OWNERSHIP.md (line %d)" lineno)
+
+let check ~prog ~domains ~ownership ~fields =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let counts = { checked_rows = 0; trusted_rows = 0 } in
+
+  (* ----- access index: field/global path -> accesses grouped by node *)
+  let by_path : (string, (node * access) list ref) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun _ n ->
+      List.iter
+        (fun a ->
+          let cell =
+            match Hashtbl.find_opt by_path a.a_path with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.add by_path a.a_path r;
+                r
+          in
+          cell := (n, a) :: !cell)
+        n.n_accesses)
+    prog.p_nodes;
+  let accesses path = match Hashtbl.find_opt by_path path with Some r -> !r | None -> [] in
+
+  let uncovered_cache = Hashtbl.create 8 in
+  let uncovered edge =
+    match Hashtbl.find_opt uncovered_cache edge with
+    | Some s -> s
+    | None ->
+        let s = Lint_domains.uncovered domains ~edge in
+        Hashtbl.add uncovered_cache edge s;
+        s
+  in
+  let root_uncovered_cache = Hashtbl.create 8 in
+  let root_uncovered edge =
+    match Hashtbl.find_opt root_uncovered_cache edge with
+    | Some s -> s
+    | None ->
+        let s = Lint_domains.uncovered_from_roots domains ~edge in
+        Hashtbl.add root_uncovered_cache edge s;
+        s
+  in
+
+  (* ----- R6 writer-set check, shared by writers:/private:/edges: *)
+  let check_writers path fns =
+    List.iter
+      (fun ((n : node), a) ->
+        if a.a_write && not (covered_by fns n.n_name) then
+          add
+            (make_finding ~rule:R6_single_writer ~loc:a.a_loc ~context:(strip_anon n.n_name)
+               ~kind:"off-owner-write"
+               (Printf.sprintf "%s writes %s but is not in the declared owner set (%s)"
+                  (strip_anon n.n_name) path (String.concat ", " fns))))
+      (accesses path)
+  in
+
+  (* ----- one manifest-claimed mutable path (field or global) *)
+  let check_path entry path decl_loc =
+    if is_lock_owner entry then counts.trusted_rows <- counts.trusted_rows + 1
+    else
+      match entry.Lint_ownership.context with
+      | Lint_ownership.Unchecked -> counts.trusted_rows <- counts.trusted_rows + 1
+      | Lint_ownership.Writers fns ->
+          counts.checked_rows <- counts.checked_rows + 1;
+          check_writers path fns
+      | Lint_ownership.Private fns ->
+          counts.checked_rows <- counts.checked_rows + 1;
+          check_writers path fns;
+          List.iter
+            (fun ((n : node), a) ->
+              if
+                (not a.a_write)
+                && Lint_domains.is_spawned domains n.n_name
+                && not (covered_by fns n.n_name)
+              then
+                add
+                  (make_finding ~rule:R6_single_writer ~loc:a.a_loc
+                     ~context:(strip_anon n.n_name) ~kind:"off-owner-read"
+                     (Printf.sprintf
+                        "%s reads private state %s from spawned context outside the owner set (%s)"
+                        (strip_anon n.n_name) path (String.concat ", " fns))))
+            (accesses path)
+      | Lint_ownership.Edges fns -> (
+          counts.checked_rows <- counts.checked_rows + 1;
+          check_writers path fns;
+          match Hashtbl.find_opt prog.p_field_edges path with
+          | None ->
+              add
+                (make_finding ~rule:R5_publication ~loc:decl_loc ~context:path
+                   ~kind:"unpublished-shared-mutable"
+                   (Printf.sprintf
+                      "%s is claimed with an edges: owner-context but its declaration carries no \
+                       [@pint.publishes] edge"
+                      path))
+          | Some (edges, _) ->
+              List.iter
+                (fun ((n : node), a) ->
+                  if a.a_write then begin
+                    if
+                      Lint_domains.is_spawned domains n.n_name
+                      && not (List.exists (fun e -> List.mem e n.n_publishes) edges)
+                    then
+                      add
+                        (make_finding ~rule:R5_publication ~loc:a.a_loc
+                           ~context:(strip_anon n.n_name) ~kind:"unpublished-write"
+                           (Printf.sprintf
+                              "%s writes %s from spawned context without [@pint.publishes] on any \
+                               of its edges (%s)"
+                              (strip_anon n.n_name) path (String.concat ", " edges)))
+                  end
+                  else if
+                    List.for_all (fun e -> Hashtbl.mem (uncovered e) n.n_name) edges
+                  then
+                    add
+                      (make_finding ~rule:R5_publication ~loc:a.a_loc
+                         ~context:(strip_anon n.n_name) ~kind:"unacquired-read"
+                         (Printf.sprintf
+                            "%s reads %s on a spawned path that never passes [@pint.acquires] for \
+                             any of its edges (%s)"
+                            (strip_anon n.n_name) path (String.concat ", " edges)))
+                  else if
+                    (* exported-entry-point path: a client may run any
+                       uncalled function on any domain, so a read reachable
+                       from one without an acquiring load is the same bug
+                       (writer-set members are covered by R6 above) *)
+                    List.for_all (fun e -> Hashtbl.mem (root_uncovered e) n.n_name) edges
+                    && not (covered_by fns n.n_name)
+                  then
+                    add
+                      (make_finding ~rule:R5_publication ~loc:a.a_loc
+                         ~context:(strip_anon n.n_name) ~kind:"unacquired-read"
+                         (Printf.sprintf
+                            "%s reads %s on a path from an exported entry point that never passes \
+                             [@pint.acquires] for any of its edges (%s)"
+                            (strip_anon n.n_name) path (String.concat ", " edges))))
+                (accesses path))
+  in
+
+  (* ----- fields from the R3 inventory *)
+  List.iter
+    (fun (path, decl_loc, _flavor) ->
+      match Lint_ownership.entry_for ownership path with
+      | None -> ()  (* R3 already reports the missing claim *)
+      | Some entry -> check_path entry path decl_loc)
+    fields;
+
+  (* ----- module-level mutable values *)
+  Hashtbl.iter
+    (fun gpath gloc ->
+      match Lint_ownership.entry_for ownership gpath with
+      | Some entry ->
+          ignore (Lint_ownership.covers ownership gpath);
+          check_path entry gpath gloc
+      | None ->
+          let spawned_accesses =
+            List.filter (fun ((n : node), _) -> Lint_domains.is_spawned domains n.n_name)
+              (accesses gpath)
+          in
+          List.iter
+            (fun ((n : node), (a : access)) ->
+              add
+                (make_finding ~rule:R5_publication ~loc:a.a_loc ~context:gpath
+                   ~kind:"unpublished-shared-ref"
+                   (Printf.sprintf
+                      "module-level mutable value %s is %s by %s in spawned context but has no \
+                       ownership row or publication edge"
+                      gpath
+                      (if a.a_write then "written" else "read")
+                      (strip_anon n.n_name))))
+            spawned_accesses)
+    prog.p_globals;
+
+  (* ----- edge pairing: declared / published / acquired must all meet *)
+  let declared = Hashtbl.create 8 and published = Hashtbl.create 8 and acquired = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun path (edges, loc) -> List.iter (fun e -> Hashtbl.replace declared e (path, loc)) edges)
+    prog.p_field_edges;
+  Hashtbl.iter
+    (fun _ (n : node) ->
+      List.iter (fun e -> Hashtbl.replace published e n) n.n_publishes;
+      List.iter (fun e -> Hashtbl.replace acquired e n) n.n_acquires)
+    prog.p_nodes;
+  let pair_finding ~loc ~context msg =
+    add (make_finding ~rule:R5_publication ~loc ~context ~kind:"unpaired-edge" msg)
+  in
+  Hashtbl.iter
+    (fun e (path, loc) ->
+      if not (Hashtbl.mem published e) then
+        pair_finding ~loc ~context:path
+          (Printf.sprintf "edge '%s' is declared on %s but no function publishes it" e path);
+      if not (Hashtbl.mem acquired e) then
+        pair_finding ~loc ~context:path
+          (Printf.sprintf "edge '%s' is declared on %s but no function acquires it" e path))
+    declared;
+  Hashtbl.iter
+    (fun e (n : node) ->
+      if not (Hashtbl.mem declared e) then
+        pair_finding ~loc:n.n_loc ~context:(strip_anon n.n_name)
+          (Printf.sprintf "%s publishes edge '%s' but no mutable field declares it"
+             (strip_anon n.n_name) e))
+    published;
+  Hashtbl.iter
+    (fun e (n : node) ->
+      if not (Hashtbl.mem declared e) then
+        pair_finding ~loc:n.n_loc ~context:(strip_anon n.n_name)
+          (Printf.sprintf "%s acquires edge '%s' but no mutable field declares it"
+             (strip_anon n.n_name) e))
+    acquired;
+
+  (* ----- owner-context hygiene: named functions must exist *)
+  let node_exists fn =
+    Hashtbl.mem prog.p_nodes fn
+    || Hashtbl.fold
+         (fun name _ acc -> acc || Str_split.starts_with ~prefix:(fn ^ ".") name)
+         prog.p_nodes false
+  in
+  List.iter
+    (fun (e : Lint_ownership.entry) ->
+      if e.Lint_ownership.matched then
+        let fns =
+          match e.Lint_ownership.context with
+          | Lint_ownership.Unchecked -> []
+          | Lint_ownership.Writers fns | Lint_ownership.Private fns | Lint_ownership.Edges fns ->
+              fns
+        in
+        List.iter
+          (fun fn ->
+            let exact =
+              match Str_split.split_on_first fn ~sep:".*" with
+              | Some (_, "") -> None  (* wildcard: no existence check *)
+              | _ -> Some fn
+            in
+            match exact with
+            | Some fn when not (node_exists fn) ->
+                add
+                  (make_finding ~rule:R6_single_writer ~loc:(ownership_loc e.Lint_ownership.o_line)
+                     ~context:fn ~kind:"unknown-owner-fn"
+                     (Printf.sprintf
+                        "owner-context for %s names function %s which does not exist in the \
+                         analyzed program"
+                        e.Lint_ownership.pattern fn))
+            | _ -> ())
+          fns)
+    ownership.Lint_ownership.entries;
+
+  (prog.p_escapes @ !findings, counts.checked_rows, counts.trusted_rows)

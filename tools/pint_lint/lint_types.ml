@@ -8,19 +8,32 @@
    occurrence of that construct inside that context — which is the right
    unit for justifications like "path copies are the operation's result". *)
 
-type rule = R1_hot_alloc | R2_poly_compare | R3_ownership | R4_forbidden
+type rule =
+  | R1_hot_alloc
+  | R2_poly_compare
+  | R3_ownership
+  | R4_forbidden
+  | R5_publication
+  | R6_single_writer
 
 let rule_id = function
   | R1_hot_alloc -> "R1"
   | R2_poly_compare -> "R2"
   | R3_ownership -> "R3"
   | R4_forbidden -> "R4"
+  | R5_publication -> "R5"
+  | R6_single_writer -> "R6"
 
 let rule_title = function
   | R1_hot_alloc -> "hot-path allocation"
   | R2_poly_compare -> "polymorphic compare/equality/hash"
   | R3_ownership -> "ownership discipline"
   | R4_forbidden -> "forbidden identifier"
+  | R5_publication -> "cross-domain publication"
+  | R6_single_writer -> "single-writer discipline"
+
+let all_rules =
+  [ R1_hot_alloc; R2_poly_compare; R3_ownership; R4_forbidden; R5_publication; R6_single_writer ]
 
 type finding = {
   rule : rule;
@@ -214,3 +227,78 @@ let synchronized_heads =
   ]
 
 let hot_attribute = "pint.hot"
+
+(* ---------------------------------------------- R5/R6 whole-program config *)
+
+(* Happens-before edge attributes (DESIGN.md §15).  On a mutable field
+   declaration, [@pint.publishes "e1 e2"] declares that plain writes to the
+   field ride the named publication edges.  On a function binding,
+   [@pint.publishes "e"] marks it as performing the releasing atomic write
+   of edge [e] (its plain writes to fields bound to [e] are ordered before
+   that release), and [@pint.acquires "e"] marks its reads as ordered after
+   the acquiring atomic read of [e]. *)
+let publishes_attribute = "pint.publishes"
+let acquires_attribute = "pint.acquires"
+
+(* Functions whose function-typed argument runs on a freshly spawned
+   domain: the argument (and everything it references) is a multi-domain
+   entry point. *)
+let spawn_sinks = [ "Domain.spawn"; "Stdlib.Domain.spawn" ]
+
+(* Known synchronous higher-order callees: a closure passed to one of
+   these runs to completion on the caller's own domain, so it inherits the
+   caller's domain context instead of being treated as escaping.
+   Prefix-matched on the normalized callee name. *)
+let sync_hof_prefixes =
+  [
+    "List.";
+    "Array.";
+    "Option.";
+    "Result.";
+    "Seq.";
+    "Fun.";
+    "Hashtbl.";
+    "Queue.";
+    "Stack.";
+    "String.";
+    "Bytes.";
+    "Map.";
+    "Set.";
+    "Float.";
+    "Int.";
+    "Char.";
+    "Either.";
+    "Filename.";
+    "Sys.";
+    "Printf.";
+    "Format.";
+    "Arg.";
+    "Atomic.";
+    "Printexc.";
+    "Buffer.";
+    "Vec.";
+    "Stats.";
+    "Jsonx.";
+  ]
+
+(* Entry points seeded by name (beyond what {!spawn_sinks} discovers):
+   code the linter cannot see calls these concurrently with running
+   domains, so everything they reach is analyzed as multi-domain context.
+   [Replay.Session] is driven by the serve IO loop while shared-pool
+   domains consume the detector's lanes (DESIGN.md §14). *)
+let seed_name_patterns =
+  [ "Replay.Session.feed"; "Replay.Session.eof"; "Replay.Session.abort"; "Replay.Session.poll_races" ]
+
+(* Type heads that make a module-level VALUE (not a record field) mutable:
+   a global of such a type accessed from multi-domain context needs the
+   same publication story as a mutable field. *)
+let mutable_value_heads = [ "ref"; "array"; "bytes"; "Bytes.t"; "Buffer.t"; "Queue.t"; "Hashtbl.t" ]
+
+(* [Stdlib.exit] is a soundness escape inside lib/ but the normal way for
+   an entry point to report status: R4 keeps banning it under these
+   prefixes only. *)
+let exit_banned_prefixes = [ "lib/" ]
+
+(* Owner columns naming one of these disciplines are lock-protected: R5
+   publication does not apply (the lock is the happens-before edge). *)
+let lock_owner_markers = [ "mutex"; "lock"; "seqlock" ]

@@ -2,17 +2,24 @@
 
    Usage:
      pint_lint [--baseline FILE] [--ownership FILE] [--json FILE]
-               [--dump-fields] [--quiet] PATH...
+               [--sarif FILE] [--allow-stale-baseline]
+               [--dump-fields] [--dump-contexts] [--quiet] PATH...
 
    Each PATH is a .cmt file or a directory searched recursively for them.
-   Exit status: 0 when every finding is baselined, 1 otherwise, 2 on a
-   malformed baseline/manifest. *)
+
+   Exit-code contract:
+     0  clean (every finding baselined, no stale suppressions)
+     1  findings, or stale baseline entries without --allow-stale-baseline
+     2  tool error: unreadable .cmt, malformed baseline or OWNERSHIP row *)
 
 let () =
   let baseline_path = ref "" in
   let ownership_path = ref "" in
   let json_path = ref "" in
+  let sarif_path = ref "" in
+  let allow_stale = ref false in
   let dump = ref false in
+  let dump_contexts = ref false in
   let quiet = ref false in
   let paths = ref [] in
   let spec =
@@ -20,7 +27,12 @@ let () =
       ("--baseline", Arg.Set_string baseline_path, "FILE baseline suppression file");
       ("--ownership", Arg.Set_string ownership_path, "FILE OWNERSHIP.md manifest");
       ("--json", Arg.Set_string json_path, "FILE write a JSON report");
+      ("--sarif", Arg.Set_string sarif_path, "FILE write a SARIF 2.1.0 report");
+      ( "--allow-stale-baseline",
+        Arg.Set allow_stale,
+        " demote stale baseline entries from errors to warnings" );
       ("--dump-fields", Arg.Set dump, " print manifest rows for uncovered mutable fields");
+      ("--dump-contexts", Arg.Set dump_contexts, " print the domain-context classification");
       ("--quiet", Arg.Set quiet, " only print the summary line");
     ]
   in
@@ -29,37 +41,56 @@ let () =
     prerr_endline "pint_lint: no .cmt paths given";
     exit 2
   end;
-  let ownership =
-    if !ownership_path = "" then Lint_core.Lint_ownership.empty
-    else Lint_core.Lint_ownership.load !ownership_path
+  let tool_error msg =
+    prerr_endline ("pint_lint: error: " ^ msg);
+    exit 2
   in
-  if !dump then begin
-    List.iter print_endline (Lint_core.Lint_engine.dump_fields ~ownership (List.rev !paths));
-    exit 0
-  end;
-  let baseline =
-    try
+  try
+    let ownership =
+      if !ownership_path = "" then Lint_core.Lint_ownership.empty
+      else Lint_core.Lint_ownership.load !ownership_path
+    in
+    if !dump then begin
+      List.iter print_endline (Lint_core.Lint_engine.dump_fields ~ownership (List.rev !paths));
+      exit 0
+    end;
+    if !dump_contexts then begin
+      List.iter print_endline (Lint_core.Lint_engine.dump_contexts (List.rev !paths));
+      exit 0
+    end;
+    let baseline =
       if !baseline_path = "" then Lint_core.Lint_baseline.empty
       else Lint_core.Lint_baseline.load !baseline_path
-    with Lint_core.Lint_baseline.Malformed m ->
-      prerr_endline ("pint_lint: " ^ m);
-      exit 2
-  in
-  let report = Lint_core.Lint_engine.run ~baseline ~ownership (List.rev !paths) in
-  if not !quiet then
-    List.iter (fun f -> print_endline (Lint_core.Lint_types.to_string f)) report.findings;
-  List.iter
-    (fun (e : Lint_core.Lint_baseline.entry) ->
-      Printf.eprintf "pint_lint: warning: stale baseline entry (line %d): %s %s %s %s\n"
-        e.Lint_core.Lint_baseline.e_line e.e_rule e.e_file e.e_context e.e_kind)
-    report.stale_baseline;
-  if !json_path <> "" then begin
-    let oc = open_out !json_path in
-    output_string oc (Lint_core.Lint_engine.json_report report);
-    close_out oc
-  end;
-  Printf.printf "pint_lint: %d module(s), %d mutable field(s) checked, %d finding(s), %d baselined\n"
-    (List.length report.modules) report.fields_checked
-    (List.length report.findings)
-    report.suppressed;
-  exit (if report.findings = [] then 0 else 1)
+    in
+    let report = Lint_core.Lint_engine.run ~baseline ~ownership (List.rev !paths) in
+    if not !quiet then
+      List.iter (fun f -> print_endline (Lint_core.Lint_types.to_string f)) report.findings;
+    List.iter
+      (fun (e : Lint_core.Lint_baseline.entry) ->
+        Printf.eprintf "pint_lint: %s: stale baseline entry (line %d): %s %s %s %s\n"
+          (if !allow_stale then "warning" else "error")
+          e.Lint_core.Lint_baseline.e_line e.e_rule e.e_file e.e_context e.e_kind)
+      report.stale_baseline;
+    if !json_path <> "" then begin
+      let oc = open_out !json_path in
+      output_string oc (Lint_core.Lint_engine.json_report report);
+      close_out oc
+    end;
+    if !sarif_path <> "" then begin
+      let oc = open_out !sarif_path in
+      output_string oc (Lint_core.Lint_engine.sarif_report report);
+      close_out oc
+    end;
+    Printf.printf
+      "pint_lint: %d module(s), %d mutable field(s) checked, %d row(s) verified (%d trusted), %d \
+       finding(s), %d baselined\n"
+      (List.length report.modules)
+      report.fields_checked report.checked_rows report.trusted_rows
+      (List.length report.findings)
+      report.suppressed;
+    let stale_fails = report.stale_baseline <> [] && not !allow_stale in
+    exit (if report.findings = [] && not stale_fails then 0 else 1)
+  with
+  | Lint_core.Lint_baseline.Malformed m -> tool_error m
+  | Lint_core.Lint_ownership.Malformed m -> tool_error m
+  | Lint_core.Lint_engine.Tool_error m -> tool_error m

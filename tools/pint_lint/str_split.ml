@@ -13,5 +13,18 @@ let split_on_first s ~sep =
   | None -> None
   | Some i -> Some (String.sub s 0 i, String.sub s (i + m) (n - i - m))
 
+(* [split_on_last s ~sep] — [Some (before, after)] around the last
+   occurrence of [sep], [None] when absent. *)
+let split_on_last s ~sep =
+  let n = String.length s and m = String.length sep in
+  let rec find i best =
+    if i + m > n then best
+    else if String.sub s i m = sep then find (i + 1) (Some i)
+    else find (i + 1) best
+  in
+  match find 0 None with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + m) (n - i - m))
+
 let starts_with ~prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
