@@ -116,6 +116,38 @@ let replay_tests =
       Test.make ~name:"cracer" (Staged.stage (go "cracer"));
     ]
 
+(* Predictive detection: observed detection and the strand DAG come from
+   one replay pass, then the window-bounded reordering analysis runs on
+   top.  The capture is the RACY heat variant — the plain one has no
+   conflicting parallel pairs, so its candidate counters would be zero and
+   the gate would have nothing to pin.  Timed end to end (replay +
+   predict); the deterministic candidate/window counters are the gated
+   payload. *)
+let predict_trace =
+  lazy
+    (let w = Registry.find "heat" in
+     let inst = (Option.get w.Workload.racy) ~size:small ~base:8 in
+     let d, _ = make_det "none" in
+     let driver, finished = Tracefile.capturing d.Detector.driver in
+     ignore (Seq_exec.run ~driver inst.Workload.run);
+     finished ())
+
+let predict_run ~window () =
+  let t = Lazy.force predict_trace in
+  let d, _ = make_det "pint" in
+  let b = Predict.Builder.create () in
+  let o = Replay.run ~on_strand:(Predict.Builder.observer b) t d in
+  let pr = Predict.predict ~window ~observed:o.Replay.races (Predict.Builder.dag b) in
+  pr.Predict.diagnostics
+
+let predict_tests =
+  let go window () = ignore (predict_run ~window ()) in
+  Test.make_grouped ~name:"predict:heat48"
+    [
+      Test.make ~name:"w2" (Staged.stage (go 2));
+      Test.make ~name:"w8" (Staged.stage (go 8));
+    ]
+
 (* Substrate microbenchmarks: the individual data structures. *)
 let substrate_tests =
   let treap_insert () =
@@ -269,7 +301,7 @@ let default_main () =
   print_newline ();
   print_endline "=== Bechamel wall-clock benchmarks (real implementation) ===";
   List.iter report
-    [ fig1_tests; fig2_tests; fig3_tests; fig4_tests; replay_tests; substrate_tests ]
+    [ fig1_tests; fig2_tests; fig3_tests; fig4_tests; replay_tests; predict_tests; substrate_tests ]
 
 (* ------------------------------------------------- machine-readable mode *)
 
@@ -478,6 +510,12 @@ let json_cases =
         ("m4", soak ~sessions:4 ~max_sessions:4);
         ("m8/cap4", soak ~sessions:8 ~max_sessions:4);
       ] );
+    (* Predictive detection on the shared heat capture at a small and a
+       large window.  Wall time is replay + analysis; the candidate and
+       window counters are deterministic (and shard-invariant), so
+       tools/bench_gate pins them exactly. *)
+    ( "predict:heat48",
+      [ ("w2", predict_run ~window:2); ("w8", predict_run ~window:8) ] );
   ]
 
 (* Diagnostics worth tracking release-over-release; anything absent for a
@@ -518,6 +556,11 @@ let tracked_diags =
     "admission_rejects";
     "feed_us_p50";
     "feed_us_p99";
+    "predict_candidates";
+    "predict_windows";
+    "predict_pair_scans";
+    "predict_probe_skips";
+    "predicted";
   ]
 
 (* One profiled representative run (fig1's heat48/pint under the simulator,
@@ -607,7 +650,7 @@ let () =
           incr i;
           json_path := Some argv.(!i)
         end
-        else json_path := Some "BENCH_8.json"
+        else json_path := Some "BENCH_10.json"
     | "--runs" when !i + 1 < n ->
         incr i;
         runs := int_of_string argv.(!i)

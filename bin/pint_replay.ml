@@ -216,6 +216,139 @@ let profile_cmd =
           & opt string "profile.trace.json"
           & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Chrome trace-event JSON to write."))
 
+(* -- predict ------------------------------------------------------------- *)
+
+(* Exit-code contract matches pint_lint: 0 = clean, 1 = findings (observed
+   or predicted races), 2 = error (corrupt trace, bad arguments, or a
+   predict/oracle divergence under --oracle, which is a tool bug). *)
+let predict_cmd =
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let race_json ~origin kind ~prior ~current (where : Interval.t) =
+    Printf.sprintf "{\"kind\":\"%s\",\"prior\":%d,\"current\":%d,\"lo\":%d,\"hi\":%d,\"origin\":\"%s\"}"
+      (Report.kind_to_string kind) prior current where.Interval.lo where.Interval.hi
+      (Report.origin_to_string origin)
+  in
+  let run path window detector shards oracle json max_report =
+    if window < 0 then begin
+      Printf.eprintf "--window must be >= 0\n";
+      exit 2
+    end;
+    let t = load_trace path in
+    let det, _ = make_detector ~shards detector in
+    let builder = Predict.Builder.create () in
+    let o =
+      try Replay.run ~on_strand:(Predict.Builder.observer builder) t det
+      with Replay.Corrupt msg ->
+        Printf.eprintf "%s: inconsistent trace: %s\n" path msg;
+        exit 2
+    in
+    let dag =
+      try Predict.Builder.dag builder
+      with Failure msg ->
+        Printf.eprintf "%s: cannot build strand DAG: %s\n" path msg;
+        exit 2
+    in
+    let observed = o.Replay.races in
+    let r = Predict.predict ~shards ~window ~observed dag in
+    if oracle then begin
+      let reference =
+        try Predict.oracle ~window ~observed dag
+        with Invalid_argument msg ->
+          Printf.eprintf "oracle unavailable: %s\n" msg;
+          exit 2
+      in
+      if not (Predict.equal_findings r.Predict.predicted reference) then begin
+        Printf.eprintf "%s: PREDICT/ORACLE DIVERGENCE at window %d\n" path window;
+        Printf.eprintf "  predict reported %d finding(s), oracle %d:\n"
+          (List.length r.Predict.predicted) (List.length reference);
+        List.iter (fun f -> Format.eprintf "  predict: %a@." Predict.pp_finding f) r.Predict.predicted;
+        List.iter (fun f -> Format.eprintf "  oracle:  %a@." Predict.pp_finding f) reference;
+        exit 2
+      end
+    end;
+    Printf.printf "replayed %d strand(s) through %s (window=%d%s)\n" o.Replay.n_strands
+      o.Replay.detector window
+      (if oracle then ", oracle-certified" else "");
+    Printf.printf "observed: %d distinct pair(s)\n" (List.length observed);
+    Printf.printf "predicted: %d pair(s)\n" (List.length r.Predict.predicted);
+    List.iteri
+      (fun i f ->
+        if i < max_report then Format.printf "  %a@." Predict.pp_finding f
+        else if i = max_report then
+          Printf.printf "  ... (%d more)\n" (List.length r.Predict.predicted - max_report))
+      r.Predict.predicted;
+    List.iter (fun (k, v) -> Printf.printf "diag %s = %g\n" k v) r.Predict.diagnostics;
+    (match json with
+    | None -> ()
+    | Some out ->
+        let b = Buffer.create 1024 in
+        Buffer.add_string b
+          (Printf.sprintf "{\n  \"trace\": \"%s\",\n  \"window\": %d,\n  \"detector\": \"%s\",\n"
+             (json_escape (Filename.basename path)) window (json_escape detector));
+        Buffer.add_string b (Printf.sprintf "  \"strands\": %d,\n" o.Replay.n_strands);
+        let add_races key races =
+          Buffer.add_string b (Printf.sprintf "  \"%s\": [" key);
+          List.iteri
+            (fun i r ->
+              if i > 0 then Buffer.add_string b ", ";
+              Buffer.add_string b r)
+            races;
+          Buffer.add_string b "]"
+        in
+        add_races "observed"
+          (List.map
+             (fun (r : Report.race) ->
+               race_json ~origin:Report.Observed r.Report.kind ~prior:r.Report.prior
+                 ~current:r.Report.current r.Report.where)
+             observed);
+        Buffer.add_string b ",\n";
+        add_races "predicted"
+          (List.map
+             (fun (f : Predict.finding) ->
+               race_json ~origin:Report.Predicted f.Predict.kind ~prior:f.Predict.prior
+                 ~current:f.Predict.current f.Predict.where)
+             r.Predict.predicted);
+        Buffer.add_string b ",\n  \"diagnostics\": {";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ", ";
+            Buffer.add_string b (Printf.sprintf "\"%s\": %d" (json_escape k) (int_of_float v)))
+          r.Predict.diagnostics;
+        Buffer.add_string b "}\n}\n";
+        let oc = open_out out in
+        output_string oc (Buffer.contents b);
+        close_out oc;
+        Printf.printf "report written to %s\n" out);
+    if observed <> [] || r.Predict.predicted <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Replay a trace, then report races predictable in sync-preserving window-bounded \
+          reorderings of it")
+    Term.(
+      const run $ trace_arg
+      $ Arg.(
+          value & opt int 4 & info [ "window" ] ~docv:"W" ~doc:"Reordering window: no strand moves more than W positions.")
+      $ Arg.(value & opt string "pint" & info [ "d"; "detector" ] ~doc:"none|stint|cracer|pint.")
+      $ shards_arg
+          ~doc:"Address-range shards for both the replayed detector (pint only) and candidate generation."
+          ()
+      $ Arg.(value & flag & info [ "oracle" ] ~doc:"Certify against the brute-force reordering oracle (small traces/windows; exit 2 on divergence).")
+      $ Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write a JSON report.")
+      $ max_report_arg)
+
 (* -- diff ---------------------------------------------------------------- *)
 
 let diff_cmd =
@@ -249,4 +382,6 @@ let () =
   let info =
     Cmd.info "pint_replay" ~doc:"Capture, replay and differentially check run traces"
   in
-  exit (Cmd.eval (Cmd.group info [ capture_cmd; stats_cmd; replay_cmd; diff_cmd; profile_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ capture_cmd; stats_cmd; replay_cmd; predict_cmd; diff_cmd; profile_cmd ]))

@@ -10,12 +10,21 @@
      pint_serve daemon --socket /tmp/pint.sock --max-sessions 4 --domains 2 &
      pint_serve client --socket /tmp/pint.sock heat.trace
      pint_serve client --socket /tmp/pint.sock heat.trace --verify
+     pint_serve client --socket /tmp/pint.sock heat.trace --predict 4 --verify
+
+   [client --predict W] opts the session into predictive detection
+   (protocol v2): the daemon builds the strand DAG as it replays and the
+   summary carries the window-W predicted races (see `pint_replay
+   predict`).  The daemon caps W with --max-window and rejects larger
+   requests.
 
    [client --verify] replays the same trace offline through a fresh
    detector and exits 1 unless the served race set is identical at the
    Theorem-5 (kind, prior, current) granularity — the same comparison as
-   `pint_replay diff`.  The daemon exits 0 on SIGTERM/SIGINT after a
-   graceful shutdown (sessions aborted, frames flushed, pool joined). *)
+   `pint_replay diff`.  With --predict it also recomputes the predictions
+   offline and fails on any divergence there.  The daemon exits 0 on
+   SIGTERM/SIGINT after a graceful shutdown (sessions aborted, frames
+   flushed, pool joined). *)
 
 open Cmdliner
 
@@ -48,7 +57,7 @@ let host_arg =
 (* -- daemon -------------------------------------------------------------- *)
 
 let daemon_cmd =
-  let run socket port host detector max_sessions domains shards bp_rounds backlog =
+  let run socket port host detector max_sessions domains shards bp_rounds backlog max_window =
     let addr = addr_of ~socket ~port ~host in
     let config =
       {
@@ -59,6 +68,7 @@ let daemon_cmd =
         shards;
         bp_rounds;
         backlog_high = backlog;
+        max_window;
       }
     in
     let server =
@@ -105,14 +115,23 @@ let daemon_cmd =
       $ Arg.(
           value
           & opt int Serve_server.default_config.Serve_server.backlog_high
-          & info [ "backlog" ] ~doc:"Per-session strand backlog that pauses socket reads."))
+          & info [ "backlog" ] ~doc:"Per-session strand backlog that pauses socket reads.")
+      $ Arg.(
+          value
+          & opt int Serve_server.default_config.Serve_server.max_window
+          & info [ "max-window" ]
+              ~doc:"Largest prediction window a client may request (0 disables predict)."))
 
 (* -- client -------------------------------------------------------------- *)
 
 let kind_name = Report.kind_to_string
 
 let client_cmd =
-  let run socket port host path chunk shards verify quiet =
+  let run socket port host path chunk shards predict verify quiet =
+    if predict < 0 then begin
+      prerr_endline "pint_serve: --predict must be >= 0";
+      exit 2
+    end;
     let addr = addr_of ~socket ~port ~host in
     let bytes =
       try
@@ -124,7 +143,7 @@ let client_cmd =
         Printf.eprintf "cannot read trace: %s\n" msg;
         exit 2
     in
-    match Serve_client.run ~chunk ~shards ~addr bytes with
+    match Serve_client.run ~chunk ~shards ~predict ~addr bytes with
     | exception Unix.Unix_error (e, _, _) ->
         Printf.eprintf "pint_serve: connection failed: %s\n" (Unix.error_message e);
         exit 2
@@ -133,13 +152,21 @@ let client_cmd =
         exit 3
     | Ok r ->
         if not quiet then begin
-          Printf.printf "%s: session %d, %d strand(s), %d race(s)\n" path r.Serve_client.session
+          Printf.printf "%s: session %d, %d strand(s), %d race(s)" path r.Serve_client.session
             r.Serve_client.n_strands r.Serve_client.n_races;
+          if predict > 0 then
+            Printf.printf ", %d predicted (w=%d)" (List.length r.Serve_client.predicted) predict;
+          print_newline ();
           List.iter
             (fun (k, p, c, (iv : Interval.t)) ->
               Printf.printf "  %s %d -> %d @ [%d,%d]\n" (kind_name k) p c iv.Interval.lo
                 iv.Interval.hi)
-            r.Serve_client.races
+            r.Serve_client.races;
+          List.iter
+            (fun (k, p, c, (iv : Interval.t)) ->
+              Printf.printf "  predicted %s %d -> %d @ [%d,%d]\n" (kind_name k) p c iv.Interval.lo
+                iv.Interval.hi)
+            r.Serve_client.predicted
         end;
         if verify then begin
           let t =
@@ -149,11 +176,14 @@ let client_cmd =
               exit 2
           in
           let det, _ = Option.get (Systems.make_detector "pint") in
+          let builder = if predict > 0 then Some (Predict.Builder.create ()) else None in
+          let on_strand = Option.map Predict.Builder.observer builder in
+          let outcome = Replay.run ?on_strand t det in
           let offline =
             List.sort_uniq compare
               (List.map
                  (fun (x : Report.race) -> (x.Report.kind, x.Report.prior, x.Report.current))
-                 (Replay.run t det).Replay.races)
+                 outcome.Replay.races)
           in
           let served = Serve_client.signature r.Serve_client.races in
           if served = offline then
@@ -163,7 +193,29 @@ let client_cmd =
             Printf.printf "%s: served and offline race sets DIVERGE (%d vs %d)\n" path
               (List.length served) (List.length offline);
             exit 1
-          end
+          end;
+          match builder with
+          | None -> ()
+          | Some b ->
+              let pr =
+                Predict.predict ~window:predict ~observed:outcome.Replay.races
+                  (Predict.Builder.dag b)
+              in
+              let offline_p =
+                Serve_client.signature
+                  (List.map
+                     (fun (f : Predict.finding) -> (f.Predict.kind, f.Predict.prior, f.Predict.current, f.Predict.where))
+                     pr.Predict.predicted)
+              in
+              let served_p = Serve_client.signature r.Serve_client.predicted in
+              if served_p = offline_p then
+                Printf.printf "%s: served predictions match offline predict (%d, w=%d)\n" path
+                  (List.length offline_p) predict
+              else begin
+                Printf.printf "%s: served and offline predictions DIVERGE (%d vs %d, w=%d)\n"
+                  path (List.length served_p) (List.length offline_p) predict;
+                exit 1
+              end
         end
   in
   Cmd.v
@@ -176,6 +228,10 @@ let client_cmd =
           & opt int Serve_client.default_chunk
           & info [ "chunk" ] ~doc:"Transport chunk size in bytes.")
       $ Arg.(value & opt int 0 & info [ "shards" ] ~doc:"Request a shard count (0 = server default).")
+      $ Arg.(
+          value & opt int 0
+          & info [ "predict" ] ~docv:"W"
+              ~doc:"Opt into predictive detection with window $(docv) (0 = off).")
       $ Arg.(
           value & flag
           & info [ "verify" ] ~doc:"Replay offline too and fail on any Theorem-5 divergence.")

@@ -1,5 +1,7 @@
 type kind = Write_write | Write_read | Read_write
 
+type origin = Observed | Predicted
+
 type race = { kind : kind; prior : int; current : int; where : Interval.t }
 
 type t = {
@@ -50,6 +52,8 @@ let kind_to_string = function
   | Write_write -> "W/W"
   | Write_read -> "W/R"
   | Read_write -> "R/W"
+
+let origin_to_string = function Observed -> "observed" | Predicted -> "predicted"
 
 let pp_race fmt r =
   Format.fprintf fmt "%s race between strands %d and %d at %a" (kind_to_string r.kind) r.prior

@@ -11,6 +11,14 @@ type kind =
   | Write_read  (** earlier write, later read *)
   | Read_write  (** earlier read, later write *)
 
+(** How a race was established.  [Observed] races are Theorem-5 facts of
+    the schedule that ran: the detectors witnessed the conflicting pair in
+    the access history.  [Predicted] races were {e serialized} by the
+    observed schedule but are reachable in a sync-preserving, window-bounded
+    reordering of it (see {!Predict}); they are reported disjointly and
+    never enter a detector's deduplication table. *)
+type origin = Observed | Predicted
+
 type race = {
   kind : kind;
   prior : int;  (** {!Sp_order.id} of the strand already in the access history *)
@@ -38,4 +46,5 @@ val races : t -> race list
 val mem : t -> prior:int -> current:int -> bool
 
 val kind_to_string : kind -> string
+val origin_to_string : origin -> string
 val pp_race : Format.formatter -> race -> unit

@@ -1,0 +1,707 @@
+(* Predictive race detection over captured traces — see predict.mli for the
+   semantics.  Everything here is deterministic: same dag + window + observed
+   set => same findings and same diagnostic counters. *)
+
+type node = {
+  pos : int;
+  uid : int;
+  id : int;
+  sp : Sp_order.strand;
+  reads : Interval.t array;
+  writes : Interval.t array;
+  wipes : Interval.t list;
+  preds : int list;
+  succs : int list;
+}
+
+type dag = { sp : Sp_order.t; nodes : node array }
+
+(* ------------------------------------------------------------- building *)
+
+let wipes_of (e : Tracefile.entry) =
+  let iv (b, l) = if l <= 0 then None else Some (Interval.make b (b + l - 1)) in
+  let all = List.filter_map iv e.Tracefile.clears @ List.filter_map iv e.Tracefile.frees in
+  List.sort Interval.compare all
+
+(* DAG successor uids of an entry, from its finish link. *)
+let succ_uids (e : Tracefile.entry) =
+  match e.Tracefile.finish with
+  | Tracefile.Spawn { cont; child; _ } -> [ child; cont ]
+  | Tracefile.Sync { sync; _ } -> [ sync ]
+  | Tracefile.Return { parent_sync = Some s; _ } -> [ s ]
+  | Tracefile.Return { parent_sync = None; _ } | Tracefile.Root -> []
+
+module Builder = struct
+  type t = {
+    mutable acc : (int * Tracefile.entry * Sp_order.strand) list;
+    mutable n : int;
+    mutable sp : Sp_order.t option;
+  }
+
+  let create () = { acc = []; n = 0; sp = None }
+
+  let observer t : Replay.strand_observer =
+   fun ~sp ~pos e r ->
+    t.sp <- Some sp;
+    t.n <- t.n + 1;
+    t.acc <- (pos, e, r.Srec.sp) :: t.acc
+
+  let count t = t.n
+
+  let dag t =
+    let sp =
+      match t.sp with
+      | Some sp -> sp
+      | None -> failwith "Predict.Builder.dag: no strands observed"
+    in
+    let n = t.n in
+    let slots = Array.make n None in
+    List.iter
+      (fun (pos, e, s) ->
+        if pos < 0 || pos >= n then failwith "Predict.Builder.dag: position out of range";
+        if Option.is_some slots.(pos) then failwith "Predict.Builder.dag: duplicate position";
+        slots.(pos) <- Some (e, s))
+      t.acc;
+    let pos_of = Hashtbl.create (2 * n) in
+    Array.iteri
+      (fun pos slot ->
+        match slot with
+        | None -> failwith "Predict.Builder.dag: missing position"
+        | Some ((e : Tracefile.entry), _) -> Hashtbl.replace pos_of e.Tracefile.uid pos)
+      slots;
+    let succs =
+      Array.mapi
+        (fun pos slot ->
+          let e, _ = Option.get slot in
+          List.map
+            (fun uid ->
+              match Hashtbl.find_opt pos_of uid with
+              | Some p when p > pos -> p
+              | Some _ -> failwith "Predict.Builder.dag: DAG link points backwards"
+              | None -> failwith "Predict.Builder.dag: dangling DAG link")
+            (succ_uids e))
+        slots
+    in
+    let preds = Array.make n [] in
+    Array.iteri (fun pos -> List.iter (fun s -> preds.(s) <- pos :: preds.(s))) succs;
+    let nodes =
+      Array.mapi
+        (fun pos slot ->
+          let (e : Tracefile.entry), s = Option.get slot in
+          {
+            pos;
+            uid = e.Tracefile.uid;
+            id = Sp_order.id s;
+            sp = s;
+            reads = e.Tracefile.reads;
+            writes = e.Tracefile.writes;
+            wipes = wipes_of e;
+            preds = List.rev preds.(pos);
+            succs = succs.(pos);
+          })
+        slots
+    in
+    { sp; nodes }
+end
+
+let dag_of_trace tf =
+  let b = Builder.create () in
+  let (_ : Replay.outcome) = Replay.run ~on_strand:(Builder.observer b) tf (Nodetect.make ()) in
+  Builder.dag b
+
+(* ------------------------------------------------------------- findings *)
+
+type finding = { kind : Report.kind; prior : int; current : int; where : Interval.t }
+
+type result = { window : int; predicted : finding list; diagnostics : (string * float) list }
+
+let kind_tag = function Report.Write_write -> 0 | Report.Write_read -> 1 | Report.Read_write -> 2
+
+let finding_key f = (f.kind, f.prior, f.current)
+
+let compare_findings a b =
+  match compare a.prior b.prior with
+  | 0 -> (
+      match compare a.current b.current with
+      | 0 -> (
+          match compare (kind_tag a.kind) (kind_tag b.kind) with
+          | 0 -> Interval.compare a.where b.where
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let equal_findings a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y -> compare_findings x y = 0 && Interval.equal x.where y.where)
+       a b
+
+let pp_finding fmt f =
+  Format.fprintf fmt "predicted %s race between strands %d and %d at %a"
+    (Report.kind_to_string f.kind) f.prior f.current Interval.pp f.where
+
+(* The observed set at Theorem-5 granularity, both orientations: an observed
+   (kind, prior, current) names the same pair as the flipped kind with the
+   strands swapped (collect order and position order can disagree under a
+   parallel capture). *)
+let flip_kind = function
+  | Report.Write_write -> Report.Write_write
+  | Report.Write_read -> Report.Read_write
+  | Report.Read_write -> Report.Write_read
+
+let observed_table (observed : Report.race list) =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Report.race) ->
+      Hashtbl.replace tbl (kind_tag r.Report.kind, r.Report.prior, r.Report.current) ();
+      Hashtbl.replace tbl (kind_tag (flip_kind r.Report.kind), r.Report.current, r.Report.prior) ())
+    observed;
+  tbl
+
+(* --------------------------------------------------- interval machinery *)
+
+(* Merge-walk over two sorted, disjoint interval arrays: every pairwise
+   intersection in increasing address order. *)
+let iter_overlaps (a : Interval.t array) (b : Interval.t array) ~f =
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length a && !j < Array.length b do
+    let x = a.(!i) and y = b.(!j) in
+    let lo = max x.Interval.lo y.Interval.lo and hi = min x.Interval.hi y.Interval.hi in
+    if lo <= hi then f (Interval.make lo hi);
+    if x.Interval.hi < y.Interval.hi then incr i else incr j
+  done
+
+let has_overlap (a : Interval.t array) (b : Interval.t array) =
+  let i = ref 0 and j = ref 0 and found = ref false in
+  while (not !found) && !i < Array.length a && !j < Array.length b do
+    let x = a.(!i) and y = b.(!j) in
+    if Interval.overlaps x y then found := true
+    else if x.Interval.hi < y.Interval.hi then incr i
+    else incr j
+  done;
+  !found
+
+let subtract_one (s : Interval.t) (k : Interval.t) =
+  if k.Interval.hi < s.Interval.lo || k.Interval.lo > s.Interval.hi then [ s ]
+  else
+    let left =
+      if k.Interval.lo > s.Interval.lo then [ Interval.make s.Interval.lo (k.Interval.lo - 1) ]
+      else []
+    in
+    let right =
+      if k.Interval.hi < s.Interval.hi then [ Interval.make (k.Interval.hi + 1) s.Interval.hi ]
+      else []
+    in
+    left @ right
+
+let subtract_all segs kills =
+  List.fold_left (fun segs k -> List.concat_map (fun s -> subtract_one s k) segs) segs kills
+
+(* Reuse suppression (see mli): wipes of [u] itself plus wipes of strictly
+   intervening strands serial before [v]. *)
+let suppressors (dag : dag) up vp =
+  let u = dag.nodes.(up) and v = dag.nodes.(vp) in
+  let mid = ref [] in
+  for fp = up + 1 to vp - 1 do
+    let f = dag.nodes.(fp) in
+    match f.wipes with
+    | [] -> ()
+    | wipes -> if Sp_order.series dag.sp f.sp v.sp then mid := wipes :: !mid
+  done;
+  List.concat (u.wipes :: !mid)
+
+(* First (lowest-address) conflict residue for one kind, or the fact that
+   the whole conflicting region was wiped. *)
+let kind_residue ~kills aa bb =
+  let segs = ref [] in
+  iter_overlaps aa bb ~f:(fun s -> segs := s :: !segs);
+  match List.rev !segs with
+  | [] -> None
+  | segs -> (
+      match subtract_all segs kills with
+      | [] -> Some None
+      | w :: _ -> Some (Some w))
+
+(* --------------------------------------- candidate generation (treaps) *)
+
+type stats = {
+  mutable candidates : int;
+  mutable pair_scans : int;
+  mutable probe_skips : int;
+  mutable windows : int;
+  mutable infeasible : int;
+  mutable suppressed_reuse : int;
+  mutable suppressed_observed : int;
+  mutable treap_visits : int;
+}
+
+let granule = 64
+
+let shard_of ~shards addr = addr / granule mod shards
+
+(* Split an interval at granule boundaries and hand each piece to its
+   shard.  At one shard the interval passes through whole. *)
+let iter_shard_pieces ~shards (iv : Interval.t) f =
+  if shards = 1 then f 0 iv
+  else begin
+    let lo = ref iv.Interval.lo in
+    while !lo <= iv.Interval.hi do
+      let hi = min iv.Interval.hi ((!lo / granule * granule) + granule - 1) in
+      f (shard_of ~shards !lo) (Interval.make !lo hi);
+      lo := hi + 1
+    done
+  end
+
+type lane = { lane_writer : int Itreap.t; lane_reader : int Itreap.t }
+
+(* Candidate pairs (upos, vpos), upos < vpos, vpos - upos <= 2w+1, whose
+   interval sets conflict and whose strands are logically parallel — the
+   exact necessary condition for w-predictability short of feasibility.
+   The per-shard recency treaps (owner = last touching position, never
+   wiped) are a skip filter: if every address v touches was last touched
+   before v's window floor, no in-window pair can conflict with v and the
+   window scan is skipped.  The resulting pair list is independent of
+   [shards]: the union of lanes stores the same address -> last-toucher
+   map under any striping. *)
+let scan_candidates ~shards (dag : dag) ~window st =
+  let n = Array.length dag.nodes in
+  let span = (2 * window) + 1 in
+  let lanes =
+    Array.init shards (fun k ->
+        {
+          lane_writer = Itreap.create ~seed:(0x51ab + k) ~owner_eq:Int.equal ();
+          lane_reader = Itreap.create ~seed:(0xeade + k) ~owner_eq:Int.equal ();
+        })
+  in
+  let cands = ref [] in
+  for vpos = 0 to n - 1 do
+    let v = dag.nodes.(vpos) in
+    let floor = vpos - span in
+    let recent = ref false in
+    let probe role_of_lane iv =
+      iter_shard_pieces ~shards iv (fun k piece ->
+          if not !recent then
+            Itreap.query (role_of_lane lanes.(k)) piece ~f:(fun _seg owner ->
+                if owner >= floor then recent := true))
+    in
+    Array.iter
+      (fun iv ->
+        probe (fun l -> l.lane_writer) iv;
+        probe (fun l -> l.lane_reader) iv)
+      v.writes;
+    Array.iter (fun iv -> probe (fun l -> l.lane_writer) iv) v.reads;
+    if !recent then
+      for upos = max 0 (vpos - span) to vpos - 1 do
+        st.pair_scans <- st.pair_scans + 1;
+        let u = dag.nodes.(upos) in
+        if
+          (has_overlap u.writes v.writes || has_overlap u.writes v.reads
+         || has_overlap u.reads v.writes)
+          && Sp_order.parallel dag.sp u.sp v.sp
+        then cands := (upos, vpos) :: !cands
+      done
+    else if Array.length v.reads + Array.length v.writes > 0 then
+      st.probe_skips <- st.probe_skips + 1;
+    Array.iter
+      (fun iv ->
+        iter_shard_pieces ~shards iv (fun k piece ->
+            Itreap.insert_replace lanes.(k).lane_writer piece vpos))
+      v.writes;
+    Array.iter
+      (fun iv ->
+        iter_shard_pieces ~shards iv (fun k piece ->
+            Itreap.insert_replace lanes.(k).lane_reader piece vpos))
+      v.reads
+  done;
+  Array.iter
+    (fun l ->
+      st.treap_visits <- st.treap_visits + Itreap.visits l.lane_writer + Itreap.visits l.lane_reader)
+    lanes;
+  List.rev !cands
+
+(* --------------------------------------- adjacency feasibility (exact) *)
+
+(* Displacement windows folded through the DAG give per-position release
+   slots and deadlines; pinning the candidate pair to two adjacent slots
+   and scheduling the rest by earliest deadline first decides feasibility
+   exactly (EDF is exact for unit jobs with release times and deadlines,
+   and precedence-safe here because folded windows strictly increase along
+   every edge, so a successor can never underbid its predecessor). *)
+type sched = {
+  s_n : int;
+  base_r : int array;  (* propagated releases; base_r.(i) <= i *)
+  base_d : int array;  (* propagated deadlines; base_d.(i) >= i *)
+  s_preds : int list array;
+  s_succs : int list array;
+  r : int array;  (* per-check scratch *)
+  d : int array;
+  order : int array;
+  heap : int array;
+  mutable heap_n : int;
+}
+
+let make_sched (dag : dag) ~window =
+  let n = Array.length dag.nodes in
+  let base_r = Array.init n (fun i -> max 0 (i - window)) in
+  let base_d = Array.init n (fun i -> min (n - 1) (i + window)) in
+  let s_preds = Array.map (fun nd -> nd.preds) dag.nodes in
+  let s_succs = Array.map (fun nd -> nd.succs) dag.nodes in
+  for i = 0 to n - 1 do
+    List.iter (fun j -> if base_r.(j) + 1 > base_r.(i) then base_r.(i) <- base_r.(j) + 1) s_preds.(i)
+  done;
+  for i = n - 1 downto 0 do
+    List.iter (fun j -> if base_d.(j) - 1 < base_d.(i) then base_d.(i) <- base_d.(j) - 1) s_succs.(i)
+  done;
+  {
+    s_n = n;
+    base_r;
+    base_d;
+    s_preds;
+    s_succs;
+    r = Array.make n 0;
+    d = Array.make n 0;
+    order = Array.init n (fun i -> i);
+    heap = Array.make n 0;
+    heap_n = 0;
+  }
+
+let heap_push t key =
+  let h = t.heap in
+  let i = ref t.heap_n in
+  t.heap_n <- t.heap_n + 1;
+  h.(!i) <- key;
+  while !i > 0 && h.((!i - 1) / 2) > h.(!i) do
+    let p = (!i - 1) / 2 in
+    let tmp = h.(p) in
+    h.(p) <- h.(!i);
+    h.(!i) <- tmp;
+    i := p
+  done
+
+let heap_pop t =
+  let h = t.heap in
+  let top = h.(0) in
+  t.heap_n <- t.heap_n - 1;
+  h.(0) <- h.(t.heap_n);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let m = ref !i in
+    if l < t.heap_n && h.(l) < h.(!m) then m := l;
+    if r < t.heap_n && h.(r) < h.(!m) then m := r;
+    if !m = !i then continue := false
+    else begin
+      let tmp = h.(!m) in
+      h.(!m) <- h.(!i);
+      h.(!i) <- tmp;
+      i := !m
+    end
+  done;
+  top
+
+(* One pinned instance: [a] at slot [p], [b] at slot [p+1]. *)
+let feasible_pinned t ~a ~b ~p =
+  let n = t.s_n in
+  Array.blit t.base_r 0 t.r 0 n;
+  Array.blit t.base_d 0 t.d 0 n;
+  t.r.(a) <- p;
+  t.d.(a) <- p;
+  t.r.(b) <- p + 1;
+  t.d.(b) <- p + 1;
+  for i = 0 to n - 1 do
+    List.iter (fun j -> if t.r.(j) + 1 > t.r.(i) then t.r.(i) <- t.r.(j) + 1) t.s_preds.(i)
+  done;
+  for i = n - 1 downto 0 do
+    List.iter (fun j -> if t.d.(j) - 1 < t.d.(i) then t.d.(i) <- t.d.(j) - 1) t.s_succs.(i)
+  done;
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if t.r.(i) > t.d.(i) then ok := false
+  done;
+  if !ok then begin
+    for i = 0 to n - 1 do
+      t.order.(i) <- i
+    done;
+    Array.sort (fun x y -> match compare t.r.(x) t.r.(y) with 0 -> compare x y | c -> c) t.order;
+    t.heap_n <- 0;
+    let ptr = ref 0 in
+    let slot = ref 0 in
+    while !ok && !slot < n do
+      while !ptr < n && t.r.(t.order.(!ptr)) <= !slot do
+        let i = t.order.(!ptr) in
+        heap_push t ((t.d.(i) * n) + i);
+        incr ptr
+      done;
+      if t.heap_n = 0 then ok := false
+      else begin
+        let key = heap_pop t in
+        if key / n < !slot then ok := false
+      end;
+      incr slot
+    done
+  end;
+  !ok
+
+(* Can some permissible reordering run [a] and [b] back to back (either
+   order)?  Pin slots are exhaustive over the folded windows, so this is
+   exact, with early exit on the first feasible pin. *)
+let feasible_adjacent t st ~a ~b =
+  let try_order a b =
+    let lo = max t.base_r.(a) (t.base_r.(b) - 1) in
+    let hi = min t.base_d.(a) (t.base_d.(b) - 1) in
+    let rec go p =
+      p <= hi
+      && begin
+           st.windows <- st.windows + 1;
+           feasible_pinned t ~a ~b ~p || go (p + 1)
+         end
+    in
+    go lo
+  in
+  try_order a b || try_order b a
+
+(* ------------------------------------------------------------ predictor *)
+
+let predict ?(shards = 1) ~window ~observed (dag : dag) =
+  if window < 0 then invalid_arg "Predict.predict: negative window";
+  if shards < 1 then invalid_arg "Predict.predict: shards must be >= 1";
+  let st =
+    {
+      candidates = 0;
+      pair_scans = 0;
+      probe_skips = 0;
+      windows = 0;
+      infeasible = 0;
+      suppressed_reuse = 0;
+      suppressed_observed = 0;
+      treap_visits = 0;
+    }
+  in
+  let cands = scan_candidates ~shards dag ~window st in
+  st.candidates <- List.length cands;
+  let sched = make_sched dag ~window in
+  let obs = observed_table observed in
+  let findings = ref [] in
+  List.iter
+    (fun (up, vp) ->
+      let u = dag.nodes.(up) and v = dag.nodes.(vp) in
+      let kills = suppressors dag up vp in
+      let residues =
+        List.filter_map
+          (fun (k, aa, bb) ->
+            match kind_residue ~kills aa bb with
+            | None -> None
+            | Some None ->
+                st.suppressed_reuse <- st.suppressed_reuse + 1;
+                None
+            | Some (Some w) -> Some (k, w))
+          [
+            (Report.Write_write, u.writes, v.writes);
+            (Report.Write_read, u.writes, v.reads);
+            (Report.Read_write, u.reads, v.writes);
+          ]
+      in
+      match residues with
+      | [] -> ()
+      | residues ->
+        if feasible_adjacent sched st ~a:up ~b:vp then
+          List.iter
+            (fun (k, w) ->
+              if Hashtbl.mem obs (kind_tag k, u.id, v.id) then
+                st.suppressed_observed <- st.suppressed_observed + 1
+              else findings := { kind = k; prior = u.id; current = v.id; where = w } :: !findings)
+            residues
+        else st.infeasible <- st.infeasible + 1)
+    cands;
+  let predicted = List.sort compare_findings !findings in
+  {
+    window;
+    predicted;
+    diagnostics =
+      [
+        ("predict_candidates", float_of_int st.candidates);
+        ("predict_windows", float_of_int st.windows);
+        ("predict_pair_scans", float_of_int st.pair_scans);
+        ("predict_probe_skips", float_of_int st.probe_skips);
+        ("predict_infeasible", float_of_int st.infeasible);
+        ("predict_suppressed_reuse", float_of_int st.suppressed_reuse);
+        ("predict_suppressed_observed", float_of_int st.suppressed_observed);
+        ("predict_treap_visits", float_of_int st.treap_visits);
+        ("predicted", float_of_int (List.length predicted));
+      ];
+  }
+
+(* --------------------------------------------------------------- oracle *)
+
+(* Independent implementation for certification: reachability is a
+   transitive closure over the raw DAG links (not Sp_order), conflicts are
+   nested-loop intersections (not merge walks), reuse subtraction is
+   re-derived, and adjacency feasibility enumerates *all* permissible
+   reorderings via a subset DP over the at-most-(2w+1) positions in flight
+   around each slot. *)
+
+let oracle ~window ~observed (dag : dag) =
+  if window < 0 then invalid_arg "Predict.oracle: negative window";
+  if window > 10 then invalid_arg "Predict.oracle: window too large (max 10)";
+  let n = Array.length dag.nodes in
+  if n = 0 then []
+  else begin
+    let reach = Array.make_matrix n n false in
+    for i = n - 1 downto 0 do
+      reach.(i).(i) <- true;
+      List.iter
+        (fun j ->
+          for k = 0 to n - 1 do
+            if reach.(j).(k) then reach.(i).(k) <- true
+          done)
+        dag.nodes.(i).succs
+    done;
+    (* State (i, mask): slots 0..i-1 are filled; bit j of mask says position
+       (i - window) + j is already placed; every position below i - window
+       is placed, every position above i + window is not. *)
+    let can_place i mask p =
+      let base = i - window in
+      p >= max 0 base
+      && p <= min (n - 1) (i + window)
+      && mask land (1 lsl (p - base)) = 0
+      && List.for_all
+           (fun q -> q < base || mask land (1 lsl (q - base)) <> 0)
+           dag.nodes.(p).preds
+    in
+    (* Place p at slot i and shift the window; None if position (i - window)
+       would miss its deadline. *)
+    let advance i mask p =
+      let base = i - window in
+      let m = mask lor (1 lsl (p - base)) in
+      if base >= 0 && m land 1 = 0 then None else Some (m lsr 1)
+    in
+    let memo = Hashtbl.create 4096 in
+    let rec completable i mask =
+      i = n
+      ||
+      match Hashtbl.find_opt memo (i, mask) with
+      | Some b -> b
+      | None ->
+          let rec go p =
+            p <= min (n - 1) (i + window)
+            && ((can_place i mask p
+                &&
+                match advance i mask p with
+                | None -> false
+                | Some m -> completable (i + 1) m)
+               || go (p + 1))
+          in
+          let b = go (max 0 (i - window)) in
+          Hashtbl.add memo (i, mask) b;
+          b
+    in
+    (* Forward-reachable states, layer by layer. *)
+    let layers = Array.make (n + 1) [] in
+    layers.(0) <- [ 0 ];
+    let seen = Hashtbl.create 4096 in
+    Hashtbl.add seen (0, 0) ();
+    for i = 0 to n - 1 do
+      List.iter
+        (fun mask ->
+          for p = max 0 (i - window) to min (n - 1) (i + window) do
+            if can_place i mask p then
+              match advance i mask p with
+              | None -> ()
+              | Some m ->
+                  if not (Hashtbl.mem seen (i + 1, m)) then begin
+                    Hashtbl.add seen (i + 1, m) ();
+                    layers.(i + 1) <- m :: layers.(i + 1)
+                  end
+          done)
+        layers.(i)
+    done;
+    (* Pairs placeable at adjacent slots of some complete permissible
+       reordering. *)
+    let adjacent = Hashtbl.create 256 in
+    for i = 0 to n - 2 do
+      List.iter
+        (fun mask ->
+          for a = max 0 (i - window) to min (n - 1) (i + window) do
+            if can_place i mask a then
+              match advance i mask a with
+              | None -> ()
+              | Some m1 ->
+                  for b = max 0 (i + 1 - window) to min (n - 1) (i + 1 + window) do
+                    if b <> a && can_place (i + 1) m1 b then
+                      match advance (i + 1) m1 b with
+                      | None -> ()
+                      | Some m2 ->
+                          if completable (i + 2) m2 then
+                            Hashtbl.replace adjacent (min a b, max a b) ()
+                  done
+          done)
+        layers.(i)
+    done;
+    (* Independent conflict + reuse subtraction. *)
+    let overlap_segs (aa : Interval.t array) (bb : Interval.t array) =
+      let segs = ref [] in
+      Array.iter
+        (fun x ->
+          Array.iter
+            (fun y ->
+              if Interval.overlaps x y then
+                segs :=
+                  Interval.make
+                    (max x.Interval.lo y.Interval.lo)
+                    (min x.Interval.hi y.Interval.hi)
+                  :: !segs)
+            bb)
+        aa;
+      List.sort Interval.compare !segs
+    in
+    let residue segs kills =
+      (* walk each segment against the kill set, keeping uncovered spans *)
+      let keep = ref [] in
+      List.iter
+        (fun (s : Interval.t) ->
+          let cursor = ref s.Interval.lo in
+          List.iter
+            (fun (k : Interval.t) ->
+              if k.Interval.lo <= s.Interval.hi && k.Interval.hi >= !cursor then begin
+                if k.Interval.lo > !cursor then
+                  keep := Interval.make !cursor (k.Interval.lo - 1) :: !keep;
+                cursor := max !cursor (k.Interval.hi + 1)
+              end)
+            (List.sort Interval.compare kills);
+          if !cursor <= s.Interval.hi then keep := Interval.make !cursor s.Interval.hi :: !keep)
+        segs;
+      List.sort Interval.compare !keep
+    in
+    let obs = observed_table observed in
+    let findings = ref [] in
+    for up = 0 to n - 1 do
+      for vp = up + 1 to n - 1 do
+        if
+          Hashtbl.mem adjacent (up, vp)
+          && (not reach.(up).(vp))
+          && not reach.(vp).(up)
+        then begin
+          let u = dag.nodes.(up) and v = dag.nodes.(vp) in
+          let kills = ref u.wipes in
+          for fp = up + 1 to vp - 1 do
+            let f = dag.nodes.(fp) in
+            if reach.(fp).(vp) then kills := f.wipes @ !kills
+          done;
+          List.iter
+            (fun (k, aa, bb) ->
+              match residue (overlap_segs aa bb) !kills with
+              | [] -> ()
+              | w :: _ ->
+                  if not (Hashtbl.mem obs (kind_tag k, u.id, v.id)) then
+                    findings := { kind = k; prior = u.id; current = v.id; where = w } :: !findings)
+            [
+              (Report.Write_write, u.writes, v.writes);
+              (Report.Write_read, u.writes, v.reads);
+              (Report.Read_write, u.reads, v.writes);
+            ]
+        end
+      done
+    done;
+    List.sort compare_findings !findings
+  end

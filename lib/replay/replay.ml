@@ -9,6 +9,8 @@ type outcome = {
   diagnostics : (string * float) list;
 }
 
+type strand_observer = sp:Sp_order.t -> pos:int -> Tracefile.entry -> Srec.t -> unit
+
 (* One open sync block.  The executors keep a per-scope frame and
    save/restore it around [Fj.scope]; scope entry/exit is not a strand
    boundary, so it is invisible in the trace.  What the trace does record is
@@ -51,10 +53,15 @@ let push_effects ~aspace ~(sink : Access.sink) (e : Tracefile.entry) (r : Srec.t
   r.Srec.finished_at <- e.Tracefile.finished_at;
   r.Srec.cost <- e.Tracefile.cost
 
-let drive ?aspace (tf : Tracefile.t) (driver : Hooks.driver) =
+let drive ?aspace ?on_strand (tf : Tracefile.t) (driver : Hooks.driver) =
   let aspace = match aspace with Some a -> a | None -> Aspace.create () in
   let by_uid = Hashtbl.create (max 16 (Tracefile.entry_count tf)) in
   Array.iter (fun (e : Tracefile.entry) -> Hashtbl.replace by_uid e.Tracefile.uid e) tf.Tracefile.entries;
+  (* an entry's index in the file is its observed-schedule position: entries
+     are written in finish order, which is a linearization of the strand DAG *)
+  let pos_of = Hashtbl.create (max 16 (Tracefile.entry_count tf)) in
+  Array.iteri (fun i (e : Tracefile.entry) -> Hashtbl.replace pos_of e.Tracefile.uid i)
+    tf.Tracefile.entries;
   let entry uid =
     match Hashtbl.find_opt by_uid uid with
     | Some e -> e
@@ -71,7 +78,15 @@ let drive ?aspace (tf : Tracefile.t) (driver : Hooks.driver) =
   let ctx = { Hooks.aspace; sp; n_workers = 1; current = (fun ~wid:_ -> !cur) } in
   let hooks = driver ctx in
   let sink = hooks.Hooks.sink ~wid:0 in
-  let feed e r = push_effects ~aspace ~sink e r in
+  let note (e : Tracefile.entry) r =
+    match on_strand with
+    | None -> ()
+    | Some f -> f ~sp ~pos:(Hashtbl.find pos_of e.Tracefile.uid) e r
+  in
+  let feed e r =
+    push_effects ~aspace ~sink e r;
+    note e r
+  in
   (* Canonical depth-first walk.  [chain] replays the strand [e] as record
      [r], then follows the recorded DAG: a spawn recurses into the child
      scope and tail-continues with the continuation; a sync pass
@@ -144,7 +159,7 @@ let drive ?aspace (tf : Tracefile.t) (driver : Hooks.driver) =
       (Tracefile.entry_count tf);
   !next_uid
 
-let run ?aspace ?(wrap = fun d -> d) ?pools tf (d : Detector.t) =
+let run ?aspace ?(wrap = fun d -> d) ?pools ?on_strand tf (d : Detector.t) =
   (* Real-domain replay: the detector's pipeline stages run on shard
      micropool domains concurrently with the (still single-threaded,
      deterministic) strand feed — the same producer/consumer topology as a
@@ -163,7 +178,7 @@ let run ?aspace ?(wrap = fun d -> d) ?pools tf (d : Detector.t) =
     | _ -> ());
     hooks
   in
-  let n = drive ?aspace tf (spawn_pools (wrap d.Detector.driver)) in
+  let n = drive ?aspace ?on_strand tf (spawn_pools (wrap d.Detector.driver)) in
   (match !mp with Some p -> Micropool.join p | None -> ());
   d.Detector.drain ();
   {
@@ -209,6 +224,8 @@ module Session = struct
     s_next_uid : int ref;
     s_root_rec : Srec.t;
     s_by_uid : (int, Tracefile.entry) Hashtbl.t; (* arrived, not yet replayed *)
+    s_pos : (int, int) Hashtbl.t; (* uid -> arrival order = observed position *)
+    s_on_strand : strand_observer option;
     s_seen : (Report.kind * int * int, unit) Hashtbl.t; (* races already returned *)
     mutable s_stack : pend list; (* DFS work stack; hd is next *)
     mutable s_started : bool; (* root entry arrived *)
@@ -216,7 +233,7 @@ module Session = struct
     mutable s_done : bool; (* on_done fired (eof or abort) *)
   }
 
-  let create ?aspace ?(wrap = fun d -> d) ?max_pending (det : Detector.t) =
+  let create ?aspace ?(wrap = fun d -> d) ?max_pending ?on_strand (det : Detector.t) =
     let aspace = match aspace with Some a -> a | None -> Aspace.create () in
     let sp, root_sp = Sp_order.create () in
     let next_uid = ref 0 in
@@ -240,6 +257,8 @@ module Session = struct
       s_next_uid = next_uid;
       s_root_rec = root_rec;
       s_by_uid = Hashtbl.create 256;
+      s_pos = Hashtbl.create 256;
+      s_on_strand = on_strand;
       s_seen = Hashtbl.create 64;
       s_stack = [];
       s_started = false;
@@ -257,6 +276,9 @@ module Session = struct
     t.s_cur := r;
     t.s_hooks.Hooks.on_start ~wid:0 r p.p_start;
     push_effects ~aspace:t.s_aspace ~sink:t.s_sink e r;
+    (match t.s_on_strand with
+    | None -> ()
+    | Some f -> f ~sp:t.s_sp ~pos:(Hashtbl.find t.s_pos e.Tracefile.uid) e r);
     t.s_visited <- t.s_visited + 1;
     match e.Tracefile.finish with
     | Tracefile.Spawn { cont; sync; child; first } ->
@@ -383,6 +405,10 @@ module Session = struct
               }
               :: t.s_stack
           end;
+          (* arrival order is the stream's entry order — the same observed
+             position [drive] reads off the entries array of a whole file *)
+          if not (Hashtbl.mem t.s_pos e.Tracefile.uid) then
+            Hashtbl.replace t.s_pos e.Tracefile.uid (Hashtbl.length t.s_pos);
           Hashtbl.replace t.s_by_uid e.Tracefile.uid e;
           go ()
     in

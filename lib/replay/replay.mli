@@ -36,13 +36,23 @@ type outcome = {
   diagnostics : (string * float) list;
 }
 
-(** [drive ?aspace trace driver] — low-level: replay the trace through a raw
-    hook driver (fires [on_start]/sink/[on_finish] per strand, then
-    [on_done]).  Returns the number of strands replayed.  [aspace] defaults
-    to a fresh address space; recorded frees are {!Aspace.reserve}d before
-    being forwarded so the detectors' deferred-free handling runs as live.
+(** Per-strand observer for DAG extraction (see {!Predict}): called once per
+    replayed strand, after its recorded effects have been pushed (so the
+    record's interval sets are filled), with the replay's {!Sp_order.t}, the
+    strand's {e observed-schedule position} — its index in the file's entry
+    order, which, being the capture's finish order, is a linearization of the
+    strand DAG — the trace entry, and the replay record carrying the strand's
+    {!Sp_order.strand} and id. *)
+type strand_observer = sp:Sp_order.t -> pos:int -> Tracefile.entry -> Srec.t -> unit
+
+(** [drive ?aspace ?on_strand trace driver] — low-level: replay the trace
+    through a raw hook driver (fires [on_start]/sink/[on_finish] per strand,
+    then [on_done]).  Returns the number of strands replayed.  [aspace]
+    defaults to a fresh address space; recorded frees are {!Aspace.reserve}d
+    before being forwarded so the detectors' deferred-free handling runs as
+    live.  [on_strand] observes every strand as it replays.
     @raise Corrupt if the trace's DAG links are inconsistent. *)
-val drive : ?aspace:Aspace.t -> Tracefile.t -> Hooks.driver -> int
+val drive : ?aspace:Aspace.t -> ?on_strand:strand_observer -> Tracefile.t -> Hooks.driver -> int
 
 (** [run ?aspace ?wrap ?pools trace det] — replay through a detector
     instance and drain its pipeline.  The detector must be fresh (one
@@ -53,11 +63,14 @@ val drive : ?aspace:Aspace.t -> Tracefile.t -> Hooks.driver -> int
     {!Micropool} domains concurrently with the strand feed, e.g.
     [Pint_detector.stage_pools] for a real-domain golden diff; pair it
     with {!Pint_detector.set_backpressure} so the collector waits out
-    momentarily-full lanes instead of rejecting. *)
+    momentarily-full lanes instead of rejecting.  [on_strand] observes every
+    strand as it replays (e.g. {!Predict.observer} to build the strand DAG
+    for predictive detection in the same pass as observed detection). *)
 val run :
   ?aspace:Aspace.t ->
   ?wrap:(Hooks.driver -> Hooks.driver) ->
   ?pools:Stage.t list list ->
+  ?on_strand:strand_observer ->
   Tracefile.t ->
   Detector.t ->
   outcome
@@ -82,14 +95,17 @@ val run :
 module Session : sig
   type t
 
-  (** [create ?aspace ?wrap ?max_pending det] — a session at stream start.
-      [det] must be fresh; [wrap] (default identity) wraps its driver, e.g.
-      {!Obs_hooks.instrument}; [max_pending] bounds the decoder (see
-      {!Tracefile.Decoder.create}). *)
+  (** [create ?aspace ?wrap ?max_pending ?on_strand det] — a session at
+      stream start.  [det] must be fresh; [wrap] (default identity) wraps its
+      driver, e.g. {!Obs_hooks.instrument}; [max_pending] bounds the decoder
+      (see {!Tracefile.Decoder.create}).  [on_strand] observes each strand as
+      it replays; its [pos] is the entry's arrival order in the stream — the
+      same observed-schedule position offline replay reads off the file. *)
   val create :
     ?aspace:Aspace.t ->
     ?wrap:(Hooks.driver -> Hooks.driver) ->
     ?max_pending:int ->
+    ?on_strand:strand_observer ->
     Detector.t ->
     t
 

@@ -1,6 +1,7 @@
 type result = {
   session : int;
   races : (Report.kind * int * int * Interval.t) list;
+  predicted : (Report.kind * int * int * Interval.t) list;
   n_strands : int;
   n_races : int;
   stats : (string * string) list;
@@ -39,7 +40,7 @@ let send_all fd s =
   in
   go 0
 
-let run ?(chunk = default_chunk) ?(shards = 0) ~addr trace_bytes =
+let run ?(chunk = default_chunk) ?(shards = 0) ?(predict = 0) ~addr trace_bytes =
   let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -48,7 +49,7 @@ let run ?(chunk = default_chunk) ?(shards = 0) ~addr trace_bytes =
       let frames = Serve_proto.Frames.create () in
       send_all fd
         (Serve_proto.encode_client
-           (Serve_proto.Hello { version = Serve_proto.protocol_version; shards }));
+           (Serve_proto.Hello { version = Serve_proto.protocol_version; shards; predict }));
       match read_frame fd frames with
       | None -> Error "connection closed during handshake"
       | Some (Serve_proto.Reject msg) -> Error msg
@@ -69,8 +70,8 @@ let run ?(chunk = default_chunk) ?(shards = 0) ~addr trace_bytes =
             | Some (Serve_proto.Races rs) ->
                 races := List.rev_append rs !races;
                 collect ()
-            | Some (Serve_proto.Summary { n_strands; n_races; stats }) ->
-                Ok { session; races = List.rev !races; n_strands; n_races; stats }
+            | Some (Serve_proto.Summary { n_strands; n_races; stats; predicted }) ->
+                Ok { session; races = List.rev !races; predicted; n_strands; n_races; stats }
             | Some (Serve_proto.Reject msg) -> Error msg
             | Some (Serve_proto.Accepted _) -> Error "unexpected duplicate accept"
           in

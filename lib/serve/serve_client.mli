@@ -6,6 +6,9 @@ type result = {
   session : int;  (** server-assigned session id *)
   races : (Report.kind * int * int * Interval.t) list;
       (** every race batch, concatenated in arrival order *)
+  predicted : (Report.kind * int * int * Interval.t) list;
+      (** window-bounded predicted races from the summary (empty unless the
+          session opted in via [?predict]) — disjoint from [races] *)
   n_strands : int;  (** strands the server replayed *)
   n_races : int;  (** distinct races in the server's final report *)
   stats : (string * string) list;  (** diagnostics + obs summary *)
@@ -13,17 +16,20 @@ type result = {
 
 val default_chunk : int
 
-(** [run ?chunk ?shards ~addr trace_bytes] — connect, handshake, upload
-    the image in [chunk]-byte Data frames (default 64 KiB; any size is
-    valid — the server's decoder carries state across chunk boundaries),
+(** [run ?chunk ?shards ?predict ~addr trace_bytes] — connect, handshake,
+    upload the image in [chunk]-byte Data frames (default 64 KiB; any size
+    is valid — the server's decoder carries state across chunk boundaries),
     then gather races until the summary.  [shards = 0] (default) accepts
-    the server's configured shard count.  [Error msg] carries the server's
-    framed rejection (admission, malformed stream, corrupt DAG) or a
-    transport failure.
+    the server's configured shard count.  [predict > 0] opts the session
+    into predictive detection with that window (see {!Predict}); the
+    server rejects windows above its configured cap.  [Error msg] carries
+    the server's framed rejection (admission, malformed stream, corrupt
+    DAG) or a transport failure.
     @raise Unix.Unix_error if the connection itself fails. *)
 val run :
   ?chunk:int ->
   ?shards:int ->
+  ?predict:int ->
   addr:Unix.sockaddr ->
   string ->
   (result, string) Stdlib.result

@@ -2,18 +2,23 @@ exception Proto_error of string
 
 let proto_error fmt = Printf.ksprintf (fun s -> raise (Proto_error s)) fmt
 
-let protocol_version = 1
+let protocol_version = 2
 let default_max_frame = 1 lsl 20
 
 type client_msg =
-  | Hello of { version : int; shards : int }
+  | Hello of { version : int; shards : int; predict : int }
   | Data of string
   | End
 
 type server_msg =
   | Accepted of { session : int }
   | Races of (Report.kind * int * int * Interval.t) list
-  | Summary of { n_strands : int; n_races : int; stats : (string * string) list }
+  | Summary of {
+      n_strands : int;
+      n_races : int;
+      stats : (string * string) list;
+      predicted : (Report.kind * int * int * Interval.t) list;
+    }
   | Reject of string
 
 (* ---------------------------------------------------------------- framing *)
@@ -104,8 +109,35 @@ let varints ints =
   List.iter (Varint.write buf) ints;
   Buffer.contents buf
 
+(* One race list on the wire: count, then per race a kind byte and
+   prior/current/lo/width varints — shared by ['R'] frames and the
+   Summary's trailing predicted block. *)
+let write_races buf rs =
+  Varint.write buf (List.length rs);
+  List.iter
+    (fun (kind, prior, current, (iv : Interval.t)) ->
+      Buffer.add_char buf (Char.chr (kind_tag kind));
+      Varint.write buf prior;
+      Varint.write buf current;
+      Varint.write buf iv.Interval.lo;
+      Varint.write buf (iv.Interval.hi - iv.Interval.lo))
+    rs
+
+let read_races c =
+  let n = Varint.read c in
+  List.init n (fun _ ->
+      let kind = kind_of_tag (Varint.read_byte c) in
+      let prior = Varint.read c in
+      let current = Varint.read c in
+      let lo = Varint.read c in
+      let hi = lo + Varint.read c in
+      (kind, prior, current, Interval.make lo hi))
+
 let encode_client = function
-  | Hello { version; shards } -> with_tag 'H' (varints [ version; shards ])
+  | Hello { version; shards; predict } ->
+      (* the predict window is a version-2 trailing field: version-1 hellos
+         simply end after [shards], which decodes as predict = 0 *)
+      with_tag 'H' (varints (if predict = 0 then [ version; shards ] else [ version; shards; predict ]))
   | Data chunk -> with_tag 'D' chunk
   | End -> with_tag 'E' ""
 
@@ -113,17 +145,9 @@ let encode_server = function
   | Accepted { session } -> with_tag 'A' (varints [ session ])
   | Races rs ->
       let buf = Buffer.create 64 in
-      Varint.write buf (List.length rs);
-      List.iter
-        (fun (kind, prior, current, (iv : Interval.t)) ->
-          Buffer.add_char buf (Char.chr (kind_tag kind));
-          Varint.write buf prior;
-          Varint.write buf current;
-          Varint.write buf iv.Interval.lo;
-          Varint.write buf (iv.Interval.hi - iv.Interval.lo))
-        rs;
+      write_races buf rs;
       with_tag 'R' (Buffer.contents buf)
-  | Summary { n_strands; n_races; stats } ->
+  | Summary { n_strands; n_races; stats; predicted } ->
       let buf = Buffer.create 256 in
       Varint.write buf n_strands;
       Varint.write buf n_races;
@@ -135,6 +159,9 @@ let encode_server = function
           Varint.write buf (String.length v);
           Buffer.add_string buf v)
         stats;
+      (* trailing predicted block (version 2); omitted when empty so
+         version-1 summaries stay byte-identical *)
+      if predicted <> [] then write_races buf predicted;
       with_tag 'S' (Buffer.contents buf)
   | Reject msg -> with_tag 'X' msg
 
@@ -151,7 +178,8 @@ let decode_client payload =
       | 'H' ->
           let version = Varint.read c in
           let shards = Varint.read c in
-          Hello { version; shards }
+          let predict = if c.Varint.pos < String.length payload then Varint.read c else 0 in
+          Hello { version; shards; predict }
       | 'D' -> Data (String.sub payload 1 (String.length payload - 1))
       | 'E' -> End
       | t -> proto_error "unknown client message tag %C" t)
@@ -161,16 +189,7 @@ let decode_server payload =
   wrap (fun () ->
       match tag with
       | 'A' -> Accepted { session = Varint.read c }
-      | 'R' ->
-          let n = Varint.read c in
-          Races
-            (List.init n (fun _ ->
-                 let kind = kind_of_tag (Varint.read_byte c) in
-                 let prior = Varint.read c in
-                 let current = Varint.read c in
-                 let lo = Varint.read c in
-                 let hi = lo + Varint.read c in
-                 (kind, prior, current, Interval.make lo hi)))
+      | 'R' -> Races (read_races c)
       | 'S' ->
           let n_strands = Varint.read c in
           let n_races = Varint.read c in
@@ -181,6 +200,7 @@ let decode_server payload =
                 let v = Varint.read_string c (Varint.read c) in
                 (k, v))
           in
-          Summary { n_strands; n_races; stats }
+          let predicted = if c.Varint.pos < String.length payload then read_races c else [] in
+          Summary { n_strands; n_races; stats; predicted }
       | 'X' -> Reject (String.sub payload 1 (String.length payload - 1))
       | t -> proto_error "unknown server message tag %C" t)

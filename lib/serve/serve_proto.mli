@@ -10,15 +10,24 @@
     {2 Messages}
 
     Client → server: ['H'] hello (protocol version + requested shard
-    count, 0 = server default), ['D'] data (one raw PINTRACE chunk —
-    chunking is transport-level; the server's trace decoder carries state
-    across chunk boundaries, so any split is legal), ['E'] end of stream.
+    count, 0 = server default, + optional predict window, 0 = off — a
+    version-2 trailing field, absent from version-1 hellos), ['D'] data
+    (one raw PINTRACE chunk — chunking is transport-level; the server's
+    trace decoder carries state across chunk boundaries, so any split is
+    legal), ['E'] end of stream.
 
     Server → client: ['A'] session accepted (session id), ['R'] newly
     found races (Theorem-5 keys plus one witness interval each), ['S']
-    final summary (strand/race counts + diagnostic and obs key-values),
-    ['X'] rejection/error (admission refusal, malformed stream, corrupt
-    DAG). *)
+    final summary (strand/race counts + diagnostic and obs key-values,
+    plus — for predict sessions — a trailing block of predicted races in
+    the ['R'] layout; omitted when empty, so version-1 summaries are
+    byte-identical), ['X'] rejection/error (admission refusal, malformed
+    stream, corrupt DAG).
+
+    Version history: 1 — initial; 2 — predictive detection opt-in (the
+    ['H'] predict field and the ['S'] predicted block).  Both trailing
+    fields decode as empty when absent, so a version-2 endpoint reads
+    version-1 frames unchanged. *)
 
 exception Proto_error of string
 
@@ -29,14 +38,23 @@ val protocol_version : int
 val default_max_frame : int
 
 type client_msg =
-  | Hello of { version : int; shards : int }
+  | Hello of { version : int; shards : int; predict : int }
+      (** [predict] — requested prediction window [w] for this session
+          (see {!Predict}); 0 disables predictive detection *)
   | Data of string
   | End
 
 type server_msg =
   | Accepted of { session : int }
   | Races of (Report.kind * int * int * Interval.t) list
-  | Summary of { n_strands : int; n_races : int; stats : (string * string) list }
+  | Summary of {
+      n_strands : int;
+      n_races : int;
+      stats : (string * string) list;
+      predicted : (Report.kind * int * int * Interval.t) list;
+          (** predicted races for predict sessions (empty otherwise) —
+              disjoint from every ['R']-frame observed race *)
+    }
   | Reject of string
 
 (** [frame payload] — prepend the length prefix. *)

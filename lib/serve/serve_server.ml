@@ -8,6 +8,7 @@ type config = {
   max_frame : int;
   max_pending : int;
   obs_capacity : int option;
+  max_window : int;  (* largest per-session prediction window a Hello may request *)
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     max_frame = Serve_proto.default_max_frame;
     max_pending = 16 * 1024 * 1024;
     obs_capacity = None;
+    max_window = 16;
   }
 
 (* One admitted tenant's detection state: its own fresh detector, its own
@@ -33,6 +35,8 @@ type stream = {
   st_obs : Obs.t;
   st_feed_us : Histo.t; (* wall µs per Data-frame feed *)
   st_has_pipeline : bool;
+  st_predict : int; (* prediction window; 0 = observed-only session *)
+  st_builder : Predict.Builder.t option; (* strand DAG, built as the feed replays *)
   mutable st_bp_pauses : int; (* read pauses due to pipeline backlog *)
 }
 
@@ -122,7 +126,7 @@ let fail_conn t c msg =
   send c (Serve_proto.Reject msg);
   c.c_phase <- Closing
 
-let start_stream t c ~shards =
+let start_stream t c ~shards ~predict =
   let cfg = t.cfg in
   let shards = if shards = 0 then cfg.shards else shards in
   let obs =
@@ -135,9 +139,11 @@ let start_stream t c ~shards =
   | Some (det, stages) ->
       (* session first (its driver sets up the detector's run), stages to
          the shared pool second — the ordering every executor guarantees *)
+      let builder = if predict > 0 then Some (Predict.Builder.create ()) else None in
+      let on_strand = Option.map Predict.Builder.observer builder in
       let session =
         Replay.Session.create ~wrap:(Obs_hooks.instrument obs)
-          ~max_pending:cfg.max_pending det
+          ~max_pending:cfg.max_pending ?on_strand det
       in
       let lease = Micropool.submit t.pool (Systems.micropools stages) in
       let st =
@@ -148,6 +154,8 @@ let start_stream t c ~shards =
           st_obs = obs;
           st_feed_us = Obs.histo obs "serve.feed_us";
           st_has_pipeline = stages <> [];
+          st_predict = predict;
+          st_builder = builder;
           st_bp_pauses = 0;
         }
       in
@@ -163,12 +171,18 @@ let race_msg races =
 
 let handle_msg t c msg =
   match (c.c_phase, msg) with
-  | Handshake, Serve_proto.Hello { version; shards } ->
-      if version <> Serve_proto.protocol_version then
+  | Handshake, Serve_proto.Hello { version; shards; predict } ->
+      (* version 1 speaks a strict subset of version 2 (no predict field,
+         whose absence decodes as 0), so both are admitted *)
+      if version < 1 || version > Serve_proto.protocol_version then
         fail_conn t c
           (Printf.sprintf "protocol version %d unsupported (server speaks %d)" version
              Serve_proto.protocol_version)
-      else start_stream t c ~shards
+      else if predict < 0 || predict > t.cfg.max_window then
+        fail_conn t c
+          (Printf.sprintf "prediction window %d out of range (server allows 0..%d)" predict
+             t.cfg.max_window)
+      else start_stream t c ~shards ~predict
   | Streaming st, Serve_proto.Data chunk ->
       let t0 = Clock.now Clock.monotonic in
       let races = Replay.Session.feed st.st_session chunk in
@@ -272,10 +286,30 @@ let finish_drained t c =
       let late = Replay.Session.poll_races st.st_session in
       if late <> [] then send c (race_msg late);
       let o = Replay.Session.outcome st.st_session in
+      (* predict sessions run the window-bounded reordering analysis over
+         the DAG the feed built, after the observed outcome is final (the
+         observed set suppresses already-reported pairs) *)
+      let predicted, predict_diags =
+        match st.st_builder with
+        | None -> ([], [])
+        | Some b -> (
+            match Predict.Builder.dag b with
+            | exception Failure m ->
+                prerr_endline ("pint_serve: predict skipped: " ^ m);
+                ([], [])
+            | dag ->
+                let pr =
+                  Predict.predict ~window:st.st_predict ~observed:o.Replay.races dag
+                in
+                ( List.map
+                    (fun (f : Predict.finding) -> (f.kind, f.prior, f.current, f.where))
+                    pr.Predict.predicted,
+                  pr.Predict.diagnostics ))
+      in
       let stats =
         List.map
           (fun (k, v) -> (k, Printf.sprintf "%.17g" v))
-          (o.Replay.diagnostics
+          (o.Replay.diagnostics @ predict_diags
           @ [ ("serve.bp_pauses", float_of_int st.st_bp_pauses) ]
           @ Obs.summary st.st_obs)
       in
@@ -285,6 +319,7 @@ let finish_drained t c =
              n_strands = o.Replay.n_strands;
              n_races = List.length o.Replay.races;
              stats;
+             predicted;
            });
       t.completed <- t.completed + 1;
       c.c_phase <- Closing

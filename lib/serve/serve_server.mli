@@ -36,6 +36,10 @@ type config = {
   max_frame : int;  (** wire-frame payload cap *)
   max_pending : int;  (** per-session decoder buffer cap *)
   obs_capacity : int option;  (** per-track ring size, [None] = default *)
+  max_window : int;
+      (** largest prediction window a Hello may request; requests above it
+          are rejected, 0 disables predict sessions entirely (cost control:
+          window-bounded prediction is super-linear in the window) *)
 }
 
 val default_config : config

@@ -1,0 +1,10 @@
+(* Regenerate the synthetic golden traces (currently just lucky_racy).
+   Deterministic: the same sources capture a byte-identical file, which
+   test_predict pins. *)
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden/lucky_racy.trace" in
+  let t = Lucky.trace () in
+  Tracefile.write t path;
+  Printf.printf "wrote %s (%d strand(s), %d byte(s))\n" path (Tracefile.entry_count t)
+    (String.length (Tracefile.to_bytes t))

@@ -1,0 +1,272 @@
+(* Predictive detection: the window-bounded reordering analysis must agree
+   finding-for-finding with the brute-force reordering oracle — on every
+   committed golden trace and on random small fork-join programs — be
+   monotone in the window, shard-invariant, and disjoint from the observed
+   race set.  The lucky trace (test/golden_gen/lucky.ml) is additionally
+   byte-pinned: its racy pair is invisible to every observed-order detector
+   and only reachable through prediction, so a silent regeneration drift
+   would quietly gut the corpus' predict coverage. *)
+
+let check_bool = Alcotest.(check bool)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let golden_files () =
+  let dir = "golden" in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".trace")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
+(* One offline pass: observed races (pint) and the strand DAG together. *)
+let observe t =
+  let det, _ = Option.get (Systems.make_detector "pint") in
+  let b = Predict.Builder.create () in
+  let o = Replay.run ~on_strand:(Predict.Builder.observer b) t det in
+  (o.Replay.races, Predict.Builder.dag b)
+
+(* ------------------------------------------------------------- the corpus *)
+
+let test_lucky_pinned () =
+  let committed = read_file "golden/lucky_racy.trace" in
+  let regenerated = Tracefile.to_bytes (Lucky.trace ()) in
+  check_bool "committed lucky trace = regenerated capture" true (committed = regenerated)
+
+let test_lucky_predict_only () =
+  let t = Tracefile.of_bytes (read_file "golden/lucky_racy.trace") in
+  (* invisible to every observed-order detector *)
+  List.iter
+    (fun name ->
+      let d, _ = Option.get (Systems.make_detector name) in
+      check_bool (name ^ " observes nothing") true ((Replay.run t d).Replay.races = []))
+    [ "stint"; "cracer"; "pint" ];
+  let observed, dag = observe t in
+  let expected =
+    {
+      Predict.kind = Report.Write_write;
+      prior = 1;
+      current = 6;
+      where = Interval.make 67108864 67108871;
+    }
+  in
+  List.iter
+    (fun w ->
+      let pr = Predict.predict ~window:w ~observed dag in
+      let want = if w < 2 then [] else [ expected ] in
+      if not (Predict.equal_findings pr.Predict.predicted want) then
+        Alcotest.failf "lucky w=%d: got %d prediction(s), wanted %d" w
+          (List.length pr.Predict.predicted)
+          (List.length want);
+      check_bool (Printf.sprintf "lucky w=%d oracle agrees" w) true
+        (Predict.equal_findings (Predict.oracle ~window:w ~observed dag) want))
+    [ 0; 1; 2; 3; 4 ]
+
+let check_golden_oracle path () =
+  let t = Tracefile.of_bytes (read_file path) in
+  let observed, dag = observe t in
+  List.iter
+    (fun w ->
+      let pr = Predict.predict ~window:w ~observed dag in
+      let orc = Predict.oracle ~window:w ~observed dag in
+      if not (Predict.equal_findings pr.Predict.predicted orc) then
+        Alcotest.failf "%s w=%d: predict (%d) and oracle (%d) diverge" path w
+          (List.length pr.Predict.predicted)
+          (List.length orc))
+    [ 0; 1; 2; 3 ]
+
+let check_golden_disjoint path () =
+  let t = Tracefile.of_bytes (read_file path) in
+  let observed, dag = observe t in
+  let pr = Predict.predict ~window:4 ~observed dag in
+  let obs_keys =
+    List.concat_map
+      (fun (r : Report.race) ->
+        [
+          (r.Report.kind, r.Report.prior, r.Report.current);
+          (r.Report.kind, r.Report.current, r.Report.prior);
+        ])
+      observed
+  in
+  List.iter
+    (fun f ->
+      let k, p, c = Predict.finding_key f in
+      if List.exists (fun (_, p', c') -> p = p' && c = c') obs_keys then
+        Alcotest.failf "%s: predicted pair (%s %d->%d) is already observed" path
+          (Report.kind_to_string k) p c)
+    pr.Predict.predicted
+
+let check_golden_monotone path () =
+  let t = Tracefile.of_bytes (read_file path) in
+  let observed, dag = observe t in
+  let at w = (Predict.predict ~window:w ~observed dag).Predict.predicted in
+  ignore
+    (List.fold_left
+       (fun (prev_w, prev) w ->
+         let cur = at w in
+         List.iter
+           (fun f ->
+             if not (List.exists (fun g -> Predict.finding_key g = Predict.finding_key f) cur)
+             then
+               Alcotest.failf "%s: finding at w=%d lost at w=%d" path prev_w w)
+           prev;
+         (w, cur))
+       (0, at 0) [ 1; 2; 3; 4 ])
+
+let check_golden_shards path () =
+  let t = Tracefile.of_bytes (read_file path) in
+  let observed, dag = observe t in
+  let runs =
+    List.map (fun shards -> (shards, Predict.predict ~shards ~window:3 ~observed dag)) [ 1; 2; 4 ]
+  in
+  let _, ref_run = List.hd runs in
+  let diag r k = List.assoc k r.Predict.diagnostics in
+  List.iter
+    (fun (shards, r) ->
+      if not (Predict.equal_findings r.Predict.predicted ref_run.Predict.predicted) then
+        Alcotest.failf "%s: shards=%d changes the findings" path shards;
+      (* the gated diagnostics are shard-invariant by construction *)
+      List.iter
+        (fun k ->
+          if diag r k <> diag ref_run k then
+            Alcotest.failf "%s: shards=%d changes %s (%g vs %g)" path shards k (diag r k)
+              (diag ref_run k))
+        [ "predict_candidates"; "predict_windows" ])
+    runs
+
+(* --------------------------------------------- random fork-join programs *)
+
+(* Tiny random fork-join programs over one 8-word arena: 1-2 sync blocks of
+   1-2 spawned children each (<= 11 strands), children fill or bulk-read
+   random subranges, at most one child frees the arena (the free-hidden
+   shape the lucky trace pins).  Captured sequentially, then the analysis
+   is checked against the oracle on the decoded DAG. *)
+
+let arena_words = 8
+
+type leaf = { off : int; len : int; write : bool }
+type child = Acc of leaf | Freer
+type prog = { blocks : child list list }
+
+let run_prog p () =
+  let buf = Fj.alloc_f arena_words in
+  List.iter
+    (fun children ->
+      List.iter
+        (fun ch ->
+          Fj.spawn (fun () ->
+              match ch with
+              | Acc l ->
+                  if l.write then Membuf.fill_f buf l.off l.len 1.0
+                  else ignore (Membuf.read_range_f buf l.off l.len)
+              | Freer -> Fj.free_f buf))
+        children;
+      Fj.sync ())
+    p.blocks
+
+let capture p =
+  let d = Nodetect.make () in
+  let driver, finished = Tracefile.capturing d.Detector.driver in
+  ignore (Seq_exec.run ~driver (run_prog p));
+  finished ()
+
+let gen_leaf =
+  let open QCheck.Gen in
+  int_range 0 (arena_words - 1) >>= fun off ->
+  int_range 1 (arena_words - off) >>= fun len ->
+  bool >>= fun write -> return { off; len; write }
+
+let gen_prog =
+  let open QCheck.Gen in
+  int_range 1 2 >>= fun nblocks ->
+  list_repeat nblocks
+    (int_range 1 2 >>= fun n ->
+     list_repeat n (gen_leaf >>= fun l -> return (Acc l)))
+  >>= fun blocks ->
+  frequency
+    [
+      (2, return None);
+      (1, int_range 0 (nblocks - 1) >>= fun b -> int_range 0 1 >>= fun c -> return (Some (b, c)));
+    ]
+  >>= fun free_slot ->
+  return
+    {
+      blocks =
+        List.mapi
+          (fun bi children ->
+            List.mapi
+              (fun ci ch ->
+                match free_slot with Some (b, c) when b = bi && c = ci -> Freer | _ -> ch)
+              children)
+          blocks;
+    }
+
+let print_prog p =
+  String.concat " ; "
+    (List.map
+       (fun children ->
+         "["
+         ^ String.concat ","
+             (List.map
+                (function
+                  | Freer -> "free"
+                  | Acc l -> Printf.sprintf "%s(%d,%d)" (if l.write then "W" else "R") l.off l.len)
+                children)
+         ^ "]")
+       p.blocks)
+
+let arb_prog = QCheck.make ~print:print_prog gen_prog
+
+let qcheck_oracle =
+  QCheck.Test.make ~name:"random fj: predict = oracle" ~count:60 arb_prog (fun p ->
+      let observed, dag = observe (capture p) in
+      List.for_all
+        (fun w ->
+          Predict.equal_findings
+            (Predict.predict ~window:w ~observed dag).Predict.predicted
+            (Predict.oracle ~window:w ~observed dag))
+        [ 0; 1; 2; 3 ])
+
+let qcheck_monotone =
+  QCheck.Test.make ~name:"random fj: monotone in window" ~count:60 arb_prog (fun p ->
+      let observed, dag = observe (capture p) in
+      let at w = (Predict.predict ~window:w ~observed dag).Predict.predicted in
+      let rec sweep prev = function
+        | [] -> true
+        | w :: ws ->
+            let cur = at w in
+            List.for_all
+              (fun f ->
+                List.exists (fun g -> Predict.finding_key g = Predict.finding_key f) cur)
+              prev
+            && sweep cur ws
+      in
+      sweep (at 0) [ 1; 2; 3; 4 ])
+
+let () =
+  let files = golden_files () in
+  if files = [] then prerr_endline "test_predict: no golden traces found, nothing to check";
+  Alcotest.run "pint_predict"
+    [
+      ( "lucky",
+        [
+          Alcotest.test_case "trace bytes pinned" `Quick test_lucky_pinned;
+          Alcotest.test_case "only predictable" `Quick test_lucky_predict_only;
+        ] );
+      ( "oracle",
+        List.map (fun p -> Alcotest.test_case p `Quick (check_golden_oracle p)) files );
+      ( "disjoint",
+        List.map (fun p -> Alcotest.test_case p `Quick (check_golden_disjoint p)) files );
+      ( "monotone",
+        List.map (fun p -> Alcotest.test_case p `Quick (check_golden_monotone p)) files );
+      ( "shards",
+        List.map (fun p -> Alcotest.test_case p `Quick (check_golden_shards p)) files );
+      ( "random",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) [ qcheck_oracle; qcheck_monotone ] );
+    ]

@@ -178,7 +178,7 @@ let test_daemon_concurrent () =
 let raw_connect addr =
   let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
   Unix.connect fd addr;
-  let out = Serve_proto.encode_client (Serve_proto.Hello { version = Serve_proto.protocol_version; shards = 0 }) in
+  let out = Serve_proto.encode_client (Serve_proto.Hello { version = Serve_proto.protocol_version; shards = 0; predict = 0 }) in
   let n = Unix.write_substring fd out 0 (String.length out) in
   assert (n = String.length out);
   let frames = Serve_proto.Frames.create () in
@@ -255,6 +255,46 @@ let test_daemon_disconnect () =
       check_bool "post-disconnect session serves the right races" true
         (Serve_client.signature r.Serve_client.races = offline_sig bytes))
 
+(* A predict session (protocol v2): the lucky trace has no observed races,
+   but its free-hidden W/W pair must come back in the summary's predicted
+   block, matching the offline analysis; and a window above the daemon's
+   cap must get a framed reject. *)
+let test_daemon_predict () =
+  let bytes = read_file "golden/lucky_racy.trace" in
+  let server, join = start_daemon test_config in
+  Fun.protect ~finally:join (fun () ->
+      let addr = Serve_server.sockaddr server in
+      match Serve_client.run ~addr ~predict:4 bytes with
+      | Error msg -> Alcotest.failf "predict session rejected: %s" msg
+      | Ok r ->
+          check_bool "lucky has no observed races" true (r.Serve_client.races = []);
+          let t = Tracefile.of_bytes bytes in
+          let det, _ = Option.get (Systems.make_detector "pint") in
+          let b = Predict.Builder.create () in
+          let o = Replay.run ~on_strand:(Predict.Builder.observer b) t det in
+          let pr =
+            Predict.predict ~window:4 ~observed:o.Replay.races (Predict.Builder.dag b)
+          in
+          let offline =
+            Serve_client.signature
+              (List.map
+                 (fun (f : Predict.finding) ->
+                   (f.Predict.kind, f.Predict.prior, f.Predict.current, f.Predict.where))
+                 pr.Predict.predicted)
+          in
+          check_bool "offline predicts the hidden pair" true (offline <> []);
+          check_bool "served predictions match offline" true
+            (Serve_client.signature r.Serve_client.predicted = offline);
+          check_bool "predict diagnostics served" true
+            (List.mem_assoc "predict_candidates" r.Serve_client.stats));
+  let config = { test_config with Serve_server.max_window = 2 } in
+  let server, join = start_daemon config in
+  Fun.protect ~finally:join (fun () ->
+      let addr = Serve_server.sockaddr server in
+      match Serve_client.run ~addr ~predict:3 bytes with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "over-cap predict window was accepted")
+
 (* A bad protocol version must be rejected with a framed error. *)
 let test_daemon_bad_version () =
   let server, join = start_daemon test_config in
@@ -267,7 +307,7 @@ let test_daemon_bad_version () =
           Unix.connect fd addr;
           let out =
             Serve_proto.encode_client
-              (Serve_proto.Hello { version = Serve_proto.protocol_version + 1; shards = 0 })
+              (Serve_proto.Hello { version = Serve_proto.protocol_version + 1; shards = 0; predict = 0 })
           in
           ignore (Unix.write_substring fd out 0 (String.length out));
           let frames = Serve_proto.Frames.create () in
@@ -301,6 +341,7 @@ let () =
           Alcotest.test_case "concurrent tenants = offline" `Quick test_daemon_concurrent;
           Alcotest.test_case "over-admission rejected" `Quick test_daemon_admission;
           Alcotest.test_case "mid-stream disconnect" `Quick test_daemon_disconnect;
+          Alcotest.test_case "predict session" `Quick test_daemon_predict;
           Alcotest.test_case "version mismatch rejected" `Quick test_daemon_bad_version;
         ] );
     ]

@@ -5,7 +5,11 @@
                 [--threshold 0.25] [--min-samples 3] [--min-time 0.005]
                 [--waivers GATE_WAIVERS] [--inflate F]
                 [--require-scaling SLOW FAST] [--scaling-ratio 0.9]
-                [--min-domains 4]
+                [--min-domains 4] [--gated-diag NAME]...
+
+   --gated-diag (repeatable) overrides the deterministic diagnostics the
+   ratio test gates (default: detect_span, predict_candidates,
+   predict_windows).
 
    Compares per-case best-of-N times (see gate.ml for why min, not
    median); exits 1 if any case regressed past the threshold and is not
@@ -25,7 +29,7 @@ let usage () =
   prerr_endline
     "usage: bench_gate --baseline FILE --current FILE [--threshold F] [--min-samples N]\n\
     \       [--waivers FILE] [--inflate F] [--require-scaling SLOW FAST]\n\
-    \       [--scaling-ratio F] [--min-domains N]";
+    \       [--scaling-ratio F] [--min-domains N] [--gated-diag NAME]...";
   exit 2
 
 let () =
@@ -38,7 +42,8 @@ let () =
   and inflate = ref 1.0
   and scaling = ref None
   and scaling_ratio = ref 0.9
-  and min_domains = ref 4 in
+  and min_domains = ref 4
+  and gated_diags = ref [] in
   let argv = Sys.argv in
   let i = ref 1 in
   let next () =
@@ -61,6 +66,7 @@ let () =
         scaling := Some (slow, fast)
     | "--scaling-ratio" -> scaling_ratio := float_of_string (next ())
     | "--min-domains" -> min_domains := int_of_string (next ())
+    | "--gated-diag" -> gated_diags := next () :: !gated_diags
     | _ -> usage ());
     incr i
   done;
@@ -81,9 +87,12 @@ let () =
   Printf.printf "bench_gate: %s vs baseline %s (threshold +%.0f%%, min %d samples%s)\n"
     current_path baseline_path (100. *. !threshold) !min_samples
     (if !inflate <> 1.0 then Printf.sprintf ", medians inflated %.2fx" !inflate else "");
+  let gated_diags =
+    match !gated_diags with [] -> Gate.default_gated_diags | ds -> List.rev ds
+  in
   let verdicts =
     Gate.compare_cases ~threshold:!threshold ~min_samples:!min_samples ~min_time:!min_time
-      ~waivers ~baseline:base_cases ~current:cur_cases ()
+      ~gated_diags ~waivers ~baseline:base_cases ~current:cur_cases ()
   in
   List.iter (Gate.pp_verdict stdout) verdicts;
   (* --inflate doctors wall clocks only, so it must not break the scaling

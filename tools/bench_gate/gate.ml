@@ -18,11 +18,13 @@
    Wall clocks are not the only gated quantity: each case may carry
    tracked detector diagnostics, and the deterministic ones named in
    [gated_diags] (default: "detect_span", the treap-side critical path in
-   virtual cycles) are compared by the same ratio test under the key
-   "group/case#diag".  Unlike wall time these are exact functions of the
-   code, so they gate even the sub-millisecond cases the [min_time] floor
-   excludes — the shard-sweep groups exist for their detect_span, not
-   their stopwatch.
+   virtual cycles, plus the predictive analysis' candidate and
+   window-expansion counters) are compared by the same ratio test under
+   the key "group/case#diag".  Unlike wall time these are exact functions
+   of the code, so they gate even the sub-millisecond cases the
+   [min_time] floor excludes — the shard-sweep groups exist for their
+   detect_span, and the predict group for its candidate/window counts,
+   not their stopwatch.
 
    The logic lives in a library (separate from the CLI) so the test suite
    can drive it on synthetic JSON without spawning processes. *)
@@ -128,8 +130,10 @@ let parse_waivers text =
 
 (* -- comparison ---------------------------------------------------------- *)
 
+let default_gated_diags = [ "detect_span"; "predict_candidates"; "predict_windows" ]
+
 let compare_cases ?(threshold = 0.25) ?(min_samples = 3) ?(min_time = 0.005)
-    ?(gated_diags = [ "detect_span" ]) ?(waivers = []) ~baseline ~current () =
+    ?(gated_diags = default_gated_diags) ?(waivers = []) ~baseline ~current () =
   let base_tbl = Hashtbl.create 16 in
   List.iter (fun c -> Hashtbl.replace base_tbl (key c) c) baseline;
   (* one ratio test, shared by wall clocks and gated diagnostics *)
